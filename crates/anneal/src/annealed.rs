@@ -1,0 +1,168 @@
+//! The time-inhomogeneous (annealed) logit dynamics.
+//!
+//! Identical to the paper's dynamics except that the inverse noise used at step
+//! `t` is `schedule.beta_at(t)` instead of a constant. With a constant schedule
+//! this reduces exactly to `logit_core::LogitDynamics` (and the tests check
+//! that).
+
+use crate::schedule::BetaSchedule;
+use logit_games::{Game, ProfileSpace};
+use rand::Rng;
+
+/// The annealed logit dynamics for a game `G` under a β schedule `S`.
+#[derive(Debug, Clone)]
+pub struct AnnealedLogitDynamics<G: Game, S: BetaSchedule> {
+    game: G,
+    schedule: S,
+    space: ProfileSpace,
+}
+
+impl<G: Game, S: BetaSchedule> AnnealedLogitDynamics<G, S> {
+    /// Creates the annealed dynamics.
+    pub fn new(game: G, schedule: S) -> Self {
+        let space = game.profile_space();
+        Self { game, schedule, space }
+    }
+
+    /// The underlying game.
+    pub fn game(&self) -> &G {
+        &self.game
+    }
+
+    /// The β schedule.
+    pub fn schedule(&self) -> &S {
+        &self.schedule
+    }
+
+    /// The profile space.
+    pub fn space(&self) -> &ProfileSpace {
+        &self.space
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.space.size()
+    }
+
+    /// The update distribution `σ_i(· | x)` of `player` at step `t` (i.e. with
+    /// inverse noise `β_t`).
+    pub fn update_distribution(&self, t: u64, player: usize, profile: &[usize]) -> Vec<f64> {
+        let beta = self.schedule.beta_at(t);
+        let m = self.game.num_strategies(player);
+        let mut work = profile.to_vec();
+        let mut logits = Vec::with_capacity(m);
+        for s in 0..m {
+            work[player] = s;
+            logits.push(beta * self.game.utility(player, &work));
+        }
+        let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        probs
+    }
+
+    /// One step of the dynamics at time `t` from the flat state `state`.
+    pub fn step<R: Rng + ?Sized>(&self, t: u64, state: usize, rng: &mut R) -> usize {
+        let n = self.game.num_players();
+        let player = rng.gen_range(0..n);
+        let mut profile = vec![0usize; n];
+        self.space.write_profile(state, &mut profile);
+        let probs = self.update_distribution(t, player, &profile);
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = probs.len() - 1;
+        for (s, &p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                chosen = s;
+                break;
+            }
+        }
+        self.space.with_strategy(state, player, chosen)
+    }
+
+    /// Simulates `steps` steps from `start`, returning every visited state
+    /// (length `steps + 1`).
+    pub fn simulate<R: Rng + ?Sized>(&self, start: usize, steps: u64, rng: &mut R) -> Vec<usize> {
+        assert!(start < self.num_states(), "start state out of range");
+        let mut out = Vec::with_capacity(steps as usize + 1);
+        let mut state = start;
+        out.push(state);
+        for t in 0..steps {
+            state = self.step(t, state, rng);
+            out.push(state);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ConstantSchedule, LinearRamp};
+    use logit_core::LogitDynamics;
+    use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
+    use logit_graphs::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_schedule_matches_fixed_beta_dynamics() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let beta = 1.3;
+        let fixed = LogitDynamics::new(game.clone(), beta);
+        let annealed = AnnealedLogitDynamics::new(game.clone(), ConstantSchedule::new(beta));
+        let space = fixed.space();
+        for idx in [0usize, 3, 7, 12] {
+            let profile = space.profile_of(idx);
+            for player in 0..4 {
+                let a = fixed.update_distribution(player, &profile);
+                let b = annealed.update_distribution(999, player, &profile);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_changes_the_update_distribution_over_time() {
+        let game = WellGame::plateau(4, 2.0);
+        let annealed = AnnealedLogitDynamics::new(game, LinearRamp::new(0.0, 5.0, 100));
+        let profile = vec![1, 0, 0, 0]; // the ridge: strategy 0 is strictly better for player 0
+        let early = annealed.update_distribution(0, 0, &profile);
+        let late = annealed.update_distribution(100, 0, &profile);
+        // At beta = 0 the update is uniform; at beta = 5 it strongly prefers
+        // dropping back into the well (strategy 0).
+        assert!((early[0] - 0.5).abs() < 1e-12);
+        assert!(late[0] > 0.99);
+    }
+
+    #[test]
+    fn simulation_moves_single_coordinates_and_stays_in_range() {
+        let game = WellGame::plateau(5, 1.0);
+        let annealed = AnnealedLogitDynamics::new(game, LinearRamp::new(0.1, 2.0, 50));
+        let mut rng = StdRng::seed_from_u64(5);
+        let traj = annealed.simulate(0, 300, &mut rng);
+        assert_eq!(traj.len(), 301);
+        for w in traj.windows(2) {
+            assert!(annealed.space().hamming_distance(w[0], w[1]) <= 1);
+            assert!(w[1] < annealed.num_states());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_start_rejected() {
+        let game = WellGame::plateau(3, 1.0);
+        let annealed = AnnealedLogitDynamics::new(game, ConstantSchedule::new(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = annealed.simulate(100, 10, &mut rng);
+    }
+}

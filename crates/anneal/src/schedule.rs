@@ -1,0 +1,230 @@
+//! Inverse-noise (β) schedules.
+//!
+//! A schedule maps the step counter `t` to the inverse noise `β_t ≥ 0` used by
+//! the time-inhomogeneous logit dynamics at that step. The classic simulated-
+//! annealing result (Hajek) says a logarithmic schedule `β_t = ln(t + 2)/c`
+//! finds the global potential minimiser with probability → 1 when `c` is at
+//! least the largest barrier — which in the language of the paper is exactly the
+//! quantity `ζ` of Section 3.4. The geometric and linear schedules are the
+//! practical choices.
+
+/// A (deterministic) inverse-noise schedule.
+pub trait BetaSchedule {
+    /// The inverse noise to use at step `t` (starting from `t = 0`).
+    fn beta_at(&self, t: u64) -> f64;
+
+    /// A short human-readable description used in reports.
+    fn describe(&self) -> String;
+}
+
+/// Constant β (recovers the paper's fixed-β dynamics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantSchedule {
+    /// The constant inverse noise.
+    pub beta: f64,
+}
+
+impl ConstantSchedule {
+    /// Creates a constant schedule.
+    ///
+    /// # Panics
+    /// Panics when `beta` is negative or non-finite.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and non-negative");
+        Self { beta }
+    }
+}
+
+impl BetaSchedule for ConstantSchedule {
+    fn beta_at(&self, _t: u64) -> f64 {
+        self.beta
+    }
+    fn describe(&self) -> String {
+        format!("constant(beta = {})", self.beta)
+    }
+}
+
+/// Linear ramp from `start` to `end` over `duration` steps, constant afterwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRamp {
+    /// β at step 0.
+    pub start: f64,
+    /// β from step `duration` on.
+    pub end: f64,
+    /// Number of steps over which β ramps.
+    pub duration: u64,
+}
+
+impl LinearRamp {
+    /// Creates a linear ramp.
+    ///
+    /// # Panics
+    /// Panics on negative/non-finite endpoints or zero duration.
+    pub fn new(start: f64, end: f64, duration: u64) -> Self {
+        assert!(start >= 0.0 && end >= 0.0, "beta must stay non-negative");
+        assert!(start.is_finite() && end.is_finite(), "beta must stay finite");
+        assert!(duration > 0, "ramp duration must be positive");
+        Self { start, end, duration }
+    }
+}
+
+impl BetaSchedule for LinearRamp {
+    fn beta_at(&self, t: u64) -> f64 {
+        if t >= self.duration {
+            self.end
+        } else {
+            let frac = t as f64 / self.duration as f64;
+            self.start + (self.end - self.start) * frac
+        }
+    }
+    fn describe(&self) -> String {
+        format!("linear({} -> {} over {} steps)", self.start, self.end, self.duration)
+    }
+}
+
+/// Geometric (exponential) growth: `β_t = start · factor^{⌊t/period⌋}`, capped at `max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricSchedule {
+    /// β at step 0 (must be positive so the geometric growth is meaningful).
+    pub start: f64,
+    /// Multiplicative factor applied every `period` steps (must be ≥ 1).
+    pub factor: f64,
+    /// Steps between successive multiplications.
+    pub period: u64,
+    /// Cap on β.
+    pub max: f64,
+}
+
+impl GeometricSchedule {
+    /// Creates a geometric schedule.
+    ///
+    /// # Panics
+    /// Panics on non-positive `start`, `factor < 1`, zero period, or `max < start`.
+    pub fn new(start: f64, factor: f64, period: u64, max: f64) -> Self {
+        assert!(start > 0.0, "geometric schedules need a positive starting beta");
+        assert!(factor >= 1.0, "the factor must be at least 1 (cooling means raising beta)");
+        assert!(period > 0, "period must be positive");
+        assert!(max >= start, "the cap must be at least the starting beta");
+        Self { start, factor, period, max }
+    }
+}
+
+impl BetaSchedule for GeometricSchedule {
+    fn beta_at(&self, t: u64) -> f64 {
+        let k = (t / self.period) as i32;
+        (self.start * self.factor.powi(k)).min(self.max)
+    }
+    fn describe(&self) -> String {
+        format!(
+            "geometric(start = {}, x{} every {} steps, cap {})",
+            self.start, self.factor, self.period, self.max
+        )
+    }
+}
+
+/// Logarithmic (Hajek) schedule `β_t = ln(t + 2) / c`.
+///
+/// With `c ≥ ζ` (the paper's Section 3.4 barrier) the annealed dynamics
+/// converges to the set of potential minimisers with probability one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogarithmicSchedule {
+    /// The barrier constant `c > 0`.
+    pub c: f64,
+}
+
+impl LogarithmicSchedule {
+    /// Creates a logarithmic schedule with barrier constant `c > 0`.
+    ///
+    /// # Panics
+    /// Panics when `c ≤ 0`.
+    pub fn new(c: f64) -> Self {
+        assert!(c > 0.0, "the barrier constant must be positive");
+        Self { c }
+    }
+
+    /// The schedule tuned to a specific game: `c = max(ζ, ε)` for its barrier ζ.
+    pub fn for_game<G: logit_games::PotentialGame>(game: &G) -> Self {
+        let barrier = logit_core::zeta(game).zeta;
+        Self::new(barrier.max(1e-6))
+    }
+}
+
+impl BetaSchedule for LogarithmicSchedule {
+    fn beta_at(&self, t: u64) -> f64 {
+        ((t + 2) as f64).ln() / self.c
+    }
+    fn describe(&self) -> String {
+        format!("logarithmic(ln(t+2)/{})", self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logit_games::WellGame;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantSchedule::new(1.5);
+        assert_eq!(s.beta_at(0), 1.5);
+        assert_eq!(s.beta_at(1_000_000), 1.5);
+        assert!(s.describe().contains("1.5"));
+    }
+
+    #[test]
+    fn linear_ramp_interpolates_and_saturates() {
+        let s = LinearRamp::new(0.0, 2.0, 100);
+        assert_eq!(s.beta_at(0), 0.0);
+        assert!((s.beta_at(50) - 1.0).abs() < 1e-12);
+        assert_eq!(s.beta_at(100), 2.0);
+        assert_eq!(s.beta_at(10_000), 2.0);
+    }
+
+    #[test]
+    fn geometric_grows_and_caps() {
+        let s = GeometricSchedule::new(0.1, 2.0, 10, 1.0);
+        assert!((s.beta_at(0) - 0.1).abs() < 1e-12);
+        assert!((s.beta_at(10) - 0.2).abs() < 1e-12);
+        assert!((s.beta_at(35) - 0.8).abs() < 1e-12);
+        assert_eq!(s.beta_at(1_000), 1.0); // capped
+    }
+
+    #[test]
+    fn logarithmic_is_slowly_increasing() {
+        let s = LogarithmicSchedule::new(2.0);
+        assert!(s.beta_at(0) > 0.0);
+        assert!(s.beta_at(100) > s.beta_at(10));
+        assert!(s.beta_at(1_000_000) < 10.0, "log growth is slow");
+    }
+
+    #[test]
+    fn logarithmic_for_game_uses_barrier() {
+        let game = WellGame::plateau(4, 2.0);
+        let s = LogarithmicSchedule::for_game(&game);
+        assert!((s.c - 2.0).abs() < 1e-9, "the well game's barrier is its depth");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_constant_rejected() {
+        let _ = ConstantSchedule::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn shrinking_geometric_rejected() {
+        let _ = GeometricSchedule::new(1.0, 0.5, 10, 2.0);
+    }
+
+    #[test]
+    fn schedules_are_monotone_where_expected() {
+        let ramp = LinearRamp::new(0.1, 3.0, 50);
+        let geo = GeometricSchedule::new(0.1, 1.5, 5, 3.0);
+        let log = LogarithmicSchedule::new(1.0);
+        for t in 0..200u64 {
+            assert!(ramp.beta_at(t + 1) >= ramp.beta_at(t) - 1e-12);
+            assert!(geo.beta_at(t + 1) >= geo.beta_at(t) - 1e-12);
+            assert!(log.beta_at(t + 1) >= log.beta_at(t) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benches: building the logit-dynamics chain and its stationary
+//! distribution (the per-grid-point cost of every experiment sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logit_core::{gibbs_distribution, LogitDynamics};
+use logit_games::{CoordinationGame, GraphicalCoordinationGame};
+use logit_graphs::GraphBuilder;
+
+fn ring_game(n: usize) -> GraphicalCoordinationGame {
+    GraphicalCoordinationGame::new(GraphBuilder::ring(n), CoordinationGame::from_deltas(2.0, 1.0))
+}
+
+fn bench_dense_transition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_transition_matrix");
+    for n in [4usize, 6, 8, 10] {
+        let game = ring_game(n);
+        let dynamics = LogitDynamics::new(game, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
+            b.iter(|| d.transition_matrix())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_transition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_transition_matrix");
+    for n in [8usize, 10, 12] {
+        let game = ring_game(n);
+        let dynamics = LogitDynamics::new(game, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
+            b.iter(|| d.transition_sparse())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gibbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_distribution");
+    for n in [8usize, 10, 12] {
+        let game = ring_game(n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &game, |b, g| {
+            b.iter(|| gibbs_distribution(g, 1.5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_transition,
+    bench_sparse_transition,
+    bench_gibbs
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches: cutwidth computation and the potential barrier ζ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logit_core::zeta;
+use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
+use logit_graphs::{cutwidth_exact, cutwidth_heuristic, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cutwidth_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cutwidth_exact");
+    group.sample_size(15);
+    for n in [8usize, 12, 16] {
+        let graph = GraphBuilder::grid(2, n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("grid_2x{}", n / 2)), &graph, |b, g| {
+            b.iter(|| cutwidth_exact(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cutwidth_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cutwidth_heuristic");
+    for n in [16usize, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graph = GraphBuilder::connected_erdos_renyi(n, 0.15, &mut rng, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("er_n={n}")), &graph, |b, g| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| cutwidth_heuristic(g, &mut rng, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_zeta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zeta_barrier");
+    group.sample_size(20);
+    for n in [8usize, 10, 12] {
+        let game = WellGame::plateau(n, 2.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("well_n={n}")), &game, |b, g| {
+            b.iter(|| zeta(g))
+        });
+    }
+    let clique_game = GraphicalCoordinationGame::new(
+        GraphBuilder::clique(10),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    group.bench_function("clique_n=10", |b| b.iter(|| zeta(&clique_game)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cutwidth_exact, bench_cutwidth_heuristic, bench_zeta);
+criterion_main!(benches);

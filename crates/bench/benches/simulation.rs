@@ -1,0 +1,86 @@
+//! Criterion benches: simulation throughput (single steps, trajectories,
+//! parallel replica ensembles, coupled chains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logit_core::coupling::{maximal_coupling_step, shared_uniform_coupling_step};
+use logit_core::{simulate_trajectory, LogitDynamics, Simulator};
+use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame};
+use logit_graphs::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ring_dynamics(n: usize, beta: f64) -> LogitDynamics<GraphicalCoordinationGame> {
+    LogitDynamics::new(
+        GraphicalCoordinationGame::new(GraphBuilder::ring(n), CoordinationGame::symmetric(1.0)),
+        beta,
+    )
+}
+
+fn bench_single_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logit_steps");
+    for n in [8usize, 16, 32] {
+        let dynamics = ring_dynamics(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut state = 0usize;
+            b.iter(|| {
+                state = d.step(state, &mut rng);
+                state
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trajectory_1000_steps");
+    for n in [8usize, 16] {
+        let dynamics = ring_dynamics(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| simulate_trajectory(d, 0, 1000, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_ensemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_ensemble_256_replicas_x_200_steps");
+    group.sample_size(10);
+    for n in [8usize, 16] {
+        let dynamics = ring_dynamics(n, 1.0);
+        let sim = Simulator::new(3, 256);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &(dynamics, sim),
+            |b, (d, s)| b.iter(|| s.run(d, 0, 200, |_| 0.0)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_coupling_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupling_steps");
+    let dynamics = ring_dynamics(12, 1.0);
+    let space = dynamics.space();
+    let x = space.index_of(&vec![0usize; dynamics.game().num_players()]);
+    let y = space.index_of(&vec![1usize; dynamics.game().num_players()]);
+    group.bench_function("maximal", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| maximal_coupling_step(&dynamics, &mut rng, x, y))
+    });
+    group.bench_function("shared_uniform", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| shared_uniform_coupling_step(&dynamics, &mut rng, x, y))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_steps,
+    bench_trajectory,
+    bench_parallel_ensemble,
+    bench_coupling_steps
+);
+criterion_main!(benches);

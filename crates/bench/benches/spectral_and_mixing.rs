@@ -1,0 +1,73 @@
+//! Criterion benches: spectral analysis and exact mixing-time computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logit_core::{exact_mixing_time, gibbs_distribution, spectral_mixing_bounds, LogitDynamics};
+use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
+use logit_graphs::GraphBuilder;
+use logit_markov::{mixing_time, stationary_distribution};
+
+fn bench_spectral_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_analysis");
+    group.sample_size(20);
+    for n in [4usize, 6, 8] {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(n),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &game, |b, g| {
+            b.iter(|| spectral_mixing_bounds(g, 1.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_mixing_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_mixing_time");
+    group.sample_size(15);
+    for n in [4usize, 6] {
+        let game = WellGame::plateau(n, 2.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("well_n={n}")), &game, |b, g| {
+            b.iter(|| exact_mixing_time(g, 1.5, 0.25, 1 << 34))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stationary_linear_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stationary_distribution_lu");
+    group.sample_size(20);
+    for n in [4usize, 6, 8] {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(n),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let chain = LogitDynamics::new(game, 1.0).transition_chain();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &chain, |b, ch| {
+            b.iter(|| stationary_distribution(ch))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tv_search_only(c: &mut Criterion) {
+    // Mixing-time search with the stationary distribution precomputed: isolates
+    // the matrix-power bracketing cost.
+    let mut group = c.benchmark_group("mixing_time_search");
+    group.sample_size(15);
+    let game = WellGame::plateau(6, 2.0);
+    let chain = LogitDynamics::new(game.clone(), 1.0).transition_chain();
+    let pi = gibbs_distribution(&game, 1.0);
+    group.bench_function("well_n=6_beta=1", |b| {
+        b.iter(|| mixing_time(&chain, &pi, 0.25, 1 << 34))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spectral_analysis,
+    bench_exact_mixing_time,
+    bench_stationary_linear_solve,
+    bench_tv_search_only
+);
+criterion_main!(benches);

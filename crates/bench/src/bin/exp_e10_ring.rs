@@ -1,0 +1,4 @@
+//! E10 — Theorems 5.6/5.7: the ring mixes in Theta~(e^{2 delta beta}).
+fn main() {
+    println!("{}", logit_bench::experiments::e10_ring(false));
+}

@@ -1,0 +1,4 @@
+//! E1 — Theorem 3.1: non-negative spectrum of potential-game logit chains.
+fn main() {
+    println!("{}", logit_bench::experiments::e1_eigenvalues(false));
+}

@@ -1,0 +1,4 @@
+//! E2 — Lemma 3.2: relaxation time at beta = 0 is at most n.
+fn main() {
+    println!("{}", logit_bench::experiments::e2_beta_zero(false));
+}

@@ -1,0 +1,4 @@
+//! E3 — Theorem 3.4: the all-beta mixing-time upper bound.
+fn main() {
+    println!("{}", logit_bench::experiments::e3_all_beta_bound(false));
+}

@@ -1,0 +1,4 @@
+//! E4 — Theorem 3.5: matching exponential lower bound (well potential).
+fn main() {
+    println!("{}", logit_bench::experiments::e4_lower_bound(false));
+}

@@ -1,0 +1,4 @@
+//! E5 — Theorem 3.6: O(n log n) mixing for small beta.
+fn main() {
+    println!("{}", logit_bench::experiments::e5_small_beta(false));
+}

@@ -1,0 +1,4 @@
+//! E6 — Theorems 3.8/3.9: the barrier zeta governs the large-beta exponent.
+fn main() {
+    println!("{}", logit_bench::experiments::e6_zeta(false));
+}

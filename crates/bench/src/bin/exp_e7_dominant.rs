@@ -1,0 +1,4 @@
+//! E7 — Theorems 4.2/4.3: dominant-strategy games mix independently of beta.
+fn main() {
+    println!("{}", logit_bench::experiments::e7_dominant(false));
+}

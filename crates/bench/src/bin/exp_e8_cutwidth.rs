@@ -1,0 +1,4 @@
+//! E8 — Theorem 5.1: cutwidth bound for graphical coordination games.
+fn main() {
+    println!("{}", logit_bench::experiments::e8_cutwidth(false));
+}

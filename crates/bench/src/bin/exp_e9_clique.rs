@@ -1,0 +1,4 @@
+//! E9 — Theorem 5.5: clique growth exponent equals the potential barrier.
+fn main() {
+    println!("{}", logit_bench::experiments::e9_clique(false));
+}

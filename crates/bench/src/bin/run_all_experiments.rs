@@ -1,0 +1,11 @@
+//! Runs the whole experiment suite (E1-E10 plus the stationary and simulation
+//! panels) and prints every report; `--fast` shrinks the parameter grids.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    for (id, report) in logit_bench::experiments::all_reports(fast) {
+        println!("==================== {id} ====================\n");
+        println!("{report}");
+    }
+    println!("==================== Simulation ====================\n");
+    println!("{}", logit_bench::experiments::simulation_check(fast));
+}

@@ -1,0 +1,18 @@
+//! # logit-bench
+//!
+//! Experiment harness and criterion benchmarks.
+//!
+//! Every quantitative claim of the paper has an experiment (E1–E10, see
+//! `DESIGN.md` for the index). Each experiment is a library function in
+//! [`experiments`] returning a plain-text report (a header plus a CSV-ish
+//! table), and a thin binary in `src/bin/` prints it; `run_all_experiments`
+//! regenerates the data behind `EXPERIMENTS.md` in one go.
+//!
+//! The criterion benches in `benches/` cover the hot kernels: chain
+//! construction, spectral analysis, exact mixing-time computation, simulation
+//! throughput, cutwidth and barrier computation.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

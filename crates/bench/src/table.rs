@@ -1,0 +1,133 @@
+//! Minimal fixed-width text tables for experiment reports.
+
+/// A simple text table: a header row plus data rows, rendered with columns
+/// padded to the widest cell.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics when the row length does not match the header length.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as an aligned plain-text block.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, no quoting — cells are numeric).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an `Option<u64>` mixing time, with `> budget` for censored values.
+pub fn show_time(t: Option<u64>) -> String {
+    t.map(|v| v.to_string()).unwrap_or_else(|| "> budget".into())
+}
+
+/// Formats a float with 3 decimal places (compact experiment output).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal place.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["beta", "t_mix"]);
+        t.push_row(vec!["0.5", "12"]);
+        t.push_row(vec!["10", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("beta"));
+        assert!(lines[3].ends_with("123456"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_round_trip_structure() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        let csv = t.render_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1"]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(show_time(Some(7)), "7");
+        assert_eq!(show_time(None), "> budget");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(2.0), "2.0");
+    }
+}

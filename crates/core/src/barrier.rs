@@ -1,0 +1,336 @@
+//! The potential-barrier quantity `ζ` of Section 3.4.
+//!
+//! For profiles `x, y` with `Φ(x) ≥ Φ(y)`, `ζ(x, y)` is the smallest, over all
+//! Hamming-graph paths from `x` to `y`, of the maximum potential *increase*
+//! along the path (relative to `Φ(x)`); `ζ = max_{x,y} ζ(x, y)` is the largest
+//! such barrier in the game. Theorems 3.8/3.9 show the mixing time for large β
+//! is `e^{βζ(1±o(1))}`.
+//!
+//! `ζ` is computed with the classic union-find sweep over states sorted by
+//! potential: processing states in increasing order of `Φ` and merging each new
+//! state with its already-processed neighbours, two components `A`, `B` that
+//! merge at level `L` contribute `L − max(min_Φ A, min_Φ B)` — the saddle height
+//! above the shallower of the two basins. The maximum over all merges is exactly
+//! `ζ`. A brute-force reference implementation is provided for testing.
+
+use logit_games::{PotentialGame, ProfileSpace};
+
+/// Result of a barrier computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierResult {
+    /// The barrier `ζ ≥ 0`.
+    pub zeta: f64,
+    /// A pair `(x, y)` of flat profile indices achieving `ζ` (the first entry is
+    /// the higher-potential endpoint). `None` only for single-state games.
+    pub witness: Option<(usize, usize)>,
+}
+
+struct DisjointSet {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    /// Index of the minimum-potential state in each component (valid at roots).
+    argmin: Vec<usize>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            argmin: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Unions the components of `a` and `b`; returns the new root.
+    fn union(&mut self, a: usize, b: usize, potentials: &[f64]) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        debug_assert_ne!(ra, rb);
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        if potentials[self.argmin[lo]] < potentials[self.argmin[hi]] {
+            self.argmin[hi] = self.argmin[lo];
+        }
+        hi
+    }
+}
+
+/// Computes `ζ` for a potential game by the union-find sweep.
+pub fn zeta<G: PotentialGame>(game: &G) -> BarrierResult {
+    let space = game.profile_space();
+    let mut buf = vec![0usize; game.num_players()];
+    let potentials: Vec<f64> = space
+        .indices()
+        .map(|idx| {
+            space.write_profile(idx, &mut buf);
+            game.potential(&buf)
+        })
+        .collect();
+    zeta_from_potentials(&potentials, &space)
+}
+
+/// Computes `ζ` from an explicit vector of potentials indexed by the flat
+/// profile index of `space`.
+pub fn zeta_from_potentials(potentials: &[f64], space: &ProfileSpace) -> BarrierResult {
+    let n = space.size();
+    assert_eq!(potentials.len(), n, "one potential per profile");
+    if n <= 1 {
+        return BarrierResult {
+            zeta: 0.0,
+            witness: None,
+        };
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        potentials[a]
+            .partial_cmp(&potentials[b])
+            .expect("potentials must be finite")
+    });
+
+    let mut dsu = DisjointSet::new(n);
+    let mut inserted = vec![false; n];
+    let mut zeta = 0.0f64;
+    let mut witness = None;
+
+    for &v in &order {
+        let level = potentials[v];
+        inserted[v] = true;
+        for (_, _, w) in space.deviations(v) {
+            if !inserted[w] {
+                continue;
+            }
+            let rv = dsu.find(v);
+            let rw = dsu.find(w);
+            if rv == rw {
+                continue;
+            }
+            let (min_v_idx, min_w_idx) = (dsu.argmin[rv], dsu.argmin[rw]);
+            // The shallower basin's minimum is the higher-potential endpoint of
+            // the witness pair; the deeper basin's minimum is the other endpoint.
+            let (hi_idx, lo_idx) = if potentials[min_v_idx] >= potentials[min_w_idx] {
+                (min_v_idx, min_w_idx)
+            } else {
+                (min_w_idx, min_v_idx)
+            };
+            let contribution = level - potentials[hi_idx];
+            if contribution > zeta {
+                zeta = contribution;
+                witness = Some((hi_idx, lo_idx));
+            }
+            dsu.union(rv, rw, potentials);
+        }
+    }
+    if witness.is_none() {
+        // No positive barrier: any pair works as a trivial witness.
+        witness = Some((order[n - 1], order[0]));
+    }
+    BarrierResult { zeta, witness }
+}
+
+/// Brute-force reference computation of `ζ` (exponential in the number of
+/// profiles; only for tests and tiny games).
+///
+/// For every ordered pair `(x, y)` with `Φ(x) ≥ Φ(y)` it finds the minimax peak
+/// by checking, for increasing thresholds `θ`, whether `x` and `y` are connected
+/// in the subgraph of profiles with potential `≤ θ`.
+pub fn zeta_brute_force<G: PotentialGame>(game: &G) -> f64 {
+    let space = game.profile_space();
+    let mut buf = vec![0usize; game.num_players()];
+    let potentials: Vec<f64> = space
+        .indices()
+        .map(|idx| {
+            space.write_profile(idx, &mut buf);
+            game.potential(&buf)
+        })
+        .collect();
+    let n = space.size();
+    let mut thresholds: Vec<f64> = potentials.clone();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    thresholds.dedup();
+
+    let connected_below = |theta: f64, from: usize, to: usize| -> bool {
+        if potentials[from] > theta || potentials[to] > theta {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(u) = stack.pop() {
+            if u == to {
+                return true;
+            }
+            for (_, _, w) in space.deviations(u) {
+                if !seen[w] && potentials[w] <= theta {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    };
+
+    let mut zeta = 0.0f64;
+    for x in 0..n {
+        for y in 0..n {
+            if x == y || potentials[x] < potentials[y] {
+                continue;
+            }
+            // Smallest threshold at which x and y are connected.
+            let peak = thresholds
+                .iter()
+                .copied()
+                .find(|&theta| connected_below(theta, x, y))
+                .expect("the full space is connected at the max threshold");
+            zeta = zeta.max(peak - potentials[x]);
+        }
+    }
+    zeta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logit_games::{
+        AllZeroDominantGame, CoordinationGame, Game, GraphicalCoordinationGame,
+        TablePotentialGame, WellGame,
+    };
+    use logit_graphs::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn well_game_barrier_is_global_variation() {
+        // The well game has two basins of depth ΔΦ separated by a ridge at 0, so
+        // ζ = ΔΦ.
+        for (n, g, l) in [(4, 2.0, 2.0), (6, 4.0, 2.0), (8, 3.0, 1.0)] {
+            let game = WellGame::new(n, g, l);
+            let result = zeta(&game);
+            assert!(
+                (result.zeta - g).abs() < 1e-12,
+                "well game ζ should equal ΔΦ={g}, got {}",
+                result.zeta
+            );
+        }
+    }
+
+    #[test]
+    fn dominant_game_barrier_is_zero() {
+        // In the Theorem 4.3 game, the unique potential minimiser 0 is reachable
+        // from any profile by a monotone path, and every other profile has the
+        // same potential, so no pair needs to climb: ζ = 0.
+        let game = AllZeroDominantGame::new(3, 3);
+        let result = zeta(&game);
+        assert_eq!(result.zeta, 0.0);
+    }
+
+    #[test]
+    fn coordination_game_barrier() {
+        // 2-player coordination game with δ0=3, δ1=2: going from (1,1) (potential
+        // -2) to (0,0) (potential -3) must pass through a mismatched profile of
+        // potential 0, so ζ = 0 - (-2) = 2 = δ1.
+        let game = CoordinationGame::from_deltas(3.0, 2.0);
+        let result = zeta(&game);
+        assert!((result.zeta - 2.0).abs() < 1e-12);
+        // The witness's higher endpoint is the shallower equilibrium (1,1).
+        let space = game.profile_space();
+        let (hi, _) = result.witness.unwrap();
+        assert_eq!(hi, space.index_of(&[1, 1]));
+    }
+
+    #[test]
+    fn ring_coordination_barrier_is_local() {
+        // On the ring with δ0=δ1=δ, flipping the ring from all-ones to all-zeros
+        // can be done one contiguous arc at a time, paying only the two boundary
+        // edges: ζ = 2δ.
+        let delta = 1.5;
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(5),
+            CoordinationGame::symmetric(delta),
+        );
+        let result = zeta(&game);
+        assert!(
+            (result.zeta - 2.0 * delta).abs() < 1e-9,
+            "ring barrier should be 2δ, got {}",
+            result.zeta
+        );
+    }
+
+    #[test]
+    fn clique_coordination_barrier_matches_closed_form() {
+        use logit_games::graphical::{clique_barrier};
+        let (n, d0, d1) = (5, 2.0, 1.0);
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::clique(n),
+            CoordinationGame::from_deltas(d0, d1),
+        );
+        let result = zeta(&game);
+        let expected = clique_barrier(n, d0, d1);
+        assert!(
+            (result.zeta - expected).abs() < 1e-9,
+            "clique ζ {} vs closed form {}",
+            result.zeta,
+            expected
+        );
+    }
+
+    #[test]
+    fn union_find_matches_brute_force_on_random_games() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let game = TablePotentialGame::random(vec![2, 2, 2], 3.0, &mut rng);
+            let fast = zeta(&game).zeta;
+            let slow = zeta_brute_force(&game);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "union-find ζ={fast} disagrees with brute force ζ={slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_find_matches_brute_force_on_multistrategy_games() {
+        let mut rng = StdRng::seed_from_u64(78);
+        for _ in 0..5 {
+            let game = TablePotentialGame::random(vec![3, 2, 3], 2.0, &mut rng);
+            let fast = zeta(&game).zeta;
+            let slow = zeta_brute_force(&game);
+            assert!((fast - slow).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_state_game_has_zero_barrier() {
+        let space = logit_games::ProfileSpace::uniform(1, 1);
+        let result = zeta_from_potentials(&[0.0], &space);
+        assert_eq!(result.zeta, 0.0);
+        assert!(result.witness.is_none());
+    }
+
+    #[test]
+    fn witness_pair_is_consistent_with_zeta() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let game = TablePotentialGame::random(vec![2, 2, 2, 2], 4.0, &mut rng);
+        let result = zeta(&game);
+        let (hi, lo) = result.witness.unwrap();
+        let space = game.profile_space();
+        let phi_hi = game.potential(&space.profile_of(hi));
+        let phi_lo = game.potential(&space.profile_of(lo));
+        assert!(phi_hi >= phi_lo - 1e-12);
+        // The barrier from hi to lo can never exceed ζ (by definition of max).
+        assert!(result.zeta >= 0.0);
+    }
+}

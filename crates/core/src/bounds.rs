@@ -1,0 +1,218 @@
+//! Closed-form bounds from the paper, one function per theorem.
+//!
+//! Every experiment in `EXPERIMENTS.md` prints a "measured vs. bound" table; the
+//! bound columns come from here. The functions return the bound exactly as the
+//! theorem states it (including explicit constants), so measured values are
+//! expected to sit *below* upper bounds and *above* lower bounds, while the
+//! growth exponents should match.
+
+/// Lemma 3.2: the relaxation time of the β = 0 chain is at most `n`.
+pub fn lemma_3_2_relaxation_beta0(n: usize) -> f64 {
+    n as f64
+}
+
+/// Lemma 3.3: for an `n`-player potential game with at most `m` strategies per
+/// player and maximum global potential variation `ΔΦ`,
+/// `t_rel(β) ≤ 2·m·n·e^{βΔΦ}`.
+pub fn lemma_3_3_relaxation_upper(n: usize, m: usize, beta: f64, delta_phi: f64) -> f64 {
+    2.0 * m as f64 * n as f64 * (beta * delta_phi).exp()
+}
+
+/// Theorem 3.4: `t_mix(ε) ≤ 2·m·n·e^{βΔΦ}·(log(1/ε) + βΔΦ + n·log m)`.
+pub fn theorem_3_4_mixing_upper(n: usize, m: usize, beta: f64, delta_phi: f64, epsilon: f64) -> f64 {
+    lemma_3_3_relaxation_upper(n, m, beta, delta_phi)
+        * ((1.0 / epsilon).ln() + beta * delta_phi + n as f64 * (m as f64).ln())
+}
+
+/// Theorem 3.5 (lower bound for the well potential): the proof gives
+/// `t_mix(ε) ≥ (1 − 2ε)/(2(m−1)) · e^{βΔΦ − (ΔΦ/δΦ)·log n}`.
+pub fn theorem_3_5_mixing_lower(
+    n: usize,
+    m: usize,
+    beta: f64,
+    delta_phi: f64,
+    delta_local: f64,
+    epsilon: f64,
+) -> f64 {
+    (1.0 - 2.0 * epsilon) / (2.0 * (m as f64 - 1.0))
+        * (beta * delta_phi - (delta_phi / delta_local) * (n as f64).ln()).exp()
+}
+
+/// Theorem 3.6 applicability: the result needs `β ≤ c/(n·δΦ)` for some `c < 1`.
+/// Returns the product `c = β·n·δΦ`; the theorem applies when the result is `< 1`.
+pub fn theorem_3_6_constant(beta: f64, n: usize, delta_local: f64) -> f64 {
+    beta * n as f64 * delta_local
+}
+
+/// Theorem 3.6 (small β): path coupling with contraction `α = (1−c)/n` over the
+/// Hamming graph of diameter `n` gives
+/// `t_mix(ε) ≤ n·(log n + log(1/ε))/(1 − c)` where `c = β·n·δΦ < 1`.
+pub fn theorem_3_6_mixing_upper(n: usize, beta: f64, delta_local: f64, epsilon: f64) -> f64 {
+    let c = theorem_3_6_constant(beta, n, delta_local);
+    assert!(c < 1.0, "Theorem 3.6 requires beta*n*deltaPhi < 1, got {c}");
+    n as f64 * ((n as f64).ln() + (1.0 / epsilon).ln()) / (1.0 - c)
+}
+
+/// Lemma 3.7: `t_rel ≤ n·m^{2n+1}·e^{βζ}`.
+pub fn lemma_3_7_relaxation_upper(n: usize, m: usize, beta: f64, zeta: f64) -> f64 {
+    n as f64 * (m as f64).powi(2 * n as i32 + 1) * (beta * zeta).exp()
+}
+
+/// Theorem 3.8 (large β): combining Lemma 3.7 with Theorem 2.3 and
+/// `π_min ≥ 1/(e^{βΔΦ}|S|)` gives
+/// `t_mix(ε) ≤ n·m^{2n+1}·e^{βζ}·(log(1/ε) + βΔΦ + n·log m)`.
+///
+/// The headline statement of the theorem is the asymptotic `e^{βζ(1+o(1))}`;
+/// this function returns the explicit pre-asymptotic bound used to check it.
+pub fn theorem_3_8_mixing_upper(
+    n: usize,
+    m: usize,
+    beta: f64,
+    zeta: f64,
+    delta_phi: f64,
+    epsilon: f64,
+) -> f64 {
+    lemma_3_7_relaxation_upper(n, m, beta, zeta)
+        * ((1.0 / epsilon).ln() + beta * delta_phi + n as f64 * (m as f64).ln())
+}
+
+/// Theorem 3.9 (large β lower bound):
+/// `t_mix(ε) ≥ (1 − 2ε)/(2(m−1)|∂R|)·e^{βζ}`, where `|∂R|` is the size of the
+/// inner boundary of the bottleneck set used in the proof (at most `|S|`).
+pub fn theorem_3_9_mixing_lower(
+    m: usize,
+    beta: f64,
+    zeta: f64,
+    boundary_size: usize,
+    epsilon: f64,
+) -> f64 {
+    (1.0 - 2.0 * epsilon) / (2.0 * (m as f64 - 1.0) * boundary_size as f64) * (beta * zeta).exp()
+}
+
+/// Theorem 4.2 (dominant strategies): the proof runs `k = ⌈2·mⁿ·ln 4⌉` phases of
+/// `t* = ⌈2·n·ln n⌉` steps each, so `t_mix ≤ k·t*` — independent of β.
+pub fn theorem_4_2_mixing_upper(n: usize, m: usize) -> f64 {
+    let phases = (2.0 * (m as f64).powi(n as i32) * 4.0f64.ln()).ceil();
+    let phase_len = (2.0 * n as f64 * (n as f64).ln()).ceil().max(1.0);
+    phases * phase_len
+}
+
+/// Theorem 4.3 (dominant-strategy lower bound): for the all-zero game,
+/// `t_mix ≥ (mⁿ − 1)/(4(m − 1))` for sufficiently large β.
+pub fn theorem_4_3_mixing_lower(n: usize, m: usize) -> f64 {
+    ((m as f64).powi(n as i32) - 1.0) / (4.0 * (m as f64 - 1.0))
+}
+
+/// Theorem 5.1 (graphical coordination games, arbitrary graph):
+/// `t_mix ≤ 2·n³·e^{χ(G)(δ₀+δ₁)β}·(n·δ₀·β + 1)`.
+pub fn theorem_5_1_mixing_upper(
+    n: usize,
+    cutwidth: usize,
+    delta0: f64,
+    delta1: f64,
+    beta: f64,
+) -> f64 {
+    2.0 * (n as f64).powi(3)
+        * (cutwidth as f64 * (delta0 + delta1) * beta).exp()
+        * (n as f64 * delta0 * beta + 1.0)
+}
+
+/// Theorem 5.5 (clique): the mixing time is `Θ̃(e^{β(Φ_max − Φ(1))})`; this
+/// returns the exponent `Φ_max − Φ(1)` (the clique barrier), so experiments can
+/// compare the measured growth rate of `log t_mix` in β against it.
+pub fn theorem_5_5_exponent(n: usize, delta0: f64, delta1: f64) -> f64 {
+    logit_games::graphical::clique_barrier(n, delta0, delta1)
+}
+
+/// Theorem 5.6 (ring, no risk dominance): path coupling with contraction
+/// `α = 2/(n(1 + e^{2δβ}))` over a diameter-`n` graph gives
+/// `t_mix(ε) ≤ n·(1 + e^{2δβ})·(log n + log(1/ε))/2`.
+pub fn theorem_5_6_mixing_upper(n: usize, delta: f64, beta: f64, epsilon: f64) -> f64 {
+    n as f64 * (1.0 + (2.0 * delta * beta).exp()) * ((n as f64).ln() + (1.0 / epsilon).ln()) / 2.0
+}
+
+/// Theorem 5.7 (ring lower bound): with `R = {1}` the bottleneck ratio is
+/// `1/(1 + e^{2δβ})`, giving `t_mix(ε) ≥ (1 − 2ε)(1 + e^{2δβ})/2`.
+pub fn theorem_5_7_mixing_lower(delta: f64, beta: f64, epsilon: f64) -> f64 {
+    (1.0 - 2.0 * epsilon) * (1.0 + (2.0 * delta * beta).exp()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_monotone_in_beta() {
+        let betas = [0.0, 0.5, 1.0, 2.0, 4.0];
+        let mut prev = 0.0;
+        for &b in &betas {
+            let v = theorem_3_4_mixing_upper(4, 2, b, 3.0, 0.25);
+            assert!(v >= prev);
+            prev = v;
+        }
+        let mut prev = 0.0;
+        for &b in &betas {
+            let v = theorem_5_1_mixing_upper(5, 2, 1.0, 1.0, b);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn theorem_4_2_is_independent_of_beta_by_construction() {
+        // Trivially true (no β argument) — but check the magnitude is O(m^n n log n).
+        let v = theorem_4_2_mixing_upper(4, 2);
+        assert!(v >= 16.0); // at least m^n
+        assert!(v <= 16.0 * 4.0 * 8.0 * 10.0); // loose sanity cap
+    }
+
+    #[test]
+    fn theorem_4_3_examples() {
+        assert!((theorem_4_3_mixing_lower(2, 2) - 0.75).abs() < 1e-12);
+        assert!((theorem_4_3_mixing_lower(3, 3) - 26.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_3_6_requires_small_beta() {
+        assert!(theorem_3_6_constant(0.01, 5, 2.0) < 1.0);
+        let bound = theorem_3_6_mixing_upper(5, 0.01, 2.0, 0.25);
+        assert!(bound > 0.0);
+        assert!(bound < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires")]
+    fn theorem_3_6_rejects_large_beta() {
+        let _ = theorem_3_6_mixing_upper(5, 1.0, 2.0, 0.25);
+    }
+
+    #[test]
+    fn lower_bounds_grow_exponentially() {
+        let low = theorem_5_7_mixing_lower(1.0, 1.0, 0.25);
+        let high = theorem_5_7_mixing_lower(1.0, 3.0, 0.25);
+        // Ratio should be roughly e^{2*2} = e^4.
+        assert!(high / low > 30.0);
+
+        let l1 = theorem_3_5_mixing_lower(8, 2, 2.0, 4.0, 2.0, 0.25);
+        let l2 = theorem_3_5_mixing_lower(8, 2, 4.0, 4.0, 2.0, 0.25);
+        assert!((l2 / l1 - (8.0f64).exp()).abs() / (8.0f64).exp() < 1e-9);
+    }
+
+    #[test]
+    fn relaxation_bounds_nest() {
+        // Theorem 3.4's relaxation bound at ζ = ΔΦ should never be smaller than
+        // a factor of the Lemma 3.3 bound's exponential part (same exponent).
+        let (n, m, beta) = (4, 2, 1.5);
+        let dphi = 3.0;
+        let a = lemma_3_3_relaxation_upper(n, m, beta, dphi);
+        let b = lemma_3_7_relaxation_upper(n, m, beta, dphi);
+        assert!(b >= a, "Lemma 3.7's constant is larger by design");
+    }
+
+    #[test]
+    fn theorem_5_5_exponent_matches_clique_barrier() {
+        let e = theorem_5_5_exponent(6, 2.0, 1.0);
+        assert!(e > 0.0);
+        assert_eq!(e, logit_games::graphical::clique_barrier(6, 2.0, 1.0));
+    }
+}

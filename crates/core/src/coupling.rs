@@ -1,0 +1,262 @@
+//! Couplings of the logit dynamics.
+//!
+//! Two couplings from the paper are implemented, both selecting the *same*
+//! player in both chains at every step:
+//!
+//! * [`maximal_coupling_step`] — the interval-partition coupling from the proofs
+//!   of Theorem 3.6 and Theorem 4.2: with probability
+//!   `ℓ = Σ_z min(σ_i(z|x), σ_i(z|y))` both chains move to the same strategy
+//!   (sampled from the overlap), otherwise each samples from its residual.
+//!   This maximises the per-step coalescence probability of the selected
+//!   coordinate.
+//! * [`shared_uniform_coupling_step`] — both chains update through the inverse
+//!   CDF of their own update distribution evaluated at the *same* uniform `U`
+//!   (strategies scanned in increasing order). On the ring coordination games of
+//!   Theorem 5.6 this is the monotone coupling used in the proof.
+//!
+//! [`coupling_time_estimate`] plugs either step into the generic
+//! `logit-markov::coupling` machinery to estimate mixing times by simulation for
+//! games whose state space is too large for the exact computation.
+
+use crate::dynamics::LogitDynamics;
+use logit_games::Game;
+use logit_markov::{coupling_mixing_upper_bound, simulate_coupling, CouplingEstimate};
+use rand::Rng;
+
+/// One step of the maximal per-coordinate coupling. Takes and returns flat
+/// profile indices.
+pub fn maximal_coupling_step<G: Game, R: Rng + ?Sized>(
+    dynamics: &LogitDynamics<G>,
+    rng: &mut R,
+    x: usize,
+    y: usize,
+) -> (usize, usize) {
+    let space = dynamics.space();
+    let n = dynamics.game().num_players();
+    let player = rng.gen_range(0..n);
+    let px = dynamics.update_distribution(player, &space.profile_of(x));
+    let py = dynamics.update_distribution(player, &space.profile_of(y));
+    let m = px.len();
+
+    let overlap: Vec<f64> = (0..m).map(|s| px[s].min(py[s])).collect();
+    let ell: f64 = overlap.iter().sum();
+    let u: f64 = rng.gen();
+
+    let (sx, sy) = if u < ell {
+        // Both chains move to the same strategy sampled from the overlap.
+        let target = u;
+        let mut acc = 0.0;
+        let mut chosen = m - 1;
+        for (s, &w) in overlap.iter().enumerate() {
+            acc += w;
+            if target < acc {
+                chosen = s;
+                break;
+            }
+        }
+        (chosen, chosen)
+    } else {
+        // Each chain samples from its residual distribution, driven by the same
+        // uniform (the residuals have disjoint "extra" mass so this still gives
+        // the correct marginals).
+        let v = u - ell;
+        let pick = |p: &[f64]| -> usize {
+            let mut acc = 0.0;
+            for s in 0..m {
+                let residual = p[s] - overlap[s];
+                acc += residual;
+                if v < acc {
+                    return s;
+                }
+            }
+            m - 1
+        };
+        (pick(&px), pick(&py))
+    };
+    (
+        space.with_strategy(x, player, sx),
+        space.with_strategy(y, player, sy),
+    )
+}
+
+/// One step of the shared-uniform (inverse CDF) coupling.
+pub fn shared_uniform_coupling_step<G: Game, R: Rng + ?Sized>(
+    dynamics: &LogitDynamics<G>,
+    rng: &mut R,
+    x: usize,
+    y: usize,
+) -> (usize, usize) {
+    let space = dynamics.space();
+    let n = dynamics.game().num_players();
+    let player = rng.gen_range(0..n);
+    let u: f64 = rng.gen();
+    let pick = |profile_idx: usize| -> usize {
+        let probs = dynamics.update_distribution(player, &space.profile_of(profile_idx));
+        let mut acc = 0.0;
+        for (s, &p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return s;
+            }
+        }
+        probs.len() - 1
+    };
+    (
+        space.with_strategy(x, player, pick(x)),
+        space.with_strategy(y, player, pick(y)),
+    )
+}
+
+/// Which coupling to use for a simulation-based estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CouplingKind {
+    /// The interval-partition coupling of Theorems 3.6 / 4.2.
+    Maximal,
+    /// The shared-uniform monotone coupling of Theorem 5.6.
+    SharedUniform,
+}
+
+/// Estimates the coupling-time distribution of the logit dynamics from the
+/// starting pair `(x0, y0)` and converts it into a mixing-time upper estimate
+/// (Theorem 2.1: `d(t) ≤ P(τ_couple > t)`), targeting the quantile
+/// `1 − ε` so the returned `quantile_time` estimates `t_mix(ε)`.
+pub fn coupling_time_estimate<G: Game, R: Rng + ?Sized>(
+    dynamics: &LogitDynamics<G>,
+    rng: &mut R,
+    x0: usize,
+    y0: usize,
+    kind: CouplingKind,
+    trials: usize,
+    max_steps: u64,
+    epsilon: f64,
+) -> CouplingEstimate {
+    let times = simulate_coupling(rng, x0, y0, trials, max_steps, |rng, &x, &y| match kind {
+        CouplingKind::Maximal => maximal_coupling_step(dynamics, rng, x, y),
+        CouplingKind::SharedUniform => shared_uniform_coupling_step(dynamics, rng, x, y),
+    });
+    coupling_mixing_upper_bound(&times, max_steps, 1.0 - epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
+    use logit_graphs::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_dynamics(n: usize, delta: f64, beta: f64) -> LogitDynamics<GraphicalCoordinationGame> {
+        LogitDynamics::new(
+            GraphicalCoordinationGame::new(
+                GraphBuilder::ring(n),
+                CoordinationGame::symmetric(delta),
+            ),
+            beta,
+        )
+    }
+
+    /// Empirically verify that a coupling step has the correct marginals: the
+    /// X-marginal of the coupled step must match independent simulation of the
+    /// dynamics.
+    fn check_marginals(kind: CouplingKind) {
+        let d = ring_dynamics(3, 1.0, 1.2);
+        let space = d.space();
+        let x0 = space.index_of(&[0, 0, 1]);
+        let y0 = space.index_of(&[1, 1, 0]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = 40_000;
+        let mut coupled_counts = vec![0usize; d.num_states()];
+        let mut solo_counts = vec![0usize; d.num_states()];
+        for _ in 0..samples {
+            let (nx, _ny) = match kind {
+                CouplingKind::Maximal => maximal_coupling_step(&d, &mut rng, x0, y0),
+                CouplingKind::SharedUniform => shared_uniform_coupling_step(&d, &mut rng, x0, y0),
+            };
+            coupled_counts[nx] += 1;
+            solo_counts[d.step(x0, &mut rng)] += 1;
+        }
+        for s in 0..d.num_states() {
+            let a = coupled_counts[s] as f64 / samples as f64;
+            let b = solo_counts[s] as f64 / samples as f64;
+            assert!(
+                (a - b).abs() < 0.02,
+                "marginal mismatch at state {s}: coupled {a} vs independent {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn maximal_coupling_has_correct_marginals() {
+        check_marginals(CouplingKind::Maximal);
+    }
+
+    #[test]
+    fn shared_uniform_coupling_has_correct_marginals() {
+        check_marginals(CouplingKind::SharedUniform);
+    }
+
+    #[test]
+    fn coupled_chains_stay_together_once_met() {
+        let d = ring_dynamics(4, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut x = 0usize;
+        let mut y = 0usize;
+        for _ in 0..200 {
+            let (nx, ny) = maximal_coupling_step(&d, &mut rng, x, y);
+            assert_eq!(nx, ny, "chains starting together must remain together");
+            x = nx;
+            y = ny;
+        }
+    }
+
+    #[test]
+    fn coupling_estimate_is_reasonable_for_small_beta() {
+        // At small beta the chain mixes in O(n log n); the coupling estimate
+        // should be small and uncensored.
+        let d = ring_dynamics(5, 1.0, 0.02);
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = d.space();
+        let all0 = space.index_of(&[0; 5]);
+        let all1 = space.index_of(&[1; 5]);
+        let est = coupling_time_estimate(
+            &d,
+            &mut rng,
+            all0,
+            all1,
+            CouplingKind::Maximal,
+            200,
+            200_000,
+            0.25,
+        );
+        assert_eq!(est.censored, 0);
+        assert!(est.quantile_time < 2_000);
+    }
+
+    #[test]
+    fn coupling_time_grows_with_beta_on_the_well_game() {
+        let game = WellGame::plateau(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut estimates = Vec::new();
+        for beta in [0.1, 1.0, 2.5] {
+            let d = LogitDynamics::new(game.clone(), beta);
+            let space = d.space();
+            let a = space.index_of(&[0; 5]);
+            let b = space.index_of(&[1; 5]);
+            let est = coupling_time_estimate(
+                &d,
+                &mut rng,
+                a,
+                b,
+                CouplingKind::Maximal,
+                100,
+                2_000_000,
+                0.25,
+            );
+            estimates.push(est.mean_coupling_time);
+        }
+        assert!(
+            estimates[2] > estimates[0],
+            "coupling should get slower as beta grows: {estimates:?}"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! The logit dynamics update rule and its Markov chain.
+
+use logit_games::{Game, PotentialGame, ProfileSpace};
+use logit_linalg::{CsrMatrix, Matrix};
+use logit_markov::MarkovChain;
+use rand::Rng;
+
+/// The logit dynamics `M_β(G)` for a strategic game `G` with inverse noise `β`.
+///
+/// The struct borrows nothing: it owns the game (games are cheap to clone or are
+/// themselves small descriptors) and caches the profile space.
+#[derive(Debug, Clone)]
+pub struct LogitDynamics<G: Game> {
+    game: G,
+    beta: f64,
+    space: ProfileSpace,
+}
+
+impl<G: Game> LogitDynamics<G> {
+    /// Creates the dynamics with inverse noise `β ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics when `β` is negative or not finite.
+    pub fn new(game: G, beta: f64) -> Self {
+        assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and non-negative");
+        let space = game.profile_space();
+        Self { game, beta, space }
+    }
+
+    /// The inverse noise `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The underlying game.
+    pub fn game(&self) -> &G {
+        &self.game
+    }
+
+    /// The profile space of the game.
+    pub fn space(&self) -> &ProfileSpace {
+        &self.space
+    }
+
+    /// Number of states of the chain (`|S| = Π_i |S_i|`).
+    pub fn num_states(&self) -> usize {
+        self.space.size()
+    }
+
+    /// The update distribution `σ_i(· | x)` of player `i` at profile `x`
+    /// (eq. 2), returned as a probability vector over the player's strategies.
+    ///
+    /// Computed with the usual log-sum-exp shift so large `β·u` values do not
+    /// overflow.
+    pub fn update_distribution(&self, player: usize, profile: &[usize]) -> Vec<f64> {
+        let m = self.game.num_strategies(player);
+        let mut work = profile.to_vec();
+        let mut logits = Vec::with_capacity(m);
+        for s in 0..m {
+            work[player] = s;
+            logits.push(self.beta * self.game.utility(player, &work));
+        }
+        let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        probs
+    }
+
+    /// Probability that player `i`, selected for update at profile `x`, picks
+    /// strategy `y` (a single entry of [`Self::update_distribution`]).
+    pub fn update_probability(&self, player: usize, profile: &[usize], strategy: usize) -> f64 {
+        self.update_distribution(player, profile)[strategy]
+    }
+
+    /// One step of the dynamics from the profile with flat index `state`:
+    /// select a player uniformly at random and resample her strategy from
+    /// `σ_i(· | x)`. Returns the new flat index.
+    pub fn step<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> usize {
+        let n = self.game.num_players();
+        let player = rng.gen_range(0..n);
+        let mut profile = vec![0usize; n];
+        self.space.write_profile(state, &mut profile);
+        let probs = self.update_distribution(player, &profile);
+        let new_strategy = sample_index(&probs, rng);
+        self.space.with_strategy(state, player, new_strategy)
+    }
+
+    /// The full transition matrix (eq. 3) as a dense validated Markov chain.
+    ///
+    /// The matrix has `|S|²` entries; intended for the exact analyses
+    /// (`|S| ≲ 4096`).
+    pub fn transition_chain(&self) -> MarkovChain {
+        MarkovChain::new(self.transition_matrix())
+    }
+
+    /// The dense transition matrix of eq. (3) without the validation wrapper.
+    pub fn transition_matrix(&self) -> Matrix {
+        let size = self.space.size();
+        let n = self.game.num_players();
+        let mut p = Matrix::zeros(size, size);
+        let mut profile = vec![0usize; n];
+        for x in 0..size {
+            self.space.write_profile(x, &mut profile);
+            for player in 0..n {
+                let probs = self.update_distribution(player, &profile);
+                for (s, &pr) in probs.iter().enumerate() {
+                    let y = self.space.with_strategy(x, player, s);
+                    p[(x, y)] += pr / n as f64;
+                }
+            }
+        }
+        p
+    }
+
+    /// The transition matrix in compressed sparse row form. Each row has at most
+    /// `Σ_i(|S_i| - 1) + 1` non-zeros, so this scales to much larger state
+    /// spaces than the dense construction.
+    pub fn transition_sparse(&self) -> CsrMatrix {
+        let size = self.space.size();
+        let n = self.game.num_players();
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(size);
+        let mut profile = vec![0usize; n];
+        for x in 0..size {
+            self.space.write_profile(x, &mut profile);
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(self.space.deviations_per_profile() + 1);
+            for player in 0..n {
+                let probs = self.update_distribution(player, &profile);
+                for (s, &pr) in probs.iter().enumerate() {
+                    if pr == 0.0 {
+                        continue;
+                    }
+                    let y = self.space.with_strategy(x, player, s);
+                    row.push((y, pr / n as f64));
+                }
+            }
+            rows.push(row);
+        }
+        CsrMatrix::from_rows(size, rows)
+    }
+}
+
+impl<G: PotentialGame> LogitDynamics<G> {
+    /// The Gibbs stationary distribution `π(x) ∝ e^{-βΦ(x)}` of the chain
+    /// (eq. 4, cost convention). Only potential games have this closed form.
+    pub fn gibbs(&self) -> logit_linalg::Vector {
+        crate::gibbs::gibbs_distribution(&self.game, self.beta)
+    }
+}
+
+/// Samples an index from an (already normalised) probability vector.
+pub(crate) fn sample_index<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logit_games::{CoordinationGame, GraphicalCoordinationGame, TablePotentialGame, WellGame};
+    use logit_graphs::GraphBuilder;
+    use logit_markov::{stationary_distribution, total_variation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_uniform_updates() {
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let dyn0 = LogitDynamics::new(game, 0.0);
+        let probs = dyn0.update_distribution(0, &[0, 1]);
+        assert_eq!(probs.len(), 2);
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_distribution_matches_closed_form() {
+        // Player 0 against opponent playing 0 in a coordination game with
+        // payoffs a=2 (match) and d=0 (mismatch): σ(0|·) = e^{2β}/(e^{2β}+1).
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let beta = 0.7;
+        let d = LogitDynamics::new(game, beta);
+        let probs = d.update_distribution(0, &[1, 0]);
+        let expect0 = (2.0 * beta).exp() / ((2.0 * beta).exp() + 1.0);
+        assert!((probs[0] - expect0).abs() < 1e-12);
+        assert!((probs[0] + probs[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_beta_concentrates_on_best_response() {
+        let game = CoordinationGame::from_deltas(3.0, 1.0);
+        let d = LogitDynamics::new(game, 50.0);
+        let probs = d.update_distribution(0, &[1, 0]);
+        assert!(probs[0] > 0.999999, "best response should dominate at high beta");
+    }
+
+    #[test]
+    fn huge_beta_does_not_overflow() {
+        let game = WellGame::plateau(4, 10.0);
+        let d = LogitDynamics::new(game, 1e6);
+        let probs = d.update_distribution(0, &[0, 0, 0, 0]);
+        assert!(probs.iter().all(|p| p.is_finite()));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transition_matrix_is_stochastic_and_ergodic() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(3),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let d = LogitDynamics::new(game, 1.0);
+        let chain = d.transition_chain();
+        assert_eq!(chain.num_states(), 8);
+        assert!(chain.is_ergodic());
+    }
+
+    #[test]
+    fn transition_matrix_matches_eq_3_structure() {
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let d = LogitDynamics::new(game, 0.5);
+        let p = d.transition_matrix();
+        let space = d.space();
+        // Entries between profiles at Hamming distance 2 must be zero.
+        for x in 0..4 {
+            for y in 0..4 {
+                if space.hamming_distance(x, y) == 2 {
+                    assert_eq!(p[(x, y)], 0.0);
+                }
+            }
+        }
+        // Off-diagonal entry = σ_i(y_i|x)/n.
+        let x = space.index_of(&[0, 0]);
+        let y = space.index_of(&[1, 0]);
+        let sigma = d.update_probability(0, &[0, 0], 1);
+        assert!((p[(x, y)] - sigma / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_and_dense_transitions_agree() {
+        let game = TablePotentialGame::random(vec![2, 3, 2], 2.0, &mut StdRng::seed_from_u64(5));
+        let d = LogitDynamics::new(game, 1.3);
+        let dense = d.transition_matrix();
+        let sparse = d.transition_sparse();
+        assert!(sparse.is_row_stochastic(1e-9));
+        assert!(sparse.to_dense().max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn gibbs_is_the_stationary_distribution() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::path(3),
+            CoordinationGame::from_deltas(1.5, 1.0),
+        );
+        let d = LogitDynamics::new(game, 0.8);
+        let chain = d.transition_chain();
+        let pi_linear = stationary_distribution(&chain);
+        let pi_gibbs = d.gibbs();
+        assert!(total_variation(&pi_linear, &pi_gibbs) < 1e-9);
+        // And the chain is reversible w.r.t. the Gibbs measure.
+        assert!(chain.is_reversible(&pi_gibbs, 1e-9));
+    }
+
+    #[test]
+    fn step_simulation_stays_in_range_and_moves_one_coordinate() {
+        let game = WellGame::plateau(5, 2.0);
+        let d = LogitDynamics::new(game, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut state = 0usize;
+        for _ in 0..500 {
+            let next = d.step(state, &mut rng);
+            assert!(next < d.num_states());
+            assert!(d.space().hamming_distance(state, next) <= 1);
+            state = next;
+        }
+    }
+
+    #[test]
+    fn sample_index_respects_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let probs = [0.1, 0.6, 0.3];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_index(&probs, &mut rng)] += 1;
+        }
+        let freq1 = counts[1] as f64 / 30_000.0;
+        assert!((freq1 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_beta_rejected() {
+        let game = CoordinationGame::from_deltas(1.0, 1.0);
+        let _ = LogitDynamics::new(game, -0.1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Mixing-time measurement for the logit dynamics.
+//!
+//! Three complementary routes, matching how the experiments verify the paper's
+//! bounds:
+//!
+//! * [`exact_mixing_time`] — builds the full transition matrix, uses the Gibbs
+//!   measure as the stationary distribution and computes `t_mix(ε)` exactly
+//!   (`logit-markov::mixing`). Feasible for `|S| ≲ 4096`.
+//! * [`spectral_mixing_bounds`] — the Theorem 2.3 sandwich via the relaxation
+//!   time, also exact but cheaper to evaluate repeatedly across β once the
+//!   spectrum is known.
+//! * [`exact_mixing_time_general`] — for games *without* a potential (no Gibbs
+//!   closed form) the stationary distribution is obtained by a linear solve
+//!   first. Used by the Section 4 experiments on games with dominant strategies
+//!   that are not potential games.
+
+use crate::dynamics::LogitDynamics;
+use crate::gibbs;
+use logit_games::{Game, PotentialGame};
+use logit_markov::{
+    mixing_time, spectral_analysis, stationary_distribution, MarkovChain, SpectralSummary,
+};
+
+/// A single measurement of the convergence behaviour of `M_β(G)`.
+#[derive(Debug, Clone)]
+pub struct MixingMeasurement {
+    /// Inverse noise β.
+    pub beta: f64,
+    /// Number of states `|S|`.
+    pub num_states: usize,
+    /// Exact mixing time `t_mix(ε)`, `None` when it exceeded the search budget.
+    pub mixing_time: Option<u64>,
+    /// The ε used.
+    pub epsilon: f64,
+    /// Relaxation time `1/(1 − λ*)`.
+    pub relaxation_time: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub spectral_gap: f64,
+    /// Smallest eigenvalue of the transition matrix.
+    pub lambda_min: f64,
+    /// Theorem 2.3 lower bound `(t_rel − 1)·log(1/2ε)`.
+    pub spectral_lower_bound: f64,
+    /// Theorem 2.3 upper bound `t_rel·log(1/(ε·π_min))`.
+    pub spectral_upper_bound: f64,
+}
+
+/// Exact mixing-time measurement for a potential game.
+///
+/// `max_time` caps the exact mixing-time search (use a generous power of two);
+/// the spectral quantities are always computed.
+pub fn exact_mixing_time<G: PotentialGame>(
+    game: &G,
+    beta: f64,
+    epsilon: f64,
+    max_time: u64,
+) -> MixingMeasurement {
+    let dynamics = LogitDynamics::new(game, beta);
+    let chain = dynamics.transition_chain();
+    let pi = gibbs::gibbs_distribution(game, beta);
+    measure(&chain, &pi, beta, epsilon, max_time)
+}
+
+/// Exact mixing-time measurement for an arbitrary (possibly non-potential) game.
+/// The stationary distribution is computed by solving `πP = π`; the spectral
+/// bounds are only filled in when the chain happens to be reversible with
+/// respect to it (otherwise they are reported as `NaN`).
+pub fn exact_mixing_time_general<G: Game>(
+    game: &G,
+    beta: f64,
+    epsilon: f64,
+    max_time: u64,
+) -> MixingMeasurement {
+    let dynamics = LogitDynamics::new(game, beta);
+    let chain = dynamics.transition_chain();
+    let pi = stationary_distribution(&chain);
+    if chain.is_reversible(&pi, 1e-7) && pi.min() > 0.0 {
+        measure(&chain, &pi, beta, epsilon, max_time)
+    } else {
+        let mixing = mixing_time(&chain, &pi, epsilon, max_time).map(|r| r.mixing_time);
+        MixingMeasurement {
+            beta,
+            num_states: chain.num_states(),
+            mixing_time: mixing,
+            epsilon,
+            relaxation_time: f64::NAN,
+            spectral_gap: f64::NAN,
+            lambda_min: f64::NAN,
+            spectral_lower_bound: f64::NAN,
+            spectral_upper_bound: f64::NAN,
+        }
+    }
+}
+
+fn measure(
+    chain: &MarkovChain,
+    pi: &logit_linalg::Vector,
+    beta: f64,
+    epsilon: f64,
+    max_time: u64,
+) -> MixingMeasurement {
+    let spectral: SpectralSummary = spectral_analysis(chain, pi);
+    let mixing = mixing_time(chain, pi, epsilon, max_time).map(|r| r.mixing_time);
+    MixingMeasurement {
+        beta,
+        num_states: chain.num_states(),
+        mixing_time: mixing,
+        epsilon,
+        relaxation_time: spectral.relaxation_time,
+        spectral_gap: spectral.spectral_gap,
+        lambda_min: spectral.lambda_min,
+        spectral_lower_bound: spectral.mixing_time_lower_bound(epsilon),
+        spectral_upper_bound: spectral.mixing_time_upper_bound(epsilon, pi.min()),
+    }
+}
+
+/// The Theorem 2.3 sandwich on its own (no exact mixing-time search), useful
+/// when only relaxation-time behaviour is needed.
+pub fn spectral_mixing_bounds<G: PotentialGame>(game: &G, beta: f64) -> SpectralSummary {
+    let dynamics = LogitDynamics::new(game, beta);
+    let chain = dynamics.transition_chain();
+    let pi = gibbs::gibbs_distribution(game, beta);
+    spectral_analysis(&chain, &pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logit_games::{
+        AllZeroDominantGame, CoordinationGame, GraphicalCoordinationGame, TwoPlayerGame, WellGame,
+    };
+    use logit_graphs::GraphBuilder;
+
+    #[test]
+    fn measurement_is_internally_consistent() {
+        let game = WellGame::plateau(4, 2.0);
+        let m = exact_mixing_time(&game, 1.0, 0.25, 1 << 30);
+        let t = m.mixing_time.expect("small game must mix within budget") as f64;
+        assert!(m.spectral_lower_bound <= t + 1.0);
+        assert!(t <= m.spectral_upper_bound + 1.0);
+        assert!(m.relaxation_time >= 1.0);
+        assert_eq!(m.num_states, 16);
+    }
+
+    #[test]
+    fn theorem_3_1_holds_lambda_min_nonnegative() {
+        // Theorem 3.1: all eigenvalues of the logit chain of a potential game are
+        // non-negative.
+        for beta in [0.0, 0.5, 2.0] {
+            let game = GraphicalCoordinationGame::new(
+                GraphBuilder::ring(3),
+                CoordinationGame::from_deltas(2.0, 1.0),
+            );
+            let m = exact_mixing_time(&game, beta, 0.25, 1 << 20);
+            assert!(
+                m.lambda_min >= -1e-9,
+                "negative eigenvalue {} at beta {beta}",
+                m.lambda_min
+            );
+        }
+    }
+
+    #[test]
+    fn mixing_time_grows_with_beta_for_the_well_game() {
+        let game = WellGame::plateau(4, 2.0);
+        let low = exact_mixing_time(&game, 0.5, 0.25, 1 << 30)
+            .mixing_time
+            .unwrap();
+        let high = exact_mixing_time(&game, 2.5, 0.25, 1 << 30)
+            .mixing_time
+            .unwrap();
+        assert!(high > low, "higher beta must slow the well game down");
+    }
+
+    #[test]
+    fn dominant_strategy_game_mixing_plateaus_in_beta() {
+        let game = AllZeroDominantGame::new(3, 2);
+        let t1 = exact_mixing_time(&game, 2.0, 0.25, 1 << 30)
+            .mixing_time
+            .unwrap();
+        let t2 = exact_mixing_time(&game, 20.0, 0.25, 1 << 30)
+            .mixing_time
+            .unwrap();
+        // Theorem 4.2: bounded independently of beta; allow small wiggle.
+        assert!(
+            t2 <= t1.saturating_mul(3).max(t1 + 20),
+            "mixing time should not blow up with beta: {t1} -> {t2}"
+        );
+        assert!((t2 as f64) <= crate::bounds::theorem_4_2_mixing_upper(3, 2));
+    }
+
+    #[test]
+    fn general_measurement_works_for_non_potential_games() {
+        let game = TwoPlayerGame::matching_pennies();
+        let m = exact_mixing_time_general(&game, 1.0, 0.25, 1 << 20);
+        assert!(m.mixing_time.is_some());
+        assert_eq!(m.num_states, 4);
+    }
+
+    #[test]
+    fn spectral_bounds_only_shortcut() {
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let s = spectral_mixing_bounds(&game, 1.0);
+        assert!(s.relaxation_time >= 1.0);
+        assert!(s.lambda_2 < 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Gibbs measures of potential games.
+//!
+//! For a potential game with (cost-convention) potential `Φ` and inverse noise
+//! `β`, the stationary distribution of the logit dynamics is
+//! `π_β(x) = e^{-βΦ(x)} / Z_β` with partition function `Z_β = Σ_y e^{-βΦ(y)}`
+//! (eq. 4 of the paper, with the sign convention fixed as discussed in
+//! DESIGN.md). All computations shift by the minimum potential so that large
+//! `βΔΦ` values cannot overflow.
+
+use logit_games::PotentialGame;
+use logit_linalg::Vector;
+
+/// The Gibbs distribution `π_β` over flat profile indices.
+pub fn gibbs_distribution<G: PotentialGame>(game: &G, beta: f64) -> Vector {
+    let space = game.profile_space();
+    let mut buf = vec![0usize; game.num_players()];
+    let potentials: Vec<f64> = space
+        .indices()
+        .map(|idx| {
+            space.write_profile(idx, &mut buf);
+            game.potential(&buf)
+        })
+        .collect();
+    gibbs_from_potentials(&potentials, beta)
+}
+
+/// Gibbs distribution computed directly from a vector of potential values.
+pub fn gibbs_from_potentials(potentials: &[f64], beta: f64) -> Vector {
+    assert!(!potentials.is_empty(), "need at least one state");
+    assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and non-negative");
+    let min = potentials.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut weights: Vec<f64> = potentials
+        .iter()
+        .map(|&phi| (-beta * (phi - min)).exp())
+        .collect();
+    let z: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= z;
+    }
+    Vector::from_vec(weights)
+}
+
+/// Natural logarithm of the partition function `log Z_β = log Σ_x e^{-βΦ(x)}`,
+/// computed with the log-sum-exp trick.
+pub fn log_partition_function<G: PotentialGame>(game: &G, beta: f64) -> f64 {
+    let space = game.profile_space();
+    let mut buf = vec![0usize; game.num_players()];
+    let potentials: Vec<f64> = space
+        .indices()
+        .map(|idx| {
+            space.write_profile(idx, &mut buf);
+            game.potential(&buf)
+        })
+        .collect();
+    let min = potentials.iter().copied().fold(f64::INFINITY, f64::min);
+    let sum: f64 = potentials.iter().map(|&p| (-beta * (p - min)).exp()).sum();
+    -beta * min + sum.ln()
+}
+
+/// The smallest stationary probability `π_min = min_x π_β(x)`, which appears in
+/// the Theorem 2.3 upper bound `t_mix ≤ t_rel · log(1/(ε π_min))`.
+pub fn min_stationary_probability<G: PotentialGame>(game: &G, beta: f64) -> f64 {
+    gibbs_distribution(game, beta).min()
+}
+
+/// Expected potential under the Gibbs measure, `E_π[Φ]` — a convenient scalar
+/// observable for simulation-vs-theory comparisons.
+pub fn expected_potential<G: PotentialGame>(game: &G, beta: f64) -> f64 {
+    let space = game.profile_space();
+    let mut buf = vec![0usize; game.num_players()];
+    let pi = gibbs_distribution(game, beta);
+    space
+        .indices()
+        .map(|idx| {
+            space.write_profile(idx, &mut buf);
+            pi[idx] * game.potential(&buf)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame, WellGame};
+    use logit_graphs::GraphBuilder;
+
+    #[test]
+    fn beta_zero_gives_uniform() {
+        let game = WellGame::plateau(4, 3.0);
+        let pi = gibbs_distribution(&game, 0.0);
+        let n = game.num_profiles();
+        for i in 0..n {
+            assert!((pi[i] - 1.0 / n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gibbs_weights_follow_potential_ordering() {
+        let game = CoordinationGame::from_deltas(3.0, 1.0);
+        let space = game.profile_space();
+        let pi = gibbs_distribution(&game, 1.0);
+        let p00 = pi[space.index_of(&[0, 0])];
+        let p11 = pi[space.index_of(&[1, 1])];
+        let p01 = pi[space.index_of(&[0, 1])];
+        // Lower potential (deeper equilibrium) gets more mass.
+        assert!(p00 > p11);
+        assert!(p11 > p01);
+        assert!(pi.is_distribution(1e-12));
+    }
+
+    #[test]
+    fn explicit_two_state_ratio() {
+        // π(x)/π(y) = e^{-β(Φ(x)-Φ(y))}.
+        let potentials = [0.0, 2.0];
+        let beta = 1.3;
+        let pi = gibbs_from_potentials(&potentials, beta);
+        let ratio = pi[0] / pi[1];
+        assert!((ratio - (beta * 2.0).exp()).abs() / ratio < 1e-12);
+    }
+
+    #[test]
+    fn large_beta_concentrates_on_minimizers() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let space = game.profile_space();
+        let pi = gibbs_distribution(&game, 20.0);
+        // The risk-dominant consensus (all zeros) has minimal potential.
+        assert!(pi[space.index_of(&[0, 0, 0, 0])] > 0.999);
+    }
+
+    #[test]
+    fn no_overflow_for_extreme_beta_and_potential() {
+        let potentials = [0.0, 1000.0, -500.0];
+        let pi = gibbs_from_potentials(&potentials, 100.0);
+        assert!(pi.is_distribution(1e-12));
+        assert!(pi[2] > 0.999999);
+    }
+
+    #[test]
+    fn log_partition_matches_direct_small_case() {
+        let game = CoordinationGame::from_deltas(1.0, 1.0);
+        let beta = 0.5;
+        let direct: f64 = {
+            let space = game.profile_space();
+            space
+                .indices()
+                .map(|i| (-beta * {
+                    let p = space.profile_of(i);
+                    logit_games::PotentialGame::potential(&game, &p)
+                })
+                .exp())
+                .sum::<f64>()
+                .ln()
+        };
+        assert!((log_partition_function(&game, beta) - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expected_potential_decreases_with_beta() {
+        let game = WellGame::new(6, 4.0, 2.0);
+        let e_low = expected_potential(&game, 0.1);
+        let e_high = expected_potential(&game, 5.0);
+        assert!(
+            e_high < e_low,
+            "higher rationality should concentrate on lower potential"
+        );
+    }
+
+    #[test]
+    fn min_stationary_probability_bound_from_theorem_3_4_proof() {
+        // The proof of Theorem 3.4 uses π(x) >= 1 / (e^{βΔΦ} |S|).
+        let game = WellGame::plateau(4, 2.0);
+        let beta = 1.2;
+        let pmin = min_stationary_probability(&game, beta);
+        let bound = 1.0 / ((beta * game.max_global_variation()).exp() * game.num_profiles() as f64);
+        assert!(pmin >= bound - 1e-15);
+    }
+}

@@ -1,0 +1,52 @@
+//! # logit-core
+//!
+//! The logit dynamics for strategic games — the primary contribution of
+//! *"Convergence to Equilibrium of Logit Dynamics for Strategic Games"*
+//! (Auletta, Ferraioli, Pasquale, Penna, Persiano; SPAA 2011).
+//!
+//! At every step a player `i` is chosen uniformly at random and refreshes her
+//! strategy to `y` with probability
+//!
+//! `σ_i(y | x) = e^{β·u_i(y, x_{-i})} / Σ_z e^{β·u_i(z, x_{-i})}`   (eq. 2)
+//!
+//! where `β ≥ 0` is the inverse noise (rationality). This defines an ergodic
+//! Markov chain `M_β(G)` over the profile space (eq. 3); for potential games its
+//! stationary distribution is the Gibbs measure `π(x) ∝ e^{-βΦ(x)}` (eq. 4, cost
+//! convention).
+//!
+//! The crate provides:
+//!
+//! * [`dynamics::LogitDynamics`] — the update rule, explicit chain construction
+//!   (dense and sparse) and single-step simulation,
+//! * [`gibbs`] — numerically stable Gibbs measures and partition functions,
+//! * [`simulate`] — trajectory simulation, parallel replica ensembles and
+//!   empirical-distribution estimation (rayon-based),
+//! * [`estimate`] — mixing-time measurement: exact (via `logit-markov`), spectral
+//!   bounds, and coupling-based upper estimates using the paper's couplings,
+//! * [`coupling`] — the maximal per-coordinate coupling of Theorem 3.6 / 4.2 and
+//!   the shared-uniform monotone coupling of Theorem 5.6,
+//! * [`barrier`] — the potential-barrier quantity `ζ` of Section 3.4 (union-find
+//!   saddle computation plus a brute-force cross-check),
+//! * [`bounds`] — one function per theorem, returning the paper's closed-form
+//!   upper/lower bounds so experiments can print "measured vs. bound" tables,
+//! * [`sweep`] — parallel parameter sweeps (over β, n, topologies) producing the
+//!   rows of every experiment table in `EXPERIMENTS.md`.
+
+pub mod barrier;
+pub mod bounds;
+pub mod coupling;
+pub mod dynamics;
+pub mod estimate;
+pub mod gibbs;
+pub mod observables;
+pub mod simulate;
+pub mod sweep;
+
+pub use barrier::{zeta, zeta_brute_force, BarrierResult};
+pub use coupling::{coupling_time_estimate, CouplingKind};
+pub use dynamics::LogitDynamics;
+pub use estimate::{exact_mixing_time, spectral_mixing_bounds, MixingMeasurement};
+pub use gibbs::{gibbs_distribution, log_partition_function};
+pub use observables::{ensemble_time_series, Observable, PotentialObservable, TimeSeries};
+pub use simulate::{simulate_trajectory, EnsembleResult, Simulator};
+pub use sweep::{beta_sweep, BetaSweepRow};

@@ -1,0 +1,291 @@
+//! Trajectory observables: the transient phase of the dynamics.
+//!
+//! The paper's conclusions point out that when the mixing time is exponential
+//! the system spends its life in a *transient* (metastable) phase, and ask what
+//! can be predicted about it. This module provides the measurement side of that
+//! question: scalar observables evaluated along trajectories (potential,
+//! Hamming distance to a reference profile, fraction of players on a given
+//! strategy), time series averaged over ensembles of replicas, and CSV export
+//! for plotting.
+
+use crate::dynamics::LogitDynamics;
+use logit_games::{Game, PotentialGame, ProfileSpace};
+use logit_linalg::stats::RunningStats;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// A scalar observable of a strategy profile (given by flat index).
+pub trait Observable {
+    /// Evaluates the observable at the profile with flat index `state`.
+    fn evaluate(&self, space: &ProfileSpace, state: usize) -> f64;
+
+    /// Name used as a column header.
+    fn name(&self) -> &str;
+}
+
+/// The potential `Φ(x)` of a potential game.
+pub struct PotentialObservable<G: PotentialGame> {
+    game: G,
+}
+
+impl<G: PotentialGame> PotentialObservable<G> {
+    /// Creates the observable.
+    pub fn new(game: G) -> Self {
+        Self { game }
+    }
+}
+
+impl<G: PotentialGame> Observable for PotentialObservable<G> {
+    fn evaluate(&self, space: &ProfileSpace, state: usize) -> f64 {
+        self.game.potential(&space.profile_of(state))
+    }
+    fn name(&self) -> &str {
+        "potential"
+    }
+}
+
+/// Hamming distance to a reference profile (e.g. a Nash equilibrium).
+pub struct DistanceToProfile {
+    reference: usize,
+    label: String,
+}
+
+impl DistanceToProfile {
+    /// Creates the observable for the profile with flat index `reference`.
+    pub fn new(reference: usize, label: impl Into<String>) -> Self {
+        Self {
+            reference,
+            label: label.into(),
+        }
+    }
+}
+
+impl Observable for DistanceToProfile {
+    fn evaluate(&self, space: &ProfileSpace, state: usize) -> f64 {
+        space.hamming_distance(state, self.reference) as f64
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Fraction of players currently playing a given strategy.
+pub struct StrategyFraction {
+    strategy: usize,
+    label: String,
+}
+
+impl StrategyFraction {
+    /// Creates the observable for `strategy`.
+    pub fn new(strategy: usize, label: impl Into<String>) -> Self {
+        Self {
+            strategy,
+            label: label.into(),
+        }
+    }
+}
+
+impl Observable for StrategyFraction {
+    fn evaluate(&self, space: &ProfileSpace, state: usize) -> f64 {
+        let n = space.num_players();
+        (0..n)
+            .filter(|&i| space.strategy_of(state, i) == self.strategy)
+            .count() as f64
+            / n as f64
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A time series of ensemble statistics: one entry per recorded time step.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Name of the observable.
+    pub name: String,
+    /// Recorded time steps.
+    pub times: Vec<u64>,
+    /// Statistics across replicas at each recorded step.
+    pub stats: Vec<RunningStats>,
+}
+
+impl TimeSeries {
+    /// Means at each recorded step.
+    pub fn means(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.mean()).collect()
+    }
+
+    /// Standard errors at each recorded step.
+    pub fn std_errs(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.std_err()).collect()
+    }
+
+    /// Renders the series as CSV (`t,mean,std_err,min,max`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,mean,std_err,min,max\n");
+        for (t, s) in self.times.iter().zip(&self.stats) {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6}\n",
+                t,
+                s.mean(),
+                s.std_err(),
+                s.min(),
+                s.max()
+            ));
+        }
+        out
+    }
+}
+
+/// Records an observable along an ensemble of independent replicas of the logit
+/// dynamics, sampling it at the given `record_times` (which must be increasing).
+///
+/// Replicas run in parallel with reproducible per-replica RNG streams.
+pub fn ensemble_time_series<G, O>(
+    dynamics: &LogitDynamics<G>,
+    observable: &O,
+    start: usize,
+    record_times: &[u64],
+    replicas: usize,
+    seed: u64,
+) -> TimeSeries
+where
+    G: Game + Sync,
+    O: Observable + Sync,
+{
+    assert!(!record_times.is_empty(), "need at least one recording time");
+    assert!(
+        record_times.windows(2).all(|w| w[0] < w[1]),
+        "recording times must be strictly increasing"
+    );
+    assert!(replicas > 0, "need at least one replica");
+    assert!(start < dynamics.num_states(), "start state out of range");
+
+    let space = dynamics.space();
+    let per_replica: Vec<Vec<f64>> = (0..replicas)
+        .into_par_iter()
+        .map(|replica| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ (replica as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            let mut state = start;
+            let mut t = 0u64;
+            let mut values = Vec::with_capacity(record_times.len());
+            for &target in record_times {
+                while t < target {
+                    state = dynamics.step(state, &mut rng);
+                    t += 1;
+                }
+                values.push(observable.evaluate(space, state));
+            }
+            values
+        })
+        .collect();
+
+    let mut stats = vec![RunningStats::new(); record_times.len()];
+    for values in &per_replica {
+        for (k, &v) in values.iter().enumerate() {
+            stats[k].push(v);
+        }
+    }
+    TimeSeries {
+        name: observable.name().to_string(),
+        times: record_times.to_vec(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::expected_potential;
+    use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
+    use logit_graphs::GraphBuilder;
+
+    #[test]
+    fn observables_evaluate_as_expected() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let space = game.profile_space();
+        let all0 = space.index_of(&[0, 0, 0, 0]);
+        let mixed = space.index_of(&[1, 0, 1, 0]);
+
+        let phi = PotentialObservable::new(game.clone());
+        assert_eq!(phi.evaluate(&space, all0), -8.0);
+        assert_eq!(phi.name(), "potential");
+
+        let dist = DistanceToProfile::new(all0, "d(all0)");
+        assert_eq!(dist.evaluate(&space, all0), 0.0);
+        assert_eq!(dist.evaluate(&space, mixed), 2.0);
+
+        let frac = StrategyFraction::new(1, "adopters");
+        assert_eq!(frac.evaluate(&space, all0), 0.0);
+        assert_eq!(frac.evaluate(&space, mixed), 0.5);
+    }
+
+    #[test]
+    fn time_series_has_one_entry_per_recording_time() {
+        let game = WellGame::plateau(4, 1.0);
+        let dynamics = LogitDynamics::new(game.clone(), 0.5);
+        let obs = PotentialObservable::new(game);
+        let times = [1u64, 5, 20, 80];
+        let series = ensemble_time_series(&dynamics, &obs, 0, &times, 200, 7);
+        assert_eq!(series.times, times);
+        assert_eq!(series.stats.len(), 4);
+        assert!(series.stats.iter().all(|s| s.count() == 200));
+        let csv = series.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("t,mean"));
+    }
+
+    #[test]
+    fn mean_potential_relaxes_towards_the_gibbs_value() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::symmetric(1.0),
+        );
+        let beta = 1.0;
+        let dynamics = LogitDynamics::new(game.clone(), beta);
+        let obs = PotentialObservable::new(game.clone());
+        let space = game.profile_space();
+        // Start from a worst-case (alternating) profile with potential 0.
+        let start = space.index_of(&[0, 1, 0, 1]);
+        let series = ensemble_time_series(&dynamics, &obs, start, &[1, 8, 64, 512], 3000, 3);
+        let means = series.means();
+        // Monotone-ish relaxation towards E_pi[Phi].
+        let target = expected_potential(&game, beta);
+        assert!(means[0] > means[3], "mean potential should decrease over time");
+        assert!(
+            (means[3] - target).abs() < 0.15,
+            "long-time mean {} should approach the Gibbs expectation {target}",
+            means[3]
+        );
+    }
+
+    #[test]
+    fn adoption_fraction_rises_in_a_risk_dominant_game() {
+        // Strategy 1 is risk dominant; starting from nobody adopting, the
+        // expected adopter fraction increases with time.
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(5),
+            CoordinationGame::from_deltas(1.0, 2.0),
+        );
+        let dynamics = LogitDynamics::new(game.clone(), 1.5);
+        let obs = StrategyFraction::new(1, "adopters");
+        let series = ensemble_time_series(&dynamics, &obs, 0, &[2, 30, 300], 1500, 9);
+        let means = series.means();
+        assert!(means[2] > means[0]);
+        assert!(means[2] > 0.7, "most players should have adopted by t = 300");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_recording_times_rejected() {
+        let game = WellGame::plateau(3, 1.0);
+        let dynamics = LogitDynamics::new(game.clone(), 1.0);
+        let obs = PotentialObservable::new(game);
+        let _ = ensemble_time_series(&dynamics, &obs, 0, &[5, 5], 10, 1);
+    }
+}

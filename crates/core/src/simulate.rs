@@ -1,0 +1,265 @@
+//! Trajectory and ensemble simulation of the logit dynamics.
+//!
+//! The exact analyses cap out around a few thousand profiles; beyond that the
+//! behaviour of the dynamics is studied by simulation. This module provides
+//!
+//! * [`simulate_trajectory`] — a single trajectory of flat state indices,
+//! * [`Simulator`] — reproducible parallel ensembles of independent replicas
+//!   (rayon work-stealing over replicas, one deterministic ChaCha stream per
+//!   replica so results do not depend on the number of worker threads),
+//! * empirical-distribution and observable tracking used by the experiments to
+//!   compare the simulated law of `X_t` against the Gibbs measure.
+
+use crate::dynamics::LogitDynamics;
+use logit_games::Game;
+use logit_linalg::stats::RunningStats;
+use logit_linalg::Vector;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Simulates a single trajectory of `steps` transitions starting from the flat
+/// state index `start`, returning every visited state (including the start, so
+/// the result has `steps + 1` entries).
+pub fn simulate_trajectory<G: Game, R: Rng + ?Sized>(
+    dynamics: &LogitDynamics<G>,
+    start: usize,
+    steps: u64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(start < dynamics.num_states(), "start state out of range");
+    let mut out = Vec::with_capacity(steps as usize + 1);
+    let mut state = start;
+    out.push(state);
+    for _ in 0..steps {
+        state = dynamics.step(state, rng);
+        out.push(state);
+    }
+    out
+}
+
+/// Result of an ensemble run.
+#[derive(Debug, Clone)]
+pub struct EnsembleResult {
+    /// Number of replicas simulated.
+    pub replicas: usize,
+    /// Number of steps each replica ran.
+    pub steps: u64,
+    /// Final state of every replica.
+    pub final_states: Vec<usize>,
+    /// Empirical distribution of the final states over the profile space.
+    pub empirical: Vector,
+    /// Running statistics of the observable evaluated at the final states
+    /// (mean/variance/min/max across replicas).
+    pub observable_stats: RunningStats,
+}
+
+impl EnsembleResult {
+    /// Total variation distance between the empirical law of `X_t` and a
+    /// reference distribution (typically the Gibbs measure).
+    pub fn tv_to(&self, reference: &Vector) -> f64 {
+        logit_markov::total_variation(&self.empirical, reference)
+    }
+}
+
+/// Reproducible parallel ensemble simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    seed: u64,
+    replicas: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator with a master seed and a number of independent replicas.
+    pub fn new(seed: u64, replicas: usize) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        Self { seed, replicas }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Runs every replica for `steps` steps from `start` in parallel and
+    /// evaluates `observable` on each final state.
+    ///
+    /// The observable is evaluated on the *flat index*; use
+    /// `dynamics.space().profile_of(idx)` inside the closure when the profile
+    /// itself is needed.
+    pub fn run<G, F>(
+        &self,
+        dynamics: &LogitDynamics<G>,
+        start: usize,
+        steps: u64,
+        observable: F,
+    ) -> EnsembleResult
+    where
+        G: Game + Sync,
+        F: Fn(usize) -> f64 + Sync,
+    {
+        assert!(start < dynamics.num_states(), "start state out of range");
+        let final_states: Vec<usize> = (0..self.replicas)
+            .into_par_iter()
+            .map(|replica| {
+                // Independent, reproducible stream per replica.
+                let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut state = start;
+                for _ in 0..steps {
+                    state = dynamics.step(state, &mut rng);
+                }
+                state
+            })
+            .collect();
+
+        let mut empirical = Vector::zeros(dynamics.num_states());
+        let mut stats = RunningStats::new();
+        for &s in &final_states {
+            empirical[s] += 1.0;
+            stats.push(observable(s));
+        }
+        empirical.scale(1.0 / self.replicas as f64);
+
+        EnsembleResult {
+            replicas: self.replicas,
+            steps,
+            final_states,
+            empirical,
+            observable_stats: stats,
+        }
+    }
+
+    /// Convenience: runs the ensemble and reports the total variation distance of
+    /// the empirical final-state distribution to `reference` (e.g. the Gibbs
+    /// measure), without needing an observable.
+    pub fn tv_distance_after<G: Game + Sync>(
+        &self,
+        dynamics: &LogitDynamics<G>,
+        start: usize,
+        steps: u64,
+        reference: &Vector,
+    ) -> f64 {
+        self.run(dynamics, start, steps, |_| 0.0).tv_to(reference)
+    }
+
+    /// Estimates the time at which the empirical distribution first comes within
+    /// `target_tv + sampling slack` of the reference by doubling the horizon.
+    /// Returns `(steps, tv)` for the first horizon that met the target, or `None`
+    /// if `max_steps` was reached first.
+    ///
+    /// This is a *statistical estimate* of the mixing time (it under-resolves TV
+    /// distances below the sampling noise `~sqrt(|S|/replicas)`), used only where
+    /// exact computation is infeasible.
+    pub fn estimate_mixing_by_doubling<G: Game + Sync>(
+        &self,
+        dynamics: &LogitDynamics<G>,
+        start: usize,
+        reference: &Vector,
+        target_tv: f64,
+        max_steps: u64,
+    ) -> Option<(u64, f64)> {
+        let mut steps = 1u64;
+        loop {
+            let tv = self.tv_distance_after(dynamics, start, steps, reference);
+            if tv <= target_tv {
+                return Some((steps, tv));
+            }
+            if steps >= max_steps {
+                return None;
+            }
+            steps = (steps * 2).min(max_steps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::gibbs_distribution;
+    use logit_games::{CoordinationGame, GraphicalCoordinationGame, PotentialGame, WellGame};
+    use logit_graphs::GraphBuilder;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn trajectory_has_expected_length_and_valid_states() {
+        let game = WellGame::plateau(4, 1.0);
+        let d = LogitDynamics::new(game, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let traj = simulate_trajectory(&d, 0, 100, &mut rng);
+        assert_eq!(traj.len(), 101);
+        assert!(traj.iter().all(|&s| s < d.num_states()));
+    }
+
+    #[test]
+    fn ensemble_is_reproducible_and_thread_count_independent() {
+        let game = WellGame::plateau(4, 1.0);
+        let d = LogitDynamics::new(game, 0.8);
+        let sim = Simulator::new(123, 64);
+        let a = sim.run(&d, 0, 50, |s| s as f64);
+        let b = sim.run(&d, 0, 50, |s| s as f64);
+        assert_eq!(a.final_states, b.final_states);
+        assert_eq!(a.observable_stats.mean(), b.observable_stats.mean());
+    }
+
+    #[test]
+    fn empirical_distribution_sums_to_one() {
+        let game = WellGame::plateau(3, 1.0);
+        let d = LogitDynamics::new(game, 0.3);
+        let sim = Simulator::new(5, 200);
+        let result = sim.run(&d, 0, 30, |_| 1.0);
+        assert!(result.empirical.is_distribution(1e-9));
+        assert_eq!(result.final_states.len(), 200);
+        assert_eq!(result.observable_stats.count(), 200);
+    }
+
+    #[test]
+    fn long_runs_approach_the_gibbs_measure() {
+        // Small game, moderate beta: after many steps the ensemble law should be
+        // close to Gibbs (within sampling noise).
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(3),
+            CoordinationGame::symmetric(1.0),
+        );
+        let beta = 0.7;
+        let d = LogitDynamics::new(game.clone(), beta);
+        let pi = gibbs_distribution(&game, beta);
+        let sim = Simulator::new(42, 4000);
+        let tv = sim.tv_distance_after(&d, 0, 400, &pi);
+        assert!(tv < 0.08, "ensemble law should approach Gibbs, tv = {tv}");
+    }
+
+    #[test]
+    fn observable_tracks_potential() {
+        let game = WellGame::plateau(4, 2.0);
+        let beta = 3.0;
+        let d = LogitDynamics::new(game.clone(), beta);
+        let space = d.space().clone();
+        let sim = Simulator::new(7, 500);
+        let result = sim.run(&d, 0, 300, |idx| game.potential(&space.profile_of(idx)));
+        // At beta = 3 the chain should mostly sit in the wells (potential -2).
+        assert!(result.observable_stats.mean() < -1.0);
+    }
+
+    #[test]
+    fn doubling_estimator_finds_fast_mixing() {
+        let game = WellGame::plateau(3, 0.5);
+        let beta = 0.2;
+        let d = LogitDynamics::new(game.clone(), beta);
+        let pi = gibbs_distribution(&game, beta);
+        let sim = Simulator::new(11, 3000);
+        let found = sim.estimate_mixing_by_doubling(&d, 0, &pi, 0.12, 4096);
+        let (steps, tv) = found.expect("a tiny game at low beta mixes quickly");
+        assert!(steps <= 4096);
+        assert!(tv <= 0.12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_start_state_rejected() {
+        let game = WellGame::plateau(3, 1.0);
+        let d = LogitDynamics::new(game, 1.0);
+        let sim = Simulator::new(1, 10);
+        let _ = sim.run(&d, 1000, 10, |_| 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Parallel parameter sweeps.
+//!
+//! Every experiment table is a sweep over β (and sometimes n or the topology)
+//! of the measured mixing/relaxation time alongside the paper's bound. The
+//! sweeps parallelise over the parameter grid with rayon — each grid point is an
+//! independent exact computation — which is where the multi-core speedup of the
+//! harness comes from.
+
+use crate::estimate::{exact_mixing_time, MixingMeasurement};
+use logit_games::PotentialGame;
+use rayon::prelude::*;
+
+/// One row of a β-sweep table.
+#[derive(Debug, Clone)]
+pub struct BetaSweepRow {
+    /// Inverse noise β.
+    pub beta: f64,
+    /// Full measurement at this β.
+    pub measurement: MixingMeasurement,
+    /// The game's maximum global potential variation ΔΦ (constant across the sweep,
+    /// repeated per row for convenience when printing).
+    pub delta_phi: f64,
+}
+
+/// Runs an exact mixing-time measurement for every β in `betas`, in parallel.
+///
+/// `max_time` caps each exact mixing-time search; rows whose chain did not mix
+/// within the cap carry `measurement.mixing_time == None` but still report the
+/// spectral quantities.
+pub fn beta_sweep<G>(game: &G, betas: &[f64], epsilon: f64, max_time: u64) -> Vec<BetaSweepRow>
+where
+    G: PotentialGame + Sync,
+{
+    let delta_phi = game.max_global_variation();
+    betas
+        .par_iter()
+        .map(|&beta| BetaSweepRow {
+            beta,
+            measurement: exact_mixing_time(game, beta, epsilon, max_time),
+            delta_phi,
+        })
+        .collect()
+}
+
+/// Formats sweep rows as a CSV table (header + one line per row), with `extra`
+/// supplying additional named columns computed from each row (e.g. the paper's
+/// bound at that β).
+pub fn format_csv(rows: &[BetaSweepRow], extra: &[(&str, Box<dyn Fn(&BetaSweepRow) -> f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str("beta,num_states,mixing_time,relaxation_time,spectral_gap,delta_phi");
+    for (name, _) in extra {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for row in rows {
+        let mt = row
+            .measurement
+            .mixing_time
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "NA".to_string());
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6}",
+            row.beta,
+            row.measurement.num_states,
+            mt,
+            row.measurement.relaxation_time,
+            row.measurement.spectral_gap,
+            row.delta_phi
+        ));
+        for (_, f) in extra {
+            out.push_str(&format!(",{:.6}", f(row)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Evenly spaced β grid `[start, start + step, …]` with `count` points.
+pub fn beta_grid(start: f64, step: f64, count: usize) -> Vec<f64> {
+    (0..count).map(|i| start + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use logit_games::WellGame;
+
+    #[test]
+    fn beta_grid_is_even() {
+        let g = beta_grid(0.5, 0.25, 4);
+        assert_eq!(g, vec![0.5, 0.75, 1.0, 1.25]);
+        assert!(beta_grid(1.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn sweep_rows_cover_all_betas_and_respect_theorem_3_4() {
+        let game = WellGame::plateau(3, 1.5);
+        let betas = beta_grid(0.0, 0.75, 4);
+        let rows = beta_sweep(&game, &betas, 0.25, 1 << 28);
+        assert_eq!(rows.len(), betas.len());
+        for (row, &beta) in rows.iter().zip(&betas) {
+            assert_eq!(row.beta, beta);
+            let t = row.measurement.mixing_time.expect("small game mixes") as f64;
+            let bound = bounds::theorem_3_4_mixing_upper(3, 2, beta, row.delta_phi, 0.25);
+            assert!(
+                t <= bound,
+                "measured {t} exceeds the Theorem 3.4 bound {bound} at beta {beta}"
+            );
+        }
+        // Mixing time is non-decreasing in β for this two-well game.
+        let times: Vec<u64> = rows
+            .iter()
+            .map(|r| r.measurement.mixing_time.unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn csv_has_header_and_extra_columns() {
+        let game = WellGame::plateau(3, 1.0);
+        let rows = beta_sweep(&game, &[0.5], 0.25, 1 << 20);
+        let csv = format_csv(
+            &rows,
+            &[(
+                "thm34_bound",
+                Box::new(|r: &BetaSweepRow| {
+                    bounds::theorem_3_4_mixing_upper(3, 2, r.beta, r.delta_phi, 0.25)
+                }),
+            )],
+        );
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.ends_with("thm34_bound"));
+        assert_eq!(lines.count(), 1);
+    }
+}

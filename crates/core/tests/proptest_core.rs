@@ -1,0 +1,109 @@
+//! Property-based tests for the logit dynamics itself.
+
+use logit_core::{gibbs_distribution, zeta, zeta_brute_force, LogitDynamics};
+use logit_games::{Game, PotentialGame, TablePotentialGame};
+use logit_markov::{stationary_distribution, total_variation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The transition matrix of eq. (3) is row-stochastic and ergodic for every
+    /// random potential game and every β.
+    #[test]
+    fn transition_matrix_is_valid(seed in 0u64..10_000, beta in 0.0f64..4.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 3], 3.0, &mut rng);
+        let d = LogitDynamics::new(game, beta);
+        let chain = d.transition_chain();
+        prop_assert!(chain.is_ergodic());
+    }
+
+    /// For potential games the Gibbs measure is stationary and the chain is
+    /// reversible with respect to it (eq. 4 + the detailed-balance remark).
+    #[test]
+    fn gibbs_is_stationary_and_reversible(seed in 0u64..10_000, beta in 0.0f64..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 2, 2], 2.0, &mut rng);
+        let d = LogitDynamics::new(game.clone(), beta);
+        let chain = d.transition_chain();
+        let gibbs = gibbs_distribution(&game, beta);
+        let linear = stationary_distribution(&chain);
+        prop_assert!(total_variation(&gibbs, &linear) < 1e-7);
+        prop_assert!(chain.is_reversible(&gibbs, 1e-7));
+    }
+
+    /// Theorem 3.1: every eigenvalue of the logit chain of a potential game is
+    /// non-negative, hence λ* = λ₂ and t_rel = 1/(1-λ₂).
+    #[test]
+    fn theorem_3_1_nonnegative_spectrum(seed in 0u64..10_000, beta in 0.0f64..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 2, 2], 2.0, &mut rng);
+        let m = logit_core::exact_mixing_time(&game, beta, 0.25, 1 << 20);
+        prop_assert!(m.lambda_min >= -1e-8, "negative eigenvalue {}", m.lambda_min);
+    }
+
+    /// The update distribution is a proper distribution and favours higher
+    /// utility strategies (for β > 0).
+    #[test]
+    fn update_distribution_is_monotone_in_utility(seed in 0u64..10_000, beta in 0.01f64..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![3, 2], 2.0, &mut rng);
+        let d = LogitDynamics::new(game.clone(), beta);
+        let space = game.profile_space();
+        for idx in space.indices() {
+            let profile = space.profile_of(idx);
+            let probs = d.update_distribution(0, &profile);
+            prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // Higher-utility strategies get (weakly) higher probabilities.
+            let mut utils = Vec::new();
+            for s in 0..3 {
+                let mut p = profile.clone();
+                p[0] = s;
+                utils.push(game.utility(0, &p));
+            }
+            for a in 0..3 {
+                for b in 0..3 {
+                    if utils[a] > utils[b] {
+                        prop_assert!(probs[a] >= probs[b] - 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The union-find ζ always matches the brute-force reference.
+    #[test]
+    fn zeta_union_find_is_correct(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 2, 2], 3.0, &mut rng);
+        let fast = zeta(&game).zeta;
+        let slow = zeta_brute_force(&game);
+        prop_assert!((fast - slow).abs() < 1e-9);
+        // ζ is at most ΔΦ and at least 0.
+        prop_assert!(fast >= -1e-12);
+        prop_assert!(fast <= game.max_global_variation() + 1e-9);
+    }
+
+    /// Monotonicity of the Gibbs measure: raising β can only move mass towards
+    /// the minimum-potential profile.
+    #[test]
+    fn gibbs_concentrates_with_beta(seed in 0u64..10_000, beta in 0.1f64..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 2], 3.0, &mut rng);
+        let space = game.profile_space();
+        let argmin = space
+            .indices()
+            .min_by(|&a, &b| {
+                game.potential(&space.profile_of(a))
+                    .partial_cmp(&game.potential(&space.profile_of(b)))
+                    .unwrap()
+            })
+            .unwrap();
+        let low = gibbs_distribution(&game, beta);
+        let high = gibbs_distribution(&game, beta * 2.0);
+        prop_assert!(high[argmin] >= low[argmin] - 1e-12);
+    }
+}

@@ -1,0 +1,284 @@
+//! Game-theoretic analysis helpers: best responses, pure Nash equilibria,
+//! dominant strategies and exact-potential verification.
+
+use crate::game::{Game, PotentialGame};
+
+/// The set of best responses of `player` to the other players' strategies in
+/// `profile` (the player's own entry is ignored). Ties are all returned.
+pub fn best_responses<G: Game>(game: &G, player: usize, profile: &[usize]) -> Vec<usize> {
+    let mut work = profile.to_vec();
+    let mut best_value = f64::NEG_INFINITY;
+    let mut best = Vec::new();
+    for s in 0..game.num_strategies(player) {
+        work[player] = s;
+        let u = game.utility(player, &work);
+        if u > best_value + 1e-12 {
+            best_value = u;
+            best = vec![s];
+        } else if (u - best_value).abs() <= 1e-12 {
+            best.push(s);
+        }
+    }
+    best
+}
+
+/// Returns `true` when `profile` is a pure Nash equilibrium: no player can
+/// strictly improve by a unilateral deviation.
+pub fn is_pure_nash<G: Game>(game: &G, profile: &[usize]) -> bool {
+    let mut work = profile.to_vec();
+    for player in 0..game.num_players() {
+        let current = game.utility(player, profile);
+        for s in 0..game.num_strategies(player) {
+            if s == profile[player] {
+                continue;
+            }
+            work[player] = s;
+            if game.utility(player, &work) > current + 1e-12 {
+                return false;
+            }
+        }
+        work[player] = profile[player];
+    }
+    true
+}
+
+/// Enumerates every pure Nash equilibrium of the game (exponential in `n`; meant
+/// for the small games the exact analyses handle anyway).
+pub fn find_pure_nash_equilibria<G: Game>(game: &G) -> Vec<Vec<usize>> {
+    let space = game.profile_space();
+    let mut buf = vec![0usize; game.num_players()];
+    let mut out = Vec::new();
+    for idx in space.indices() {
+        space.write_profile(idx, &mut buf);
+        if is_pure_nash(game, &buf) {
+            out.push(buf.clone());
+        }
+    }
+    out
+}
+
+/// Returns `true` when `strategy` is a (weakly) dominant strategy for `player`:
+/// for every profile of the others it maximises the player's utility
+/// (Section 4's definition `u_i(s, x_{-i}) ≥ u_i(s', x_{-i})` for all `s'`, `x`).
+pub fn is_dominant_strategy<G: Game>(game: &G, player: usize, strategy: usize) -> bool {
+    let space = game.profile_space();
+    let mut buf = vec![0usize; game.num_players()];
+    for idx in space.indices() {
+        space.write_profile(idx, &mut buf);
+        buf[player] = strategy;
+        let dominant_value = game.utility(player, &buf);
+        for s in 0..game.num_strategies(player) {
+            buf[player] = s;
+            if game.utility(player, &buf) > dominant_value + 1e-12 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Finds a dominant profile — one dominant strategy per player — if every player
+/// has one (Section 4). Returns the lexicographically first such profile.
+pub fn find_dominant_profile<G: Game>(game: &G) -> Option<Vec<usize>> {
+    let mut profile = Vec::with_capacity(game.num_players());
+    for player in 0..game.num_players() {
+        let s = (0..game.num_strategies(player)).find(|&s| is_dominant_strategy(game, player, s))?;
+        profile.push(s);
+    }
+    Some(profile)
+}
+
+/// Verifies eq. (1) of the paper on every profile, player and pair of strategies:
+/// `u_i(a, x_{-i}) - u_i(b, x_{-i}) = Φ(b, x_{-i}) - Φ(a, x_{-i})` up to `tol`.
+pub fn verify_exact_potential<G: PotentialGame>(game: &G, tol: f64) -> bool {
+    let space = game.profile_space();
+    let mut x = vec![0usize; game.num_players()];
+    let mut y = vec![0usize; game.num_players()];
+    for idx in space.indices() {
+        space.write_profile(idx, &mut x);
+        let phi_x = game.potential(&x);
+        for player in 0..game.num_players() {
+            let ux = game.utility(player, &x);
+            y.copy_from_slice(&x);
+            for s in 0..game.num_strategies(player) {
+                if s == x[player] {
+                    continue;
+                }
+                y[player] = s;
+                let uy = game.utility(player, &y);
+                let phi_y = game.potential(&y);
+                // u_i(x) - u_i(y) should equal Φ(y) - Φ(x).
+                if ((ux - uy) - (phi_y - phi_x)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Social welfare: the sum of all players' utilities in `profile`.
+pub fn social_welfare<G: Game>(game: &G, profile: &[usize]) -> f64 {
+    (0..game.num_players())
+        .map(|i| game.utility(i, profile))
+        .sum()
+}
+
+/// The best-response profile-improvement step: returns a profile obtained from
+/// `profile` by letting `player` switch to (the smallest of) her best responses,
+/// together with whether this strictly improved her utility.
+pub fn best_response_step<G: Game>(game: &G, player: usize, profile: &[usize]) -> (Vec<usize>, bool) {
+    let responses = best_responses(game, player, profile);
+    let target = responses[0];
+    let mut next = profile.to_vec();
+    let improved = {
+        let before = game.utility(player, profile);
+        next[player] = target;
+        game.utility(player, &next) > before + 1e-12
+    };
+    (next, improved)
+}
+
+/// Runs best-response dynamics (round-robin player order) until a pure Nash
+/// equilibrium is reached or `max_rounds` full rounds have elapsed. Returns the
+/// final profile and whether it is an equilibrium.
+///
+/// For potential games this always terminates at an equilibrium when given
+/// enough rounds (the potential strictly decreases at every improving step);
+/// this is the `β = ∞` baseline the paper contrasts the logit dynamics with.
+pub fn best_response_dynamics<G: Game>(
+    game: &G,
+    start: &[usize],
+    max_rounds: usize,
+) -> (Vec<usize>, bool) {
+    let mut profile = start.to_vec();
+    for _ in 0..max_rounds {
+        let mut any_improved = false;
+        for player in 0..game.num_players() {
+            let (next, improved) = best_response_step(game, player, &profile);
+            if improved {
+                profile = next;
+                any_improved = true;
+            }
+        }
+        if !any_improved {
+            return (profile, true);
+        }
+    }
+    let is_nash = is_pure_nash(game, &profile);
+    (profile, is_nash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordination::CoordinationGame;
+    use crate::dominant::AllZeroDominantGame;
+    use crate::graphical::GraphicalCoordinationGame;
+    use crate::table::{TableGame, TablePotentialGame};
+    use crate::well::WellGame;
+    use logit_graphs::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn best_responses_in_coordination_game() {
+        let g = CoordinationGame::from_deltas(3.0, 2.0);
+        assert_eq!(best_responses(&g, 0, &[1, 0]), vec![0]);
+        assert_eq!(best_responses(&g, 0, &[0, 1]), vec![1]);
+        assert_eq!(best_responses(&g, 1, &[1, 0]), vec![1]);
+    }
+
+    #[test]
+    fn ties_are_all_reported() {
+        // A game where both strategies give the same payoff.
+        let space = crate::profile::ProfileSpace::uniform(2, 2);
+        let g = TablePotentialGame::new(space, vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(best_responses(&g, 0, &[0, 0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn nash_detection_in_well_game() {
+        let g = WellGame::plateau(3, 2.0);
+        // All-zeros and everything with weight >= 2 minimise potential locally.
+        assert!(is_pure_nash(&g, &[0, 0, 0]));
+        assert!(!is_pure_nash(&g, &[1, 0, 0]));
+        assert!(is_pure_nash(&g, &[1, 1, 1]));
+    }
+
+    #[test]
+    fn dominant_strategy_detection() {
+        let g = AllZeroDominantGame::new(3, 2);
+        assert!(is_dominant_strategy(&g, 0, 0));
+        assert!(!is_dominant_strategy(&g, 0, 1));
+        assert_eq!(find_dominant_profile(&g), Some(vec![0, 0, 0]));
+
+        let coord = CoordinationGame::from_deltas(1.0, 1.0);
+        assert!(find_dominant_profile(&coord).is_none());
+    }
+
+    #[test]
+    fn exact_potential_verification_detects_non_potential_games() {
+        // Matching pennies is not a potential game; pretend its "potential" is zero
+        // and check the verifier rejects it.
+        struct FakePotential(crate::matrix_game::TwoPlayerGame);
+        impl Game for FakePotential {
+            fn num_players(&self) -> usize {
+                self.0.num_players()
+            }
+            fn num_strategies(&self, p: usize) -> usize {
+                self.0.num_strategies(p)
+            }
+            fn utility(&self, p: usize, x: &[usize]) -> f64 {
+                self.0.utility(p, x)
+            }
+        }
+        impl PotentialGame for FakePotential {
+            fn potential(&self, _x: &[usize]) -> f64 {
+                0.0
+            }
+        }
+        let fake = FakePotential(crate::matrix_game::TwoPlayerGame::matching_pennies());
+        assert!(!verify_exact_potential(&fake, 1e-9));
+    }
+
+    #[test]
+    fn social_welfare_sums_utilities() {
+        let g = CoordinationGame::new(5.0, 3.0, 1.0, 2.0);
+        assert_eq!(social_welfare(&g, &[0, 0]), 10.0);
+        assert_eq!(social_welfare(&g, &[0, 1]), 3.0);
+    }
+
+    #[test]
+    fn best_response_dynamics_reaches_nash_in_potential_games() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let g = TablePotentialGame::random(vec![2, 3, 2], 4.0, &mut rng);
+            let (profile, is_nash) = best_response_dynamics(&g, &[0, 0, 0], 100);
+            assert!(is_nash, "BR dynamics must converge in a potential game");
+            assert!(is_pure_nash(&g, &profile));
+        }
+    }
+
+    #[test]
+    fn best_response_dynamics_on_graphical_coordination_reaches_consensus_or_nash() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(6),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let (profile, is_nash) = best_response_dynamics(&game, &[0, 1, 0, 1, 0, 1], 50);
+        assert!(is_nash);
+        assert!(is_pure_nash(&game, &profile));
+    }
+
+    #[test]
+    fn random_table_games_equilibria_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..5 {
+            let g = TableGame::random(vec![2, 2, 2], &mut rng);
+            for eq in find_pure_nash_equilibria(&g) {
+                assert!(is_pure_nash(&g, &eq));
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The 2×2 basic coordination game of Section 5.
+//!
+//! Payoff matrix (10) of the paper:
+//!
+//! ```text
+//!          0        1
+//!   0    a, a     c, d
+//!   1    d, c     b, b
+//! ```
+//!
+//! with `δ₀ = a - d > 0` and `δ₁ = b - c > 0`, so both players prefer to match.
+//! The two pure Nash equilibria are `(0,0)` and `(1,1)`; the one with the larger
+//! `δ` is *risk dominant* (Harsanyi–Selten). The edge potential is
+//! `φ(0,0) = -δ₀`, `φ(1,1) = -δ₁`, `φ(0,1) = φ(1,0) = 0` (eq. (11)).
+
+use crate::game::{Game, PotentialGame};
+
+/// Which equilibrium of a 2×2 coordination game is risk dominant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiskDominance {
+    /// `(0,0)` is risk dominant (`δ₀ > δ₁`).
+    ZeroZero,
+    /// `(1,1)` is risk dominant (`δ₁ > δ₀`).
+    OneOne,
+    /// No risk-dominant equilibrium (`δ₀ = δ₁`), the Ising-like case.
+    None,
+}
+
+/// A 2×2 coordination game with payoffs `a, b, c, d` as in matrix (10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordinationGame {
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+}
+
+impl CoordinationGame {
+    /// Creates the game from the four payoffs of matrix (10).
+    ///
+    /// # Panics
+    /// Panics unless `δ₀ = a - d > 0` and `δ₁ = b - c > 0`, i.e. unless the game
+    /// really is a coordination game.
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        assert!(a - d > 0.0, "coordination requires delta0 = a - d > 0");
+        assert!(b - c > 0.0, "coordination requires delta1 = b - c > 0");
+        Self { a, b, c, d }
+    }
+
+    /// Convenience constructor directly from `(δ₀, δ₁)`, with the off-diagonal
+    /// payoffs set to zero (`a = δ₀`, `b = δ₁`, `c = d = 0`).
+    pub fn from_deltas(delta0: f64, delta1: f64) -> Self {
+        Self::new(delta0, delta1, 0.0, 0.0)
+    }
+
+    /// The symmetric case with no risk-dominant equilibrium (`δ₀ = δ₁ = δ`),
+    /// i.e. the Ising interaction.
+    pub fn symmetric(delta: f64) -> Self {
+        Self::from_deltas(delta, delta)
+    }
+
+    /// `δ₀ = a - d`.
+    pub fn delta0(&self) -> f64 {
+        self.a - self.d
+    }
+
+    /// `δ₁ = b - c`.
+    pub fn delta1(&self) -> f64 {
+        self.b - self.c
+    }
+
+    /// Which equilibrium (if any) is risk dominant.
+    pub fn risk_dominance(&self) -> RiskDominance {
+        let (d0, d1) = (self.delta0(), self.delta1());
+        if d0 > d1 {
+            RiskDominance::ZeroZero
+        } else if d1 > d0 {
+            RiskDominance::OneOne
+        } else {
+            RiskDominance::None
+        }
+    }
+
+    /// Payoff of a player choosing `mine` against an opponent choosing `theirs`.
+    pub fn payoff(&self, mine: usize, theirs: usize) -> f64 {
+        match (mine, theirs) {
+            (0, 0) => self.a,
+            (0, 1) => self.c,
+            (1, 0) => self.d,
+            (1, 1) => self.b,
+            _ => panic!("strategies of a 2x2 game are 0 and 1, got ({mine},{theirs})"),
+        }
+    }
+
+    /// Edge potential `φ(x, y)` from eq. (11): `φ(0,0) = -δ₀`, `φ(1,1) = -δ₁`,
+    /// `φ(0,1) = φ(1,0) = 0`.
+    pub fn edge_potential(&self, x: usize, y: usize) -> f64 {
+        match (x, y) {
+            (0, 0) => -self.delta0(),
+            (1, 1) => -self.delta1(),
+            (0, 1) | (1, 0) => 0.0,
+            _ => panic!("strategies of a 2x2 game are 0 and 1, got ({x},{y})"),
+        }
+    }
+}
+
+impl Game for CoordinationGame {
+    fn num_players(&self) -> usize {
+        2
+    }
+
+    fn num_strategies(&self, _player: usize) -> usize {
+        2
+    }
+
+    fn utility(&self, player: usize, profile: &[usize]) -> f64 {
+        let (mine, theirs) = match player {
+            0 => (profile[0], profile[1]),
+            1 => (profile[1], profile[0]),
+            _ => panic!("coordination game has players 0 and 1"),
+        };
+        self.payoff(mine, theirs)
+    }
+}
+
+impl PotentialGame for CoordinationGame {
+    fn potential(&self, profile: &[usize]) -> f64 {
+        self.edge_potential(profile[0], profile[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{find_pure_nash_equilibria, verify_exact_potential};
+
+    #[test]
+    fn deltas_and_risk_dominance() {
+        let g = CoordinationGame::new(5.0, 3.0, 1.0, 2.0);
+        assert_eq!(g.delta0(), 3.0);
+        assert_eq!(g.delta1(), 2.0);
+        assert_eq!(g.risk_dominance(), RiskDominance::ZeroZero);
+
+        let h = CoordinationGame::from_deltas(1.0, 4.0);
+        assert_eq!(h.risk_dominance(), RiskDominance::OneOne);
+
+        let s = CoordinationGame::symmetric(2.0);
+        assert_eq!(s.risk_dominance(), RiskDominance::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta0")]
+    fn non_coordination_payoffs_rejected() {
+        let _ = CoordinationGame::new(1.0, 1.0, 0.0, 2.0);
+    }
+
+    #[test]
+    fn both_matching_profiles_are_nash() {
+        let g = CoordinationGame::new(5.0, 3.0, 1.0, 2.0);
+        let nash = find_pure_nash_equilibria(&g);
+        assert_eq!(nash, vec![vec![0, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn edge_potential_is_exact_potential() {
+        for (d0, d1) in [(1.0, 1.0), (3.0, 1.0), (0.5, 2.5)] {
+            let g = CoordinationGame::from_deltas(d0, d1);
+            assert!(verify_exact_potential(&g, 1e-12));
+        }
+        // Also with non-zero off-diagonal payoffs.
+        let g = CoordinationGame::new(5.0, 4.0, 1.5, 2.0);
+        assert!(verify_exact_potential(&g, 1e-12));
+    }
+
+    #[test]
+    fn potential_extremes() {
+        let g = CoordinationGame::from_deltas(3.0, 2.0);
+        // Minimum potential at the risk-dominant equilibrium (0,0).
+        assert_eq!(g.potential(&[0, 0]), -3.0);
+        assert_eq!(g.potential(&[1, 1]), -2.0);
+        assert_eq!(g.potential(&[0, 1]), 0.0);
+        assert_eq!(g.max_global_variation(), 3.0);
+        assert_eq!(g.max_local_variation(), 3.0);
+    }
+
+    #[test]
+    fn payoff_matrix_matches_utilities() {
+        let g = CoordinationGame::new(5.0, 3.0, 1.0, 2.0);
+        assert_eq!(g.utility(0, &[0, 1]), 1.0); // row plays 0 vs 1 -> c
+        assert_eq!(g.utility(1, &[0, 1]), 2.0); // column plays 1 vs 0 -> d
+        assert_eq!(g.utility(0, &[1, 1]), 3.0);
+        assert_eq!(g.utility(1, &[0, 0]), 5.0);
+    }
+}

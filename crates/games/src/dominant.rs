@@ -1,0 +1,192 @@
+//! Games with dominant strategies (Section 4).
+//!
+//! [`AllZeroDominantGame`] is the Theorem 4.3 construction: every player has `m`
+//! strategies and utility `0` when **everybody** plays `0` and `-1` otherwise.
+//! Strategy `0` is (weakly) dominant for every player, the dominant profile `0`
+//! is the unique pure Nash equilibrium, and the game is also a potential game
+//! with `Φ(x) = -u(x) ∈ {0, 1}` — which is what makes the `Ω(m^{n-1})`
+//! bottleneck argument work.
+//!
+//! [`BonusDominantGame`] is a smoother dominant-strategy family used in tests and
+//! experiments: player `i` receives a private bonus `bonus > 0` for playing `0`
+//! on top of an arbitrary congestion-free base reward, making `0` strictly
+//! dominant while keeping the game a potential game.
+
+use crate::game::{Game, PotentialGame};
+
+/// The Theorem 4.3 game: `u_i(x) = 0` if `x = (0,…,0)`, else `-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllZeroDominantGame {
+    n: usize,
+    m: usize,
+}
+
+impl AllZeroDominantGame {
+    /// Creates the game with `n ≥ 2` players and `m ≥ 2` strategies per player.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n >= 2, "Theorem 4.3 needs n >= 2 players");
+        assert!(m >= 2, "Theorem 4.3 needs m >= 2 strategies");
+        Self { n, m }
+    }
+
+    /// Number of players.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Strategies per player.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+impl Game for AllZeroDominantGame {
+    fn num_players(&self) -> usize {
+        self.n
+    }
+
+    fn num_strategies(&self, _player: usize) -> usize {
+        self.m
+    }
+
+    fn utility(&self, _player: usize, profile: &[usize]) -> f64 {
+        if profile.iter().all(|&x| x == 0) {
+            0.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+impl PotentialGame for AllZeroDominantGame {
+    fn potential(&self, profile: &[usize]) -> f64 {
+        if profile.iter().all(|&x| x == 0) {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn max_global_variation(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A strictly-dominant-strategy potential game: every player gets
+/// `bonus · [x_i = 0]` and the (cost) potential is
+/// `Φ(x) = bonus · #{i : x_i ≠ 0}`.
+///
+/// Unlike [`AllZeroDominantGame`], deviating players hurt only themselves, so the
+/// chain mixes fast for every β — a useful contrast case for the Section 4
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BonusDominantGame {
+    n: usize,
+    m: usize,
+    bonus: f64,
+}
+
+impl BonusDominantGame {
+    /// Creates the game; `bonus` must be positive so strategy `0` is strictly dominant.
+    pub fn new(n: usize, m: usize, bonus: f64) -> Self {
+        assert!(n >= 1 && m >= 2, "need at least one player and two strategies");
+        assert!(bonus > 0.0, "the dominant-strategy bonus must be positive");
+        Self { n, m, bonus }
+    }
+
+    /// The per-player bonus for playing the dominant strategy.
+    pub fn bonus(&self) -> f64 {
+        self.bonus
+    }
+}
+
+impl Game for BonusDominantGame {
+    fn num_players(&self) -> usize {
+        self.n
+    }
+
+    fn num_strategies(&self, _player: usize) -> usize {
+        self.m
+    }
+
+    fn utility(&self, player: usize, profile: &[usize]) -> f64 {
+        if profile[player] == 0 {
+            self.bonus
+        } else {
+            0.0
+        }
+    }
+}
+
+impl PotentialGame for BonusDominantGame {
+    fn potential(&self, profile: &[usize]) -> f64 {
+        self.bonus * profile.iter().filter(|&&x| x != 0).count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{
+        find_dominant_profile, find_pure_nash_equilibria, is_dominant_strategy,
+        verify_exact_potential,
+    };
+
+    #[test]
+    fn all_zero_game_utilities() {
+        let g = AllZeroDominantGame::new(3, 2);
+        assert_eq!(g.utility(0, &[0, 0, 0]), 0.0);
+        assert_eq!(g.utility(1, &[0, 1, 0]), -1.0);
+        assert_eq!(g.utility(2, &[1, 1, 1]), -1.0);
+        assert_eq!(g.num_profiles(), 8);
+    }
+
+    #[test]
+    fn zero_is_weakly_dominant_for_everyone() {
+        let g = AllZeroDominantGame::new(3, 3);
+        for player in 0..3 {
+            assert!(is_dominant_strategy(&g, player, 0));
+            assert!(!is_dominant_strategy(&g, player, 1));
+        }
+        assert_eq!(find_dominant_profile(&g), Some(vec![0, 0, 0]));
+    }
+
+    #[test]
+    fn all_zero_game_is_potential_game() {
+        let g = AllZeroDominantGame::new(3, 3);
+        assert!(verify_exact_potential(&g, 1e-12));
+        assert_eq!(g.max_global_variation(), 1.0);
+        assert_eq!(g.max_local_variation(), 1.0);
+    }
+
+    #[test]
+    fn unique_nash_is_all_zero_profile() {
+        let g = AllZeroDominantGame::new(2, 3);
+        let nash = find_pure_nash_equilibria(&g);
+        // All profiles except those reachable by improving to 0... in this game a
+        // profile x != 0 with at least two non-zero entries is also a (weak) Nash
+        // equilibrium because no single deviation restores the all-zero profile.
+        assert!(nash.contains(&vec![0, 0]));
+        // The dominant profile is the only profile with utility 0.
+        assert_eq!(g.utility(0, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn bonus_game_is_strictly_dominant_potential() {
+        let g = BonusDominantGame::new(4, 3, 1.5);
+        assert!(verify_exact_potential(&g, 1e-12));
+        for player in 0..4 {
+            assert!(is_dominant_strategy(&g, player, 0));
+        }
+        assert_eq!(find_dominant_profile(&g), Some(vec![0, 0, 0, 0]));
+        assert_eq!(g.potential(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(g.potential(&[1, 2, 0, 0]), 3.0);
+        assert_eq!(g.max_global_variation(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn too_few_players_rejected() {
+        let _ = AllZeroDominantGame::new(1, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Core game traits.
+
+use crate::profile::ProfileSpace;
+
+/// A finite strategic game.
+///
+/// Players are `0..num_players()`, the strategies of player `i` are
+/// `0..num_strategies(i)`, and `utility(i, x)` is player `i`'s payoff in profile
+/// `x` (a slice of one strategy per player).
+pub trait Game {
+    /// Number of players `n`.
+    fn num_players(&self) -> usize;
+
+    /// Number of strategies of player `i`.
+    fn num_strategies(&self, player: usize) -> usize;
+
+    /// Utility (payoff) of `player` in `profile`.
+    fn utility(&self, player: usize, profile: &[usize]) -> f64;
+
+    /// The profile space `S = S₁ × ⋯ × Sₙ` of the game.
+    fn profile_space(&self) -> ProfileSpace {
+        ProfileSpace::new(
+            (0..self.num_players())
+                .map(|i| self.num_strategies(i))
+                .collect(),
+        )
+    }
+
+    /// Largest strategy-set size `m = max_i |S_i|`.
+    fn max_strategies(&self) -> usize {
+        (0..self.num_players())
+            .map(|i| self.num_strategies(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of profiles `|S|`.
+    fn num_profiles(&self) -> usize {
+        self.profile_space().size()
+    }
+}
+
+/// An (exact) potential game.
+///
+/// The potential follows the paper's **cost convention** (eq. (1)):
+/// `u_i(a, x_{-i}) - u_i(b, x_{-i}) = Φ(b, x_{-i}) - Φ(a, x_{-i})` — improving a
+/// player's utility *decreases* the potential. Consequently the stationary
+/// distribution of the logit dynamics is the Gibbs measure
+/// `π(x) ∝ e^{-βΦ(x)}`, concentrated on potential *minimisers* as `β → ∞`.
+pub trait PotentialGame: Game {
+    /// Exact potential `Φ(x)` of the profile.
+    fn potential(&self, profile: &[usize]) -> f64;
+
+    /// Maximum global variation `ΔΦ = max Φ - min Φ` (Section 3.2).
+    ///
+    /// Default implementation enumerates the whole profile space; concrete games
+    /// with closed forms may override it.
+    fn max_global_variation(&self) -> f64 {
+        let space = self.profile_space();
+        let mut buf = vec![0usize; self.num_players()];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for idx in space.indices() {
+            space.write_profile(idx, &mut buf);
+            let phi = self.potential(&buf);
+            lo = lo.min(phi);
+            hi = hi.max(phi);
+        }
+        hi - lo
+    }
+
+    /// Maximum local variation
+    /// `δΦ = max{Φ(x) - Φ(y) : d(x, y) = 1}` (Section 3.2).
+    fn max_local_variation(&self) -> f64 {
+        let space = self.profile_space();
+        let mut buf = vec![0usize; self.num_players()];
+        let mut nbr = vec![0usize; self.num_players()];
+        let mut best: f64 = 0.0;
+        for idx in space.indices() {
+            space.write_profile(idx, &mut buf);
+            let phi = self.potential(&buf);
+            for (_, _, j) in space.deviations(idx) {
+                space.write_profile(j, &mut nbr);
+                let psi = self.potential(&nbr);
+                best = best.max((phi - psi).abs());
+            }
+        }
+        best
+    }
+
+    /// The minimum of the potential over all profiles.
+    fn min_potential(&self) -> f64 {
+        let space = self.profile_space();
+        let mut buf = vec![0usize; self.num_players()];
+        let mut lo = f64::INFINITY;
+        for idx in space.indices() {
+            space.write_profile(idx, &mut buf);
+            lo = lo.min(self.potential(&buf));
+        }
+        lo
+    }
+
+    /// The maximum of the potential over all profiles.
+    fn max_potential(&self) -> f64 {
+        let space = self.profile_space();
+        let mut buf = vec![0usize; self.num_players()];
+        let mut hi = f64::NEG_INFINITY;
+        for idx in space.indices() {
+            space.write_profile(idx, &mut buf);
+            hi = hi.max(self.potential(&buf));
+        }
+        hi
+    }
+}
+
+/// Blanket helper: any `&G` where `G: Game` is a game (lets the analysis
+/// functions take either owned games or references without extra generics).
+impl<G: Game + ?Sized> Game for &G {
+    fn num_players(&self) -> usize {
+        (**self).num_players()
+    }
+    fn num_strategies(&self, player: usize) -> usize {
+        (**self).num_strategies(player)
+    }
+    fn utility(&self, player: usize, profile: &[usize]) -> f64 {
+        (**self).utility(player, profile)
+    }
+}
+
+impl<G: PotentialGame + ?Sized> PotentialGame for &G {
+    fn potential(&self, profile: &[usize]) -> f64 {
+        (**self).potential(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-rolled potential game used to exercise the default methods:
+    /// two players, two strategies, Φ(x) = x₀ + 2·x₁, utilities u_i = -Φ.
+    struct Toy;
+
+    impl Game for Toy {
+        fn num_players(&self) -> usize {
+            2
+        }
+        fn num_strategies(&self, _player: usize) -> usize {
+            2
+        }
+        fn utility(&self, _player: usize, profile: &[usize]) -> f64 {
+            -(profile[0] as f64 + 2.0 * profile[1] as f64)
+        }
+    }
+
+    impl PotentialGame for Toy {
+        fn potential(&self, profile: &[usize]) -> f64 {
+            profile[0] as f64 + 2.0 * profile[1] as f64
+        }
+    }
+
+    #[test]
+    fn default_space_and_counts() {
+        let g = Toy;
+        assert_eq!(g.num_profiles(), 4);
+        assert_eq!(g.max_strategies(), 2);
+        let sp = g.profile_space();
+        assert_eq!(sp.size(), 4);
+    }
+
+    #[test]
+    fn default_variations() {
+        let g = Toy;
+        assert_eq!(g.max_global_variation(), 3.0);
+        assert_eq!(g.max_local_variation(), 2.0);
+        assert_eq!(g.min_potential(), 0.0);
+        assert_eq!(g.max_potential(), 3.0);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let g = Toy;
+        let r: &dyn PotentialGame = &g;
+        assert_eq!(r.num_players(), 2);
+        assert_eq!(r.potential(&[1, 1]), 3.0);
+        // &G blanket impl
+        let gref = &g;
+        assert_eq!(gref.max_global_variation(), 3.0);
+    }
+}

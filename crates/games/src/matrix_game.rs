@@ -1,0 +1,147 @@
+//! Two-player games in explicit (bimatrix) form.
+
+use crate::game::Game;
+
+/// A finite two-player game given by explicit payoff matrices.
+///
+/// `payoff_row[(i, j)]` is the row player's utility and `payoff_col[(i, j)]` the
+/// column player's when the row player picks strategy `i` and the column player
+/// strategy `j`. Stored row-major as `Vec`s to avoid pulling in the matrix type
+/// for what is just a lookup table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPlayerGame {
+    rows: usize,
+    cols: usize,
+    payoff_row: Vec<f64>,
+    payoff_col: Vec<f64>,
+}
+
+impl TwoPlayerGame {
+    /// Creates a bimatrix game.
+    ///
+    /// # Panics
+    /// Panics when the payoff tables do not have `rows × cols` entries.
+    pub fn new(rows: usize, cols: usize, payoff_row: Vec<f64>, payoff_col: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "both players need strategies");
+        assert_eq!(payoff_row.len(), rows * cols, "row payoff table size");
+        assert_eq!(payoff_col.len(), rows * cols, "column payoff table size");
+        Self {
+            rows,
+            cols,
+            payoff_row,
+            payoff_col,
+        }
+    }
+
+    /// A symmetric game: both players share the strategy count and
+    /// `payoff(i, j)` is the payoff of a player choosing `i` against `j`.
+    pub fn symmetric(m: usize, payoff: &[f64]) -> Self {
+        assert_eq!(payoff.len(), m * m);
+        let payoff_row = payoff.to_vec();
+        let mut payoff_col = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                payoff_col[i * m + j] = payoff[j * m + i];
+            }
+        }
+        Self::new(m, m, payoff_row, payoff_col)
+    }
+
+    /// Row player's payoff at `(i, j)`.
+    pub fn payoff_row(&self, i: usize, j: usize) -> f64 {
+        self.payoff_row[i * self.cols + j]
+    }
+
+    /// Column player's payoff at `(i, j)`.
+    pub fn payoff_col(&self, i: usize, j: usize) -> f64 {
+        self.payoff_col[i * self.cols + j]
+    }
+
+    /// Classic 2×2 prisoner's dilemma (dominant strategies, not a coordination game).
+    ///
+    /// Strategy 0 = defect, strategy 1 = cooperate, with the standard payoffs
+    /// T=5 > R=3 > P=1 > S=0.
+    pub fn prisoners_dilemma() -> Self {
+        // rows/cols: 0 = defect, 1 = cooperate
+        let row = vec![1.0, 5.0, 0.0, 3.0];
+        let col = vec![1.0, 0.0, 5.0, 3.0];
+        Self::new(2, 2, row, col)
+    }
+
+    /// Matching pennies (no pure Nash equilibrium, not a potential game).
+    pub fn matching_pennies() -> Self {
+        let row = vec![1.0, -1.0, -1.0, 1.0];
+        let col = vec![-1.0, 1.0, 1.0, -1.0];
+        Self::new(2, 2, row, col)
+    }
+}
+
+impl Game for TwoPlayerGame {
+    fn num_players(&self) -> usize {
+        2
+    }
+
+    fn num_strategies(&self, player: usize) -> usize {
+        match player {
+            0 => self.rows,
+            1 => self.cols,
+            _ => panic!("two-player game has players 0 and 1, asked for {player}"),
+        }
+    }
+
+    fn utility(&self, player: usize, profile: &[usize]) -> f64 {
+        let (i, j) = (profile[0], profile[1]);
+        match player {
+            0 => self.payoff_row(i, j),
+            1 => self.payoff_col(i, j),
+            _ => panic!("two-player game has players 0 and 1, asked for {player}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{find_dominant_profile, find_pure_nash_equilibria};
+
+    #[test]
+    fn payoff_lookup() {
+        let g = TwoPlayerGame::new(2, 3, vec![1., 2., 3., 4., 5., 6.], vec![6., 5., 4., 3., 2., 1.]);
+        assert_eq!(g.num_strategies(0), 2);
+        assert_eq!(g.num_strategies(1), 3);
+        assert_eq!(g.utility(0, &[1, 2]), 6.0);
+        assert_eq!(g.utility(1, &[0, 0]), 6.0);
+        assert_eq!(g.num_profiles(), 6);
+    }
+
+    #[test]
+    fn symmetric_game_transposes_column_payoffs() {
+        let g = TwoPlayerGame::symmetric(2, &[3.0, 0.0, 5.0, 1.0]);
+        // Row plays 0, column plays 1: row gets payoff(0 vs 1) = 0, column gets payoff(1 vs 0) = 5.
+        assert_eq!(g.utility(0, &[0, 1]), 0.0);
+        assert_eq!(g.utility(1, &[0, 1]), 5.0);
+    }
+
+    #[test]
+    fn prisoners_dilemma_has_defect_dominant() {
+        let g = TwoPlayerGame::prisoners_dilemma();
+        let dom = find_dominant_profile(&g);
+        assert_eq!(dom, Some(vec![0, 0]));
+        let nash = find_pure_nash_equilibria(&g);
+        assert_eq!(nash, vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pure_nash() {
+        let g = TwoPlayerGame::matching_pennies();
+        assert!(find_pure_nash_equilibria(&g).is_empty());
+        assert!(find_dominant_profile(&g).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "players 0 and 1")]
+    fn third_player_panics() {
+        let g = TwoPlayerGame::matching_pennies();
+        let _ = g.utility(2, &[0, 0]);
+    }
+}

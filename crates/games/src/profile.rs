@@ -1,0 +1,276 @@
+//! Strategy-profile space.
+//!
+//! A profile assigns one strategy to each player; the set of all profiles
+//! `S = S₁ × ⋯ × Sₙ` is the state space of the logit-dynamics Markov chain. The
+//! chain layer indexes states with a single `usize`, so this module provides the
+//! mixed-radix encoding between profile vectors and flat indices, plus the
+//! single-player-deviation neighbourhood structure (the Hamming graph on `S`)
+//! used throughout the paper's proofs.
+
+/// The space of strategy profiles of a game, with a mixed-radix flat indexing.
+///
+/// Player `i` has `sizes[i]` strategies labelled `0..sizes[i]`. The flat index of
+/// a profile is `Σ_i x_i · stride_i` with strides growing from player 0 upward,
+/// so player 0 is the fastest-varying coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSpace {
+    sizes: Vec<usize>,
+    strides: Vec<usize>,
+    total: usize,
+}
+
+impl ProfileSpace {
+    /// Creates a profile space from per-player strategy counts.
+    ///
+    /// # Panics
+    /// Panics if any player has zero strategies or if the total number of
+    /// profiles overflows `usize`.
+    pub fn new(sizes: Vec<usize>) -> Self {
+        assert!(
+            sizes.iter().all(|&s| s >= 1),
+            "every player needs at least one strategy"
+        );
+        let mut strides = Vec::with_capacity(sizes.len());
+        let mut total: usize = 1;
+        for &s in &sizes {
+            strides.push(total);
+            total = total
+                .checked_mul(s)
+                .expect("profile space size overflows usize");
+        }
+        Self {
+            sizes,
+            strides,
+            total,
+        }
+    }
+
+    /// Uniform space: `n` players with `m` strategies each.
+    pub fn uniform(n: usize, m: usize) -> Self {
+        Self::new(vec![m; n])
+    }
+
+    /// Number of players.
+    #[inline]
+    pub fn num_players(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of strategies of player `i`.
+    #[inline]
+    pub fn num_strategies(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// Largest strategy-set size `m` over all players.
+    pub fn max_strategies(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total number of profiles `|S|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.total
+    }
+
+    /// Flat index of a profile.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when the profile has the wrong length or a
+    /// strategy out of range.
+    #[inline]
+    pub fn index_of(&self, profile: &[usize]) -> usize {
+        debug_assert_eq!(profile.len(), self.sizes.len(), "profile length mismatch");
+        let mut idx = 0usize;
+        for (i, (&x, &stride)) in profile.iter().zip(&self.strides).enumerate() {
+            debug_assert!(x < self.sizes[i], "strategy {x} out of range for player {i}");
+            idx += x * stride;
+        }
+        idx
+    }
+
+    /// Profile corresponding to a flat index.
+    pub fn profile_of(&self, index: usize) -> Vec<usize> {
+        let mut buf = vec![0usize; self.sizes.len()];
+        self.write_profile(index, &mut buf);
+        buf
+    }
+
+    /// Writes the profile of `index` into `buf` without allocating.
+    pub fn write_profile(&self, index: usize, buf: &mut [usize]) {
+        debug_assert!(index < self.total, "index out of range");
+        debug_assert_eq!(buf.len(), self.sizes.len());
+        let mut rest = index;
+        for (i, &s) in self.sizes.iter().enumerate() {
+            buf[i] = rest % s;
+            rest /= s;
+        }
+    }
+
+    /// Strategy of player `i` in the profile with flat index `index`
+    /// (no full decode needed).
+    #[inline]
+    pub fn strategy_of(&self, index: usize, i: usize) -> usize {
+        (index / self.strides[i]) % self.sizes[i]
+    }
+
+    /// Flat index of the profile obtained from `index` by switching player `i`
+    /// to strategy `s`.
+    #[inline]
+    pub fn with_strategy(&self, index: usize, i: usize, s: usize) -> usize {
+        debug_assert!(s < self.sizes[i]);
+        let current = self.strategy_of(index, i);
+        // `index` always contains the `current * stride` contribution, so the
+        // subtraction cannot underflow.
+        index - current * self.strides[i] + s * self.strides[i]
+    }
+
+    /// Iterator over all flat indices.
+    pub fn indices(&self) -> impl Iterator<Item = usize> {
+        0..self.total
+    }
+
+    /// Iterator over all profiles (allocating one `Vec` per profile).
+    pub fn profiles(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.total).map(move |i| self.profile_of(i))
+    }
+
+    /// All single-player deviations of the profile `index`, as
+    /// `(player, new_strategy, neighbour_index)` with `new_strategy` different
+    /// from the current one.
+    pub fn deviations(&self, index: usize) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.num_players() {
+            let current = self.strategy_of(index, i);
+            for s in 0..self.sizes[i] {
+                if s != current {
+                    out.push((i, s, self.with_strategy(index, i, s)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Hamming distance between two profiles given by flat indices.
+    pub fn hamming_distance(&self, a: usize, b: usize) -> usize {
+        (0..self.num_players())
+            .filter(|&i| self.strategy_of(a, i) != self.strategy_of(b, i))
+            .count()
+    }
+
+    /// The number of single-player deviations from any profile:
+    /// `Σ_i (|S_i| - 1)`.
+    pub fn deviations_per_profile(&self) -> usize {
+        self.sizes.iter().map(|&s| s - 1).sum()
+    }
+}
+
+/// Converts an index over binary profiles to its Hamming weight (number of ones).
+///
+/// Only meaningful for spaces where every player has exactly two strategies;
+/// provided here because the paper's constructions on `{0,1}ⁿ` (Theorem 3.5,
+/// Section 5) are all phrased in terms of the weight `w(x)`.
+pub fn hamming_weight(space: &ProfileSpace, index: usize) -> usize {
+    (0..space.num_players())
+        .filter(|&i| space.strategy_of(index, i) == 1)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_strides() {
+        let sp = ProfileSpace::new(vec![2, 3, 2]);
+        assert_eq!(sp.size(), 12);
+        assert_eq!(sp.num_players(), 3);
+        assert_eq!(sp.num_strategies(1), 3);
+        assert_eq!(sp.max_strategies(), 3);
+        assert_eq!(sp.deviations_per_profile(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn index_profile_round_trip() {
+        let sp = ProfileSpace::new(vec![2, 3, 4]);
+        for idx in sp.indices() {
+            let p = sp.profile_of(idx);
+            assert_eq!(sp.index_of(&p), idx);
+            for (i, &x) in p.iter().enumerate() {
+                assert_eq!(sp.strategy_of(idx, i), x);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_binary_space_is_bitstrings() {
+        let sp = ProfileSpace::uniform(4, 2);
+        assert_eq!(sp.size(), 16);
+        // index 0b1011 -> profile [1,1,0,1] (player 0 fastest varying)
+        let p = sp.profile_of(0b1011);
+        assert_eq!(p, vec![1, 1, 0, 1]);
+        assert_eq!(hamming_weight(&sp, 0b1011), 3);
+        assert_eq!(hamming_weight(&sp, 0), 0);
+        assert_eq!(hamming_weight(&sp, 0b1111), 4);
+    }
+
+    #[test]
+    fn with_strategy_moves_one_coordinate() {
+        let sp = ProfileSpace::new(vec![3, 3]);
+        let idx = sp.index_of(&[1, 2]);
+        let moved = sp.with_strategy(idx, 0, 0);
+        assert_eq!(sp.profile_of(moved), vec![0, 2]);
+        let same = sp.with_strategy(idx, 1, 2);
+        assert_eq!(same, idx);
+    }
+
+    #[test]
+    fn deviations_enumerate_hamming_neighbours() {
+        let sp = ProfileSpace::new(vec![2, 3]);
+        let idx = sp.index_of(&[0, 1]);
+        let devs = sp.deviations(idx);
+        assert_eq!(devs.len(), sp.deviations_per_profile());
+        for (player, new_s, nbr) in devs {
+            assert_eq!(sp.hamming_distance(idx, nbr), 1);
+            assert_eq!(sp.strategy_of(nbr, player), new_s);
+        }
+    }
+
+    #[test]
+    fn hamming_distance_examples() {
+        let sp = ProfileSpace::uniform(3, 2);
+        let a = sp.index_of(&[0, 0, 0]);
+        let b = sp.index_of(&[1, 1, 1]);
+        let c = sp.index_of(&[1, 0, 0]);
+        assert_eq!(sp.hamming_distance(a, b), 3);
+        assert_eq!(sp.hamming_distance(a, c), 1);
+        assert_eq!(sp.hamming_distance(a, a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strategy")]
+    fn zero_strategy_rejected() {
+        let _ = ProfileSpace::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn profiles_iterator_covers_space() {
+        let sp = ProfileSpace::new(vec![2, 2, 3]);
+        let all: Vec<Vec<usize>> = sp.profiles().collect();
+        assert_eq!(all.len(), 12);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+    }
+
+    #[test]
+    fn write_profile_matches_profile_of() {
+        let sp = ProfileSpace::new(vec![4, 2, 3]);
+        let mut buf = vec![0; 3];
+        for idx in sp.indices() {
+            sp.write_profile(idx, &mut buf);
+            assert_eq!(buf, sp.profile_of(idx));
+        }
+    }
+}

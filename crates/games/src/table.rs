@@ -1,0 +1,223 @@
+//! Explicit table-form games.
+//!
+//! [`TableGame`] stores every player's utility for every profile; it is the
+//! general-form representation used by the randomised tests and as a target for
+//! converting any other game. [`TablePotentialGame`] builds an *exact potential
+//! game* from an arbitrary potential table by defining every player's utility as
+//! `-Φ` (a team/identical-interest game), which is the standard way to realise
+//! an arbitrary potential function as a game — this is exactly what the paper
+//! does implicitly in the Theorem 3.5 and Theorem 4.3 constructions.
+
+use crate::game::{Game, PotentialGame};
+use crate::profile::ProfileSpace;
+use rand::Rng;
+
+/// A game stored as explicit per-player utility tables indexed by flat profile index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableGame {
+    space: ProfileSpace,
+    /// `utilities[player][profile_index]`.
+    utilities: Vec<Vec<f64>>,
+}
+
+impl TableGame {
+    /// Creates a table game.
+    ///
+    /// # Panics
+    /// Panics when the utility tables do not match the profile-space size.
+    pub fn new(space: ProfileSpace, utilities: Vec<Vec<f64>>) -> Self {
+        assert_eq!(
+            utilities.len(),
+            space.num_players(),
+            "one utility table per player"
+        );
+        for (i, table) in utilities.iter().enumerate() {
+            assert_eq!(
+                table.len(),
+                space.size(),
+                "utility table of player {i} has wrong size"
+            );
+        }
+        Self { space, utilities }
+    }
+
+    /// Materialises any game into table form.
+    pub fn from_game<G: Game>(game: &G) -> Self {
+        let space = game.profile_space();
+        let mut buf = vec![0usize; game.num_players()];
+        let utilities = (0..game.num_players())
+            .map(|player| {
+                space
+                    .indices()
+                    .map(|idx| {
+                        space.write_profile(idx, &mut buf);
+                        game.utility(player, &buf)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { space, utilities }
+    }
+
+    /// A uniformly random game: utilities i.i.d. uniform on `[-1, 1]`.
+    pub fn random<R: Rng + ?Sized>(sizes: Vec<usize>, rng: &mut R) -> Self {
+        let space = ProfileSpace::new(sizes);
+        let utilities = (0..space.num_players())
+            .map(|_| (0..space.size()).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        Self { space, utilities }
+    }
+
+    /// Direct access to the underlying space (shared indexing with callers).
+    pub fn space(&self) -> &ProfileSpace {
+        &self.space
+    }
+}
+
+impl Game for TableGame {
+    fn num_players(&self) -> usize {
+        self.space.num_players()
+    }
+
+    fn num_strategies(&self, player: usize) -> usize {
+        self.space.num_strategies(player)
+    }
+
+    fn utility(&self, player: usize, profile: &[usize]) -> f64 {
+        self.utilities[player][self.space.index_of(profile)]
+    }
+}
+
+/// An exact potential game built from an explicit potential table.
+///
+/// Every player's utility is `-Φ(x)` (identical-interest game), which trivially
+/// satisfies eq. (1) of the paper with potential `Φ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TablePotentialGame {
+    space: ProfileSpace,
+    potential: Vec<f64>,
+}
+
+impl TablePotentialGame {
+    /// Creates a potential game from a potential table indexed by flat profile index.
+    ///
+    /// # Panics
+    /// Panics when the table size does not match the profile space.
+    pub fn new(space: ProfileSpace, potential: Vec<f64>) -> Self {
+        assert_eq!(potential.len(), space.size(), "potential table size mismatch");
+        assert!(
+            potential.iter().all(|p| p.is_finite()),
+            "potential values must be finite"
+        );
+        Self { space, potential }
+    }
+
+    /// Builds the table by evaluating `phi` on every profile.
+    pub fn from_fn<F: FnMut(&[usize]) -> f64>(space: ProfileSpace, mut phi: F) -> Self {
+        let mut buf = vec![0usize; space.num_players()];
+        let potential = space
+            .indices()
+            .map(|idx| {
+                space.write_profile(idx, &mut buf);
+                phi(&buf)
+            })
+            .collect();
+        Self::new(space, potential)
+    }
+
+    /// A random potential game: potential values i.i.d. uniform on `[0, scale]`.
+    pub fn random<R: Rng + ?Sized>(sizes: Vec<usize>, scale: f64, rng: &mut R) -> Self {
+        let space = ProfileSpace::new(sizes);
+        let potential = (0..space.size()).map(|_| rng.gen_range(0.0..scale)).collect();
+        Self::new(space, potential)
+    }
+
+    /// Potential by flat index (avoids re-encoding the profile).
+    pub fn potential_by_index(&self, index: usize) -> f64 {
+        self.potential[index]
+    }
+
+    /// The underlying profile space.
+    pub fn space(&self) -> &ProfileSpace {
+        &self.space
+    }
+}
+
+impl Game for TablePotentialGame {
+    fn num_players(&self) -> usize {
+        self.space.num_players()
+    }
+
+    fn num_strategies(&self, player: usize) -> usize {
+        self.space.num_strategies(player)
+    }
+
+    fn utility(&self, _player: usize, profile: &[usize]) -> f64 {
+        -self.potential[self.space.index_of(profile)]
+    }
+}
+
+impl PotentialGame for TablePotentialGame {
+    fn potential(&self, profile: &[usize]) -> f64 {
+        self.potential[self.space.index_of(profile)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::verify_exact_potential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_game_round_trip_through_from_game() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = TableGame::random(vec![2, 3], &mut rng);
+        let h = TableGame::from_game(&g);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn table_potential_game_satisfies_eq_1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = TablePotentialGame::random(vec![2, 2, 3], 5.0, &mut rng);
+        assert!(verify_exact_potential(&g, 1e-9));
+    }
+
+    #[test]
+    fn from_fn_matches_direct_evaluation() {
+        let space = ProfileSpace::uniform(3, 2);
+        let g = TablePotentialGame::from_fn(space.clone(), |p| {
+            p.iter().map(|&x| x as f64).sum::<f64>()
+        });
+        assert_eq!(g.potential(&[0, 0, 0]), 0.0);
+        assert_eq!(g.potential(&[1, 1, 1]), 3.0);
+        assert_eq!(g.potential_by_index(space.index_of(&[1, 0, 1])), 2.0);
+        assert_eq!(g.max_global_variation(), 3.0);
+        assert_eq!(g.max_local_variation(), 1.0);
+    }
+
+    #[test]
+    fn utilities_are_negated_potential() {
+        let space = ProfileSpace::uniform(2, 2);
+        let g = TablePotentialGame::from_fn(space, |p| (p[0] + 2 * p[1]) as f64);
+        for player in 0..2 {
+            assert_eq!(g.utility(player, &[1, 1]), -3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_table_size_rejected() {
+        let space = ProfileSpace::uniform(2, 2);
+        let _ = TablePotentialGame::new(space, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_potential_rejected() {
+        let space = ProfileSpace::uniform(1, 2);
+        let _ = TablePotentialGame::new(space, vec![0.0, f64::NAN]);
+    }
+}

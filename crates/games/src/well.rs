@@ -1,0 +1,176 @@
+//! The Theorem 3.5 lower-bound construction ("well" potential).
+//!
+//! For target global variation `g = ΔΦ` and local variation `l = δΦ` with
+//! `2g/n ≤ l ≤ g`, set `c = g/l` and define on `{0,1}ⁿ`
+//!
+//! `Φ(x) = -l · min{ c, |c - w(x)| }`
+//!
+//! where `w(x)` is the Hamming weight of `x`. The potential has two "wells" of
+//! depth `g` (around `w = 0` and `w ≥ 2c`), separated by a ridge of maximal
+//! potential `0` at `w(x) = c`. The bottleneck at the ridge forces the logit
+//! dynamics to take time `e^{βΔΦ(1-o(1))}` to cross (Theorem 3.5), matching the
+//! Theorem 3.4 upper bound.
+//!
+//! The game realising the potential is the identical-interest game `u_i = -Φ`.
+
+use crate::game::{Game, PotentialGame};
+
+/// The potential-game family of Theorem 3.5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WellGame {
+    n: usize,
+    /// Local variation `l = δΦ`.
+    local: f64,
+    /// The ridge location `c = g / l`.
+    c: f64,
+}
+
+impl WellGame {
+    /// Creates the game with `n` players, global variation `global = ΔΦ` and
+    /// local variation `local = δΦ`.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 2`, both variations are positive and
+    /// `2·global/n ≤ local ≤ global` (the admissible range in Theorem 3.5).
+    pub fn new(n: usize, global: f64, local: f64) -> Self {
+        assert!(n >= 2, "need at least two players");
+        assert!(global > 0.0 && local > 0.0, "variations must be positive");
+        assert!(
+            local <= global + 1e-12,
+            "local variation cannot exceed the global variation"
+        );
+        assert!(
+            local + 1e-12 >= 2.0 * global / n as f64,
+            "Theorem 3.5 requires local >= 2*global/n (got local={local}, 2g/n={})",
+            2.0 * global / n as f64
+        );
+        Self {
+            n,
+            local,
+            c: global / local,
+        }
+    }
+
+    /// The simplest instance: `ΔΦ = δΦ = L`, i.e. `c = 1` — a single-step ridge.
+    /// This is the "two ground states separated by a uniform plateau of height L"
+    /// example discussed before Theorem 3.5.
+    pub fn plateau(n: usize, height: f64) -> Self {
+        Self::new(n, height, height)
+    }
+
+    /// Number of players.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Target global variation `g = ΔΦ`.
+    pub fn global_variation(&self) -> f64 {
+        self.c * self.local
+    }
+
+    /// Target local variation `l = δΦ`.
+    pub fn local_variation(&self) -> f64 {
+        self.local
+    }
+
+    /// The ridge location `c = g / l`.
+    pub fn ridge(&self) -> f64 {
+        self.c
+    }
+
+    /// Potential as a function of the Hamming weight `w(x)` alone.
+    pub fn potential_by_weight(&self, weight: usize) -> f64 {
+        let w = weight as f64;
+        -self.local * self.c.min((self.c - w).abs())
+    }
+}
+
+impl Game for WellGame {
+    fn num_players(&self) -> usize {
+        self.n
+    }
+
+    fn num_strategies(&self, _player: usize) -> usize {
+        2
+    }
+
+    fn utility(&self, _player: usize, profile: &[usize]) -> f64 {
+        -self.potential(profile)
+    }
+}
+
+impl PotentialGame for WellGame {
+    fn potential(&self, profile: &[usize]) -> f64 {
+        let weight = profile.iter().filter(|&&x| x == 1).count();
+        self.potential_by_weight(weight)
+    }
+
+    fn max_global_variation(&self) -> f64 {
+        self.global_variation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::verify_exact_potential;
+
+    #[test]
+    fn plateau_instance_shape() {
+        let g = WellGame::plateau(4, 2.0);
+        // Φ(0) = Φ(weight n) = -2, everything in between ... c = 1, so
+        // weight 1 gives |1-1| = 0 -> Φ = 0 ; weight 2 gives min(1, 1) -> -2.
+        assert_eq!(g.potential_by_weight(0), -2.0);
+        assert_eq!(g.potential_by_weight(1), 0.0);
+        assert_eq!(g.potential_by_weight(2), -2.0);
+        assert_eq!(g.potential_by_weight(4), -2.0);
+        assert_eq!(g.potential(&[0, 0, 0, 0]), -2.0);
+        assert_eq!(g.potential(&[1, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn variations_match_requested_values() {
+        let g = WellGame::new(8, 6.0, 2.0); // c = 3
+        assert_eq!(g.ridge(), 3.0);
+        assert_eq!(g.global_variation(), 6.0);
+        assert_eq!(g.local_variation(), 2.0);
+        // Enumerate: ΔΦ and δΦ really are as requested.
+        assert!((g.max_global_variation() - 6.0).abs() < 1e-12);
+        assert!((g.max_local_variation() - 2.0).abs() < 1e-12);
+        // min at weight 0 (and at weights >= 2c), max (= 0) at weight c.
+        assert_eq!(g.potential_by_weight(0), -6.0);
+        assert_eq!(g.potential_by_weight(3), 0.0);
+        assert_eq!(g.potential_by_weight(6), -6.0);
+        assert_eq!(g.potential_by_weight(8), -6.0);
+    }
+
+    #[test]
+    fn symmetric_around_ridge() {
+        let g = WellGame::new(10, 8.0, 2.0); // c = 4
+        for d in 0..4 {
+            assert!(
+                (g.potential_by_weight(4 - d) - g.potential_by_weight(4 + d)).abs() < 1e-12,
+                "potential should be symmetric around the ridge"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_interest_game_is_exact_potential() {
+        let g = WellGame::new(5, 4.0, 2.0);
+        assert!(verify_exact_potential(&g, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "local >= 2*global/n")]
+    fn local_variation_too_small_rejected() {
+        // n = 4, g = 10, l = 1  => 2g/n = 5 > 1.
+        let _ = WellGame::new(4, 10.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn local_variation_above_global_rejected() {
+        let _ = WellGame::new(4, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the game substrate.
+
+use logit_games::analysis::{best_response_dynamics, is_pure_nash, verify_exact_potential};
+use logit_games::{
+    CoordinationGame, Game, GraphicalCoordinationGame, PotentialGame, ProfileSpace,
+    TablePotentialGame, WellGame,
+};
+use logit_graphs::GraphBuilder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any potential table yields an exact potential game, and the global
+    /// variation always dominates the local variation.
+    #[test]
+    fn table_potential_games_are_exact(seed in 0u64..10_000, n in 2usize..4, m in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = TablePotentialGame::random(vec![m; n], 5.0, &mut rng);
+        prop_assert!(verify_exact_potential(&g, 1e-9));
+        prop_assert!(g.max_global_variation() + 1e-12 >= g.max_local_variation());
+        prop_assert!(g.max_local_variation() >= 0.0);
+    }
+
+    /// Best-response dynamics converges to a pure Nash equilibrium in every
+    /// potential game (finite improvement property).
+    #[test]
+    fn best_response_converges_in_potential_games(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = TablePotentialGame::random(vec![2, 2, 3], 3.0, &mut rng);
+        let (profile, converged) = best_response_dynamics(&g, &[0, 0, 0], 200);
+        prop_assert!(converged);
+        prop_assert!(is_pure_nash(&g, &profile));
+    }
+
+    /// Graphical coordination games: the potential of any profile is between the
+    /// potential of the two consensus profiles... more precisely it is at least
+    /// -|E|·max(δ0,δ1) and at most 0, and the consensus profiles are Nash.
+    #[test]
+    fn graphical_coordination_invariants(
+        n in 3usize..7,
+        d0 in 0.5f64..3.0,
+        d1 in 0.5f64..3.0,
+        profile_bits in 0usize..128,
+    ) {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(n),
+            CoordinationGame::from_deltas(d0, d1),
+        );
+        let edges = game.graph().num_edges() as f64;
+        let space = game.profile_space();
+        let idx = profile_bits % space.size();
+        let profile = space.profile_of(idx);
+        let phi = game.potential(&profile);
+        prop_assert!(phi <= 1e-12);
+        prop_assert!(phi >= -edges * d0.max(d1) - 1e-12);
+        prop_assert!(is_pure_nash(&game, &vec![0usize; n]));
+        prop_assert!(is_pure_nash(&game, &vec![1usize; n]));
+    }
+
+    /// The well game's variations equal the requested (global, local) pair
+    /// whenever the Theorem 3.5 constraints hold.
+    #[test]
+    fn well_game_variations(n in 4usize..9, l in 1.0f64..3.0, mult in 1usize..3) {
+        let g_total = l * mult as f64; // global = local * integer c keeps c <= n/2 for mult <= 2, n >= 4
+        prop_assume!(g_total / l <= n as f64 / 2.0);
+        let game = WellGame::new(n, g_total, l);
+        prop_assert!((game.max_global_variation() - g_total).abs() < 1e-9);
+        prop_assert!((game.max_local_variation() - l).abs() < 1e-9);
+        prop_assert!(verify_exact_potential(&game, 1e-9));
+    }
+
+    /// Profile space round-trips and Hamming-distance symmetry.
+    #[test]
+    fn profile_space_roundtrip(sizes in prop::collection::vec(2usize..4, 1..5), a in 0usize..500, b in 0usize..500) {
+        let space = ProfileSpace::new(sizes);
+        let ia = a % space.size();
+        let ib = b % space.size();
+        prop_assert_eq!(space.index_of(&space.profile_of(ia)), ia);
+        prop_assert_eq!(space.hamming_distance(ia, ib), space.hamming_distance(ib, ia));
+        prop_assert_eq!(space.hamming_distance(ia, ia), 0);
+    }
+}

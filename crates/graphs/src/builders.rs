@@ -1,0 +1,274 @@
+//! Standard graph topologies.
+//!
+//! The paper's Section 5 studies graphical coordination games on a general graph
+//! (Theorem 5.1, parameterised by cutwidth), on the clique (Theorem 5.5) and on
+//! the ring (Theorems 5.6–5.7). The experiment harness sweeps over these plus a
+//! handful of other classic topologies with known or easily-computed cutwidths.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Factory for the standard topologies used in the experiments.
+///
+/// All constructors return simple undirected graphs on vertices `0..n`.
+pub struct GraphBuilder;
+
+impl GraphBuilder {
+    /// Path `0 - 1 - ... - (n-1)`.
+    pub fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// Ring (cycle) on `n ≥ 3` vertices.
+    ///
+    /// # Panics
+    /// Panics for `n < 3` (a cycle needs at least three vertices to be simple).
+    pub fn ring(n: usize) -> Graph {
+        assert!(n >= 3, "a ring needs at least 3 vertices, got {n}");
+        let mut g = Self::path(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    /// Complete graph (clique) on `n` vertices.
+    pub fn clique(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Star with centre `0` and `n - 1` leaves.
+    pub fn star(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge(0, v);
+        }
+        g
+    }
+
+    /// `rows × cols` grid graph (4-neighbour lattice).
+    pub fn grid(rows: usize, cols: usize) -> Graph {
+        let n = rows * cols;
+        let mut g = Graph::new(n);
+        let idx = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    g.add_edge(idx(r, c), idx(r, c + 1));
+                }
+                if r + 1 < rows {
+                    g.add_edge(idx(r, c), idx(r + 1, c));
+                }
+            }
+        }
+        g
+    }
+
+    /// `rows × cols` torus (grid with wrap-around), requires `rows, cols ≥ 3`
+    /// so that wrap-around edges are neither self-loops nor duplicates.
+    pub fn torus(rows: usize, cols: usize) -> Graph {
+        assert!(
+            rows >= 3 && cols >= 3,
+            "torus requires both dimensions >= 3, got {rows}x{cols}"
+        );
+        let mut g = Self::grid(rows, cols);
+        let idx = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            g.add_edge(idx(r, cols - 1), idx(r, 0));
+        }
+        for c in 0..cols {
+            g.add_edge(idx(rows - 1, c), idx(0, c));
+        }
+        g
+    }
+
+    /// Hypercube on `2^d` vertices; vertices are adjacent when their indices
+    /// differ in exactly one bit.
+    pub fn hypercube(d: usize) -> Graph {
+        let n = 1usize << d;
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for b in 0..d {
+                let v = u ^ (1 << b);
+                if u < v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Complete bipartite graph `K_{a,b}`; the first `a` vertices form one side.
+    pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+        let mut g = Graph::new(a + b);
+        for u in 0..a {
+            for v in 0..b {
+                g.add_edge(u, a + v);
+            }
+        }
+        g
+    }
+
+    /// Complete binary tree with `n` vertices in heap order
+    /// (vertex `i` has children `2i+1` and `2i+2`).
+    pub fn binary_tree(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i, (i - 1) / 2);
+        }
+        g
+    }
+
+    /// Erdős–Rényi random graph `G(n, p)`.
+    pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// A connected Erdős–Rényi sample: draws `G(n, p)` repeatedly (up to
+    /// `max_attempts`) until a connected graph is found, otherwise connects the
+    /// components with a spanning path and returns the result.
+    pub fn connected_erdos_renyi<R: Rng + ?Sized>(
+        n: usize,
+        p: f64,
+        rng: &mut R,
+        max_attempts: usize,
+    ) -> Graph {
+        for _ in 0..max_attempts {
+            let g = Self::erdos_renyi(n, p, rng);
+            if crate::traversal::is_connected(&g) {
+                return g;
+            }
+        }
+        let mut g = Self::erdos_renyi(n, p, rng);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_properties() {
+        let g = GraphBuilder::path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ring_is_2_regular() {
+        let g = GraphBuilder::ring(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_regular(2));
+        assert!(g.has_edge(5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small_panics() {
+        let _ = GraphBuilder::ring(2);
+    }
+
+    #[test]
+    fn clique_edge_count() {
+        for n in 1..8 {
+            let g = GraphBuilder::clique(n);
+            assert_eq!(g.num_edges(), n * (n - 1) / 2);
+            if n > 1 {
+                assert!(g.is_regular(n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = GraphBuilder::star(7);
+        assert_eq!(g.degree(0), 6);
+        for v in 1..7 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn grid_and_torus_edge_counts() {
+        let g = GraphBuilder::grid(3, 4);
+        // 3*3 horizontal + 2*4 vertical = 9 + 8 = 17
+        assert_eq!(g.num_edges(), 17);
+        let t = GraphBuilder::torus(3, 4);
+        // torus on r x c has 2*r*c edges
+        assert_eq!(t.num_edges(), 24);
+        assert!(t.is_regular(4));
+    }
+
+    #[test]
+    fn hypercube_is_d_regular() {
+        for d in 1..5 {
+            let g = GraphBuilder::hypercube(d);
+            assert_eq!(g.num_vertices(), 1 << d);
+            assert!(g.is_regular(d));
+            assert_eq!(g.num_edges(), d * (1 << d) / 2);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = GraphBuilder::complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn binary_tree_is_tree() {
+        let g = GraphBuilder::binary_tree(10);
+        assert_eq!(g.num_edges(), 9);
+        assert!(is_connected(&g));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(4, 9));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = GraphBuilder::erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = GraphBuilder::erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn connected_erdos_renyi_is_connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let g = GraphBuilder::connected_erdos_renyi(12, 0.15, &mut rng, 50);
+            assert!(is_connected(&g));
+        }
+    }
+}

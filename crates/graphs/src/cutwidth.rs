@@ -1,0 +1,372 @@
+//! Cutwidth of a graph.
+//!
+//! For an ordering `ℓ` of the vertices, the paper (eq. (12)) defines
+//! `E^ℓ_i = {(j,h) ∈ E : j ≤_ℓ i <_ℓ h}` — the edges crossing the gap just after
+//! vertex `i` — and the cutwidth of the ordering as `χ(ℓ) = max_i |E^ℓ_i|`. The
+//! cutwidth of the graph, `χ(G) = min_ℓ χ(ℓ)`, appears in the exponent of the
+//! Theorem 5.1 mixing-time bound for graphical coordination games.
+//!
+//! Computing `χ(G)` is NP-hard in general, so three routes are provided:
+//!
+//! * [`cutwidth_of_ordering`] — evaluate a given linear arrangement,
+//! * [`cutwidth_exact`] — the classic `O(2ⁿ·n)` dynamic program over vertex
+//!   subsets (the cut induced by a prefix depends only on the *set* of placed
+//!   vertices), practical for `n ≲ 22`, which also reconstructs an optimal
+//!   ordering,
+//! * [`cutwidth_heuristic`] — greedy prefix growth plus adjacent-swap local
+//!   search, used as an upper bound for larger graphs and as a cross-check.
+
+use crate::graph::Graph;
+use crate::ordering::VertexOrdering;
+use rand::Rng;
+
+/// Result of a cutwidth computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutwidthResult {
+    /// The cutwidth value achieved.
+    pub cutwidth: usize,
+    /// An ordering achieving it.
+    pub ordering: VertexOrdering,
+}
+
+/// Cutwidth `χ(ℓ)` of a specific ordering.
+pub fn cutwidth_of_ordering(g: &Graph, ordering: &VertexOrdering) -> usize {
+    assert_eq!(
+        ordering.len(),
+        g.num_vertices(),
+        "ordering length must match vertex count"
+    );
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    // Sweep positions left to right maintaining the number of edges crossing the
+    // current gap: an edge {u,v} with positions p_u < p_v crosses gaps p_u .. p_v-1.
+    let mut crossing = vec![0isize; n + 1];
+    for (u, v) in g.edges() {
+        let (a, b) = {
+            let pu = ordering.position_of(u);
+            let pv = ordering.position_of(v);
+            (pu.min(pv), pu.max(pv))
+        };
+        crossing[a + 1] += 1;
+        crossing[b + 1] -= 1;
+    }
+    let mut max = 0isize;
+    let mut cur = 0isize;
+    for k in 1..n {
+        cur += crossing[k];
+        max = max.max(cur);
+    }
+    max as usize
+}
+
+/// Exact cutwidth via dynamic programming over subsets.
+///
+/// `f(S)` = the minimum over orderings that place exactly the vertices of `S`
+/// first (in some order) of the maximum cut seen while placing them; the cut
+/// after placing `S` is `|E(S, V∖S)|`, which depends only on `S`. Hence
+/// `f(S) = min_{v ∈ S} max(f(S∖{v}), cut(S))`.
+///
+/// # Panics
+/// Panics when `n > 25` — the `2ⁿ` table would be too large; use
+/// [`cutwidth_heuristic`] instead.
+pub fn cutwidth_exact(g: &Graph) -> CutwidthResult {
+    let n = g.num_vertices();
+    assert!(
+        n <= 25,
+        "exact cutwidth DP limited to 25 vertices, got {n}; use cutwidth_heuristic"
+    );
+    if n == 0 {
+        return CutwidthResult {
+            cutwidth: 0,
+            ordering: VertexOrdering::identity(0),
+        };
+    }
+
+    let full: usize = if n == usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1usize << n) - 1
+    };
+    let size = 1usize << n;
+
+    // cut[s] = number of edges with exactly one endpoint in s.
+    // Computed incrementally: adding vertex v to s changes the cut by
+    // deg(v) - 2 * |neighbors of v already in s|.
+    let mut cut = vec![0u32; size];
+    let mut f = vec![u32::MAX; size];
+    let mut choice = vec![usize::MAX; size];
+    f[0] = 0;
+
+    for s in 1..size {
+        // Lowest set bit gives an incremental parent for the cut computation.
+        let v = s.trailing_zeros() as usize;
+        let prev = s & !(1 << v);
+        let mut inside = 0u32;
+        for &w in g.neighbors(v) {
+            if prev & (1 << w) != 0 {
+                inside += 1;
+            }
+        }
+        cut[s] = cut[prev] + g.degree(v) as u32 - 2 * inside;
+
+        // DP transition.
+        let mut best = u32::MAX;
+        let mut best_v = usize::MAX;
+        let mut rem = s;
+        while rem != 0 {
+            let v = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            let without = s & !(1 << v);
+            let candidate = f[without].max(cut[s]);
+            if candidate < best {
+                best = candidate;
+                best_v = v;
+            }
+        }
+        f[s] = best;
+        choice[s] = best_v;
+    }
+
+    // Reconstruct an optimal ordering by unwinding the choices.
+    let mut order_rev = Vec::with_capacity(n);
+    let mut s = full;
+    while s != 0 {
+        let v = choice[s];
+        order_rev.push(v);
+        s &= !(1 << v);
+    }
+    order_rev.reverse();
+    let ordering = VertexOrdering::new(order_rev).expect("DP reconstruction yields a permutation");
+    let cutwidth = f[full] as usize;
+    debug_assert_eq!(cutwidth_of_ordering(g, &ordering), cutwidth);
+    CutwidthResult { cutwidth, ordering }
+}
+
+/// Greedy + local-search heuristic upper bound on the cutwidth.
+///
+/// Builds an ordering greedily (always appending the unplaced vertex that
+/// minimises the resulting running cut, breaking ties towards vertices with more
+/// already-placed neighbours) from several random starts, then improves it with
+/// adjacent-position swaps until no swap helps.
+pub fn cutwidth_heuristic<R: Rng + ?Sized>(g: &Graph, rng: &mut R, restarts: usize) -> CutwidthResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CutwidthResult {
+            cutwidth: 0,
+            ordering: VertexOrdering::identity(0),
+        };
+    }
+    let mut best: Option<CutwidthResult> = None;
+    for _ in 0..restarts.max(1) {
+        let start = rng.gen_range(0..n);
+        let ordering = greedy_from(g, start);
+        let improved = local_search(g, ordering);
+        let value = cutwidth_of_ordering(g, &improved);
+        if best.as_ref().map(|b| value < b.cutwidth).unwrap_or(true) {
+            best = Some(CutwidthResult {
+                cutwidth: value,
+                ordering: improved,
+            });
+        }
+    }
+    best.expect("at least one restart")
+}
+
+fn greedy_from(g: &Graph, start: usize) -> VertexOrdering {
+    let n = g.num_vertices();
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur_cut: isize = 0;
+    placed[start] = true;
+    order.push(start);
+    cur_cut += g.degree(start) as isize;
+
+    while order.len() < n {
+        let mut best_v = usize::MAX;
+        let mut best_cut = isize::MAX;
+        let mut best_inside = 0usize;
+        for v in 0..n {
+            if placed[v] {
+                continue;
+            }
+            let inside = g.neighbors(v).iter().filter(|&&w| placed[w]).count();
+            let new_cut = cur_cut + g.degree(v) as isize - 2 * inside as isize;
+            if new_cut < best_cut || (new_cut == best_cut && inside > best_inside) {
+                best_cut = new_cut;
+                best_v = v;
+                best_inside = inside;
+            }
+        }
+        placed[best_v] = true;
+        order.push(best_v);
+        cur_cut = best_cut;
+    }
+    VertexOrdering::new(order).expect("greedy places every vertex once")
+}
+
+fn local_search(g: &Graph, mut ordering: VertexOrdering) -> VertexOrdering {
+    let n = ordering.len();
+    if n < 2 {
+        return ordering;
+    }
+    let mut current = cutwidth_of_ordering(g, &ordering);
+    loop {
+        let mut improved = false;
+        for k in 0..(n - 1) {
+            ordering.swap_positions(k, k + 1);
+            let candidate = cutwidth_of_ordering(g, &ordering);
+            if candidate < current {
+                current = candidate;
+                improved = true;
+            } else {
+                ordering.swap_positions(k, k + 1); // undo
+            }
+        }
+        if !improved {
+            return ordering;
+        }
+    }
+}
+
+/// Closed-form cutwidths for the standard topologies (used as cross-checks).
+///
+/// * path `P_n` (n ≥ 2): 1
+/// * ring `C_n` (n ≥ 3): 2
+/// * clique `K_n`: `⌊n/2⌋·⌈n/2⌉ = ⌊n²/4⌋`
+/// * star `K_{1,L}`: `⌈L/2⌉`
+pub mod closed_forms {
+    /// Cutwidth of the path on `n ≥ 2` vertices.
+    pub fn path(n: usize) -> usize {
+        if n >= 2 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Cutwidth of the ring on `n ≥ 3` vertices.
+    pub fn ring(_n: usize) -> usize {
+        2
+    }
+
+    /// Cutwidth of the clique on `n` vertices.
+    pub fn clique(n: usize) -> usize {
+        (n / 2) * n.div_ceil(2)
+    }
+
+    /// Cutwidth of the star with `leaves` leaves.
+    pub fn star(leaves: usize) -> usize {
+        leaves.div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ordering_cutwidth_on_path() {
+        let g = GraphBuilder::path(6);
+        let id = VertexOrdering::identity(6);
+        assert_eq!(cutwidth_of_ordering(&g, &id), 1);
+        // A bad ordering of a path has larger cutwidth.
+        let bad = VertexOrdering::new(vec![0, 2, 4, 1, 3, 5]).unwrap();
+        assert!(cutwidth_of_ordering(&g, &bad) > 1);
+    }
+
+    #[test]
+    fn exact_matches_closed_forms() {
+        assert_eq!(cutwidth_exact(&GraphBuilder::path(7)).cutwidth, closed_forms::path(7));
+        assert_eq!(cutwidth_exact(&GraphBuilder::ring(7)).cutwidth, closed_forms::ring(7));
+        for n in 2..8 {
+            assert_eq!(
+                cutwidth_exact(&GraphBuilder::clique(n)).cutwidth,
+                closed_forms::clique(n),
+                "clique K_{n}"
+            );
+        }
+        for leaves in 1..8 {
+            assert_eq!(
+                cutwidth_exact(&GraphBuilder::star(leaves + 1)).cutwidth,
+                closed_forms::star(leaves),
+                "star with {leaves} leaves"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_empty_and_trivial_graphs() {
+        assert_eq!(cutwidth_exact(&Graph::new(0)).cutwidth, 0);
+        assert_eq!(cutwidth_exact(&Graph::new(5)).cutwidth, 0);
+        assert_eq!(cutwidth_exact(&Graph::from_edges(2, &[(0, 1)])).cutwidth, 1);
+    }
+
+    #[test]
+    fn exact_ordering_achieves_reported_value() {
+        let g = GraphBuilder::grid(3, 3);
+        let result = cutwidth_exact(&g);
+        assert_eq!(cutwidth_of_ordering(&g, &result.ordering), result.cutwidth);
+        // Cutwidth of the 3x3 grid is 4 (verified by brute force over all orderings).
+        assert_eq!(result.cutwidth, 4);
+    }
+
+    #[test]
+    fn heuristic_never_beats_exact_and_is_close_on_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let graphs = vec![
+            GraphBuilder::path(8),
+            GraphBuilder::ring(8),
+            GraphBuilder::star(8),
+            GraphBuilder::grid(3, 3),
+            GraphBuilder::clique(6),
+            GraphBuilder::hypercube(3),
+            GraphBuilder::binary_tree(9),
+        ];
+        for g in graphs {
+            let exact = cutwidth_exact(&g);
+            let heur = cutwidth_heuristic(&g, &mut rng, 5);
+            assert!(
+                heur.cutwidth >= exact.cutwidth,
+                "heuristic reported a value below the optimum"
+            );
+            assert_eq!(cutwidth_of_ordering(&g, &heur.ordering), heur.cutwidth);
+            // The heuristic should be exact on these small structured graphs.
+            assert!(
+                heur.cutwidth <= exact.cutwidth + 1,
+                "heuristic too far from optimal on {g:?}: {} vs {}",
+                heur.cutwidth,
+                exact.cutwidth
+            );
+        }
+    }
+
+    #[test]
+    fn random_graph_heuristic_upper_bounds_exact() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let g = GraphBuilder::erdos_renyi(9, 0.3, &mut rng);
+            let exact = cutwidth_exact(&g);
+            let heur = cutwidth_heuristic(&g, &mut rng, 8);
+            assert!(heur.cutwidth >= exact.cutwidth);
+        }
+    }
+
+    #[test]
+    fn hypercube_cutwidth_known_small_values() {
+        // Cutwidths verified by brute force over all orderings: Q_1 = 1, Q_2 = 2, Q_3 = 5.
+        assert_eq!(cutwidth_exact(&GraphBuilder::hypercube(1)).cutwidth, 1);
+        assert_eq!(cutwidth_exact(&GraphBuilder::hypercube(2)).cutwidth, 2);
+        assert_eq!(cutwidth_exact(&GraphBuilder::hypercube(3)).cutwidth, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 25 vertices")]
+    fn exact_rejects_large_graphs() {
+        let _ = cutwidth_exact(&Graph::new(26));
+    }
+}

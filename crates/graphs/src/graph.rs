@@ -1,0 +1,237 @@
+//! Undirected simple graphs with adjacency-list storage.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// Self-loops and parallel edges are rejected: a graphical coordination game
+/// pairs distinct players and plays each basic game once per edge.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// Sorted adjacency lists.
+    adj: Vec<Vec<usize>>,
+    /// Edge list with `u < v`, kept sorted for deterministic iteration.
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a graph on `n` vertices from an edge list.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops. Duplicate edges are ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` when the edge was new.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or on a self-loop.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        let key = (u.min(v), u.max(v));
+        if self.edges.insert(key) {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+            self.adj[u].sort_unstable();
+            self.adj[v].sort_unstable();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` when `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u == v || u >= self.n || v >= self.n {
+            return false;
+        }
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Neighbours of `u`, sorted ascending.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Iterator over edges as `(u, v)` with `u < v`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Vertex iterator `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> {
+        0..self.n
+    }
+
+    /// Returns the subgraph induced by `vertices`, together with the mapping from
+    /// new indices to original vertex ids.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        let keep: Vec<usize> = {
+            let mut v: Vec<usize> = vertices.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let index_of = |x: usize| keep.binary_search(&x).ok();
+        let mut g = Graph::new(keep.len());
+        for &(u, v) in &self.edges {
+            if let (Some(iu), Some(iv)) = (index_of(u), index_of(v)) {
+                g.add_edge(iu, iv);
+            }
+        }
+        (g, keep)
+    }
+
+    /// Number of edges with exactly one endpoint in `set`.
+    pub fn cut_size(&self, set: &[bool]) -> usize {
+        assert_eq!(set.len(), self.n, "cut_size: indicator length mismatch");
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| set[u] != set[v])
+            .count()
+    }
+
+    /// Returns `true` when the graph is `k`-regular.
+    pub fn is_regular(&self, k: usize) -> bool {
+        (0..self.n).all(|u| self.degree(u) == k)
+    }
+
+    /// Density: `|E| / (n choose 2)`. Returns 0 for graphs with fewer than two vertices.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let max = self.n * (self.n - 1) / 2;
+        self.num_edges() as f64 / max as f64
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.n,
+            self.num_edges(),
+            self.edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn add_edge_dedup_and_symmetry() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0)); // duplicate in the other direction
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn from_edges_and_degrees() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_regular(2));
+        assert_eq!(g.max_degree(), 2);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2); // 0-1 and 1-2
+        assert_eq!(map, vec![0, 1, 2]);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn cut_size_counts_crossing_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // Split {0,1} vs {2,3}: crossing edges 1-2 and 3-0.
+        let set = vec![true, true, false, false];
+        assert_eq!(g.cut_size(&set), 2);
+        // Whole graph on one side: no crossing edges.
+        assert_eq!(g.cut_size(&vec![true; 4]), 0);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+        assert_eq!(Graph::new(1).density(), 0.0);
+    }
+}

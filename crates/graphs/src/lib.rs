@@ -1,0 +1,31 @@
+//! # logit-graphs
+//!
+//! Interaction-graph substrate for graphical coordination games (Section 5 of the
+//! paper). A *social graph* `G = (V, E)` connects players; each edge carries an
+//! instance of a 2×2 basic coordination game.
+//!
+//! The crate provides:
+//!
+//! * a simple undirected [`Graph`] with adjacency lists ([`graph`]),
+//! * the topologies the paper reasons about — ring, clique, path — plus the usual
+//!   suspects needed for the cutwidth experiments: star, grid, torus, hypercube,
+//!   complete bipartite graphs, binary trees and Erdős–Rényi random graphs
+//!   ([`builders`]),
+//! * traversal utilities: BFS distances, connected components, diameter
+//!   ([`traversal`]),
+//! * **cutwidth** computation ([`cutwidth`]): the quantity `χ(G)` that drives the
+//!   Theorem 5.1 upper bound `t_mix ≤ 2n³ e^{χ(G)(δ₀+δ₁)β}(nδ₀β+1)`. Exact values
+//!   are computed with a `O(2ⁿ·n)` subset dynamic program; a greedy/local-search
+//!   heuristic and closed forms for standard topologies are provided as
+//!   cross-checks and for larger graphs.
+
+pub mod builders;
+pub mod cutwidth;
+pub mod graph;
+pub mod ordering;
+pub mod traversal;
+
+pub use builders::GraphBuilder;
+pub use cutwidth::{cutwidth_exact, cutwidth_heuristic, cutwidth_of_ordering, CutwidthResult};
+pub use graph::Graph;
+pub use ordering::VertexOrdering;

@@ -1,0 +1,144 @@
+//! Vertex orderings (linear arrangements).
+//!
+//! The cutwidth of a graph (Section 5.1 of the paper, eq. (12)–(13)) is defined
+//! as a minimum over *orderings* of the vertices; this module provides the
+//! ordering type shared by the exact and heuristic cutwidth computations.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A permutation of the vertices `0..n` interpreted as a left-to-right linear
+/// arrangement: `order[k]` is the vertex placed at position `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexOrdering {
+    order: Vec<usize>,
+    /// Inverse permutation: `position[v]` is the position of vertex `v`.
+    position: Vec<usize>,
+}
+
+impl VertexOrdering {
+    /// Identity ordering `0, 1, …, n-1`.
+    pub fn identity(n: usize) -> Self {
+        Self::new((0..n).collect()).expect("identity is a permutation")
+    }
+
+    /// Creates an ordering from an explicit permutation.
+    ///
+    /// Returns `None` when `order` is not a permutation of `0..order.len()`.
+    pub fn new(order: Vec<usize>) -> Option<Self> {
+        let n = order.len();
+        let mut position = vec![usize::MAX; n];
+        for (k, &v) in order.iter().enumerate() {
+            if v >= n || position[v] != usize::MAX {
+                return None;
+            }
+            position[v] = k;
+        }
+        Some(Self { order, position })
+    }
+
+    /// Uniformly random ordering.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        Self::new(order).expect("shuffle preserves the permutation property")
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Vertex at position `k`.
+    pub fn vertex_at(&self, k: usize) -> usize {
+        self.order[k]
+    }
+
+    /// Position of vertex `v`.
+    pub fn position_of(&self, v: usize) -> usize {
+        self.position[v]
+    }
+
+    /// The underlying order as a slice (`order[k]` = vertex at position `k`).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Returns `true` when vertex `u` precedes (or equals) vertex `v`.
+    pub fn precedes_or_equal(&self, u: usize, v: usize) -> bool {
+        self.position[u] <= self.position[v]
+    }
+
+    /// Swaps the vertices at positions `a` and `b` (local-search move).
+    pub fn swap_positions(&mut self, a: usize, b: usize) {
+        let (va, vb) = (self.order[a], self.order[b]);
+        self.order.swap(a, b);
+        self.position[va] = b;
+        self.position[vb] = a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_ordering() {
+        let o = VertexOrdering::identity(4);
+        assert_eq!(o.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(o.position_of(2), 2);
+        assert!(o.precedes_or_equal(1, 3));
+        assert!(o.precedes_or_equal(2, 2));
+        assert!(!o.precedes_or_equal(3, 1));
+    }
+
+    #[test]
+    fn new_rejects_non_permutations() {
+        assert!(VertexOrdering::new(vec![0, 0, 1]).is_none());
+        assert!(VertexOrdering::new(vec![0, 3]).is_none());
+        assert!(VertexOrdering::new(vec![2, 0, 1]).is_some());
+    }
+
+    #[test]
+    fn positions_are_inverse_of_order() {
+        let o = VertexOrdering::new(vec![3, 1, 0, 2]).unwrap();
+        for k in 0..4 {
+            assert_eq!(o.position_of(o.vertex_at(k)), k);
+        }
+    }
+
+    #[test]
+    fn random_is_valid_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let o = VertexOrdering::random(8, &mut rng);
+            let mut sorted = o.as_slice().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn swap_positions_updates_inverse() {
+        let mut o = VertexOrdering::identity(5);
+        o.swap_positions(0, 4);
+        assert_eq!(o.vertex_at(0), 4);
+        assert_eq!(o.vertex_at(4), 0);
+        assert_eq!(o.position_of(4), 0);
+        assert_eq!(o.position_of(0), 4);
+    }
+
+    #[test]
+    fn empty_ordering() {
+        let o = VertexOrdering::identity(0);
+        assert!(o.is_empty());
+        assert_eq!(o.len(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Breadth-first traversal, connectivity and distance utilities.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; unreachable vertices get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.num_vertices(), "source out of range");
+    let mut dist = vec![usize::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components as a label per vertex (labels are `0..k` in order of
+/// discovery) together with the number of components.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// Returns `true` when the graph is connected. The empty graph and the
+/// single-vertex graph count as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_vertices() <= 1 {
+        return true;
+    }
+    connected_components(g).1 == 1
+}
+
+/// Graph diameter (largest finite BFS distance). Returns `None` when the graph
+/// is disconnected or has no vertices.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let n = g.num_vertices();
+    if n == 0 || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0usize;
+    for s in 0..n {
+        let d = bfs_distances(g, s);
+        for &x in &d {
+            if x != usize::MAX {
+                best = best.max(x);
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Shortest path between `source` and `target` as a vertex sequence (inclusive),
+/// or `None` if unreachable.
+pub fn shortest_path(g: &Graph, source: usize, target: usize) -> Option<Vec<usize>> {
+    assert!(source < g.num_vertices() && target < g.num_vertices());
+    if source == target {
+        return Some(vec![source]);
+    }
+    let mut parent = vec![usize::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    parent[source] = source;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                if v == target {
+                    let mut path = vec![target];
+                    let mut cur = target;
+                    while cur != source {
+                        cur = parent[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::GraphBuilder;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = GraphBuilder::path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn components_counting() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[5], labels[0]);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&GraphBuilder::ring(5)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(is_connected(&Graph::new(0)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+
+    #[test]
+    fn diameters_of_standard_graphs() {
+        assert_eq!(diameter(&GraphBuilder::path(5)), Some(4));
+        assert_eq!(diameter(&GraphBuilder::ring(6)), Some(3));
+        assert_eq!(diameter(&GraphBuilder::clique(7)), Some(1));
+        assert_eq!(diameter(&GraphBuilder::star(9)), Some(2));
+        assert_eq!(diameter(&GraphBuilder::hypercube(4)), Some(4));
+        assert_eq!(diameter(&Graph::new(2)), None);
+    }
+
+    #[test]
+    fn shortest_path_on_ring() {
+        let g = GraphBuilder::ring(6);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.len(), 4); // distance 3 either way
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 3);
+        // consecutive vertices are adjacent
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert_eq!(shortest_path(&g, 2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(shortest_path(&g, 0, 3), None);
+    }
+}

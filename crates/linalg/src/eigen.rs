@@ -1,0 +1,381 @@
+//! Symmetric eigensolvers.
+//!
+//! The workspace analyses *reversible* Markov chains: for a chain with transition
+//! matrix `P` and stationary distribution `π`, the similarity transform
+//! `A = D^{1/2} P D^{-1/2}` (with `D = diag(π)`) is symmetric and shares its
+//! spectrum with `P`. A classic **cyclic Jacobi** sweep is a simple, numerically
+//! robust way to obtain the full spectrum (and eigenvectors) of such matrices at
+//! the sizes we care about (up to a few thousand states).
+//!
+//! The module also provides shifted [`power_iteration`] which is used to
+//! cross-check the dominant eigenvalues obtained by Jacobi.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Options controlling the cyclic Jacobi iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Maximum number of full sweeps over all off-diagonal entries.
+    pub max_sweeps: usize,
+    /// Convergence threshold on the off-diagonal Frobenius norm.
+    pub tol: f64,
+    /// When `true`, eigenvectors are accumulated (slower, needed only when the
+    /// caller wants the eigenbasis and not just the spectrum).
+    pub compute_eigenvectors: bool,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        Self {
+            max_sweeps: 64,
+            tol: 1e-12,
+            compute_eigenvectors: false,
+        }
+    }
+}
+
+/// Result of a symmetric eigendecomposition.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in non-increasing order.
+    pub eigenvalues: Vec<f64>,
+    /// Matching eigenvectors as columns (empty when not requested).
+    pub eigenvectors: Option<Matrix>,
+    /// Number of sweeps performed.
+    pub sweeps: usize,
+    /// Final off-diagonal Frobenius norm.
+    pub off_diagonal_norm: f64,
+}
+
+impl EigenDecomposition {
+    /// Largest eigenvalue.
+    pub fn lambda_max(&self) -> f64 {
+        self.eigenvalues[0]
+    }
+
+    /// Smallest eigenvalue.
+    pub fn lambda_min(&self) -> f64 {
+        *self.eigenvalues.last().expect("non-empty spectrum")
+    }
+
+    /// Second-largest eigenvalue, `None` for 1×1 matrices.
+    pub fn lambda_2(&self) -> Option<f64> {
+        self.eigenvalues.get(1).copied()
+    }
+
+    /// `λ*`: the largest absolute value among eigenvalues other than the first.
+    ///
+    /// For an ergodic transition matrix `λ₁ = 1` and `λ*` determines the
+    /// relaxation time `1/(1-λ*)`.
+    pub fn lambda_star(&self) -> Option<f64> {
+        if self.eigenvalues.len() < 2 {
+            return None;
+        }
+        Some(
+            self.eigenvalues[1..]
+                .iter()
+                .fold(0.0f64, |acc, &l| acc.max(l.abs())),
+        )
+    }
+}
+
+fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.nrows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)] * a[(i, j)];
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic Jacobi
+/// method.
+///
+/// # Panics
+/// Panics if `a` is not square. Symmetry is the caller's responsibility; only
+/// the upper triangle drives the rotations, and a strongly asymmetric input will
+/// simply produce the spectrum of its symmetric part.
+pub fn jacobi_eigen(a: &Matrix, opts: JacobiOptions) -> EigenDecomposition {
+    assert!(a.is_square(), "jacobi_eigen: matrix must be square");
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut v = if opts.compute_eigenvectors {
+        Some(Matrix::identity(n))
+    } else {
+        None
+    };
+
+    if n == 0 {
+        return EigenDecomposition {
+            eigenvalues: Vec::new(),
+            eigenvectors: v,
+            sweeps: 0,
+            off_diagonal_norm: 0.0,
+        };
+    }
+
+    let mut sweeps = 0;
+    let mut off = off_diagonal_norm(&m);
+    while sweeps < opts.max_sweeps && off > opts.tol {
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= opts.tol * 1e-2 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                if let Some(vm) = v.as_mut() {
+                    for k in 0..n {
+                        let vkp = vm[(k, p)];
+                        let vkq = vm[(k, q)];
+                        vm[(k, p)] = c * vkp - s * vkq;
+                        vm[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        sweeps += 1;
+        off = off_diagonal_norm(&m);
+    }
+
+    // Extract and sort eigenvalues (descending), permuting eigenvectors along.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let eigenvectors = v.map(|vm| {
+        let mut sorted = Matrix::zeros(n, n);
+        for (new_col, &old_col) in idx.iter().enumerate() {
+            for r in 0..n {
+                sorted[(r, new_col)] = vm[(r, old_col)];
+            }
+        }
+        sorted
+    });
+
+    EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+        sweeps,
+        off_diagonal_norm: off,
+    }
+}
+
+/// Result of a power iteration.
+#[derive(Debug, Clone)]
+pub struct PowerIterationResult {
+    /// Estimated dominant eigenvalue (by absolute value).
+    pub eigenvalue: f64,
+    /// Corresponding unit eigenvector estimate.
+    pub eigenvector: Vector,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// `true` when the iteration converged within the tolerance.
+    pub converged: bool,
+}
+
+/// Power iteration for the dominant eigenpair of a square matrix.
+///
+/// `start` seeds the iteration (pass a positive vector for stochastic matrices
+/// to avoid starting orthogonal to the dominant eigenvector).
+pub fn power_iteration(
+    a: &Matrix,
+    start: &Vector,
+    max_iters: usize,
+    tol: f64,
+) -> PowerIterationResult {
+    assert!(a.is_square(), "power_iteration: matrix must be square");
+    assert_eq!(a.nrows(), start.len());
+    let mut v = start.clone();
+    let norm = v.norm2();
+    assert!(norm > 0.0, "power_iteration: start vector must be non-zero");
+    v.scale(1.0 / norm);
+
+    let mut lambda = 0.0;
+    for it in 0..max_iters {
+        let mut w = a.matvec(&v);
+        let new_lambda = v.dot(&w);
+        let wnorm = w.norm2();
+        if wnorm == 0.0 {
+            // a v = 0: eigenvalue 0 with eigenvector v.
+            return PowerIterationResult {
+                eigenvalue: 0.0,
+                eigenvector: v,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+        w.scale(1.0 / wnorm);
+        let delta = (&w - &v).norm_inf().min((&w + &v).norm_inf());
+        v = w;
+        if (new_lambda - lambda).abs() < tol && delta < tol.sqrt() {
+            return PowerIterationResult {
+                eigenvalue: new_lambda,
+                eigenvector: v,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+        lambda = new_lambda;
+    }
+    PowerIterationResult {
+        eigenvalue: lambda,
+        eigenvector: v,
+        iterations: max_iters,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn symmetric_3x3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ])
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_trivial() {
+        let d = Matrix::diag(&Vector::from_slice(&[3.0, 1.0, 2.0]));
+        let e = jacobi_eigen(&d, JacobiOptions::default());
+        assert_eq!(e.eigenvalues, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_known_spectrum() {
+        // Eigenvalues of [[2,1,0],[1,3,1],[0,1,2]] are 4, 2, 1.
+        let e = jacobi_eigen(&symmetric_3x3(), JacobiOptions::default());
+        assert!(approx_eq(e.eigenvalues[0], 4.0, 1e-9));
+        assert!(approx_eq(e.eigenvalues[1], 2.0, 1e-9));
+        assert!(approx_eq(e.eigenvalues[2], 1.0, 1e-9));
+    }
+
+    #[test]
+    fn jacobi_trace_and_frobenius_preserved() {
+        let a = symmetric_3x3();
+        let e = jacobi_eigen(&a, JacobiOptions::default());
+        let trace: f64 = e.eigenvalues.iter().sum();
+        assert!(approx_eq(trace, a.trace(), 1e-9));
+        let sumsq: f64 = e.eigenvalues.iter().map(|l| l * l).sum();
+        assert!(approx_eq(sumsq, a.frobenius_norm().powi(2), 1e-9));
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_satisfy_av_eq_lv() {
+        let a = symmetric_3x3();
+        let opts = JacobiOptions {
+            compute_eigenvectors: true,
+            ..Default::default()
+        };
+        let e = jacobi_eigen(&a, opts);
+        let vm = e.eigenvectors.expect("requested eigenvectors");
+        for (k, &lambda) in e.eigenvalues.iter().enumerate() {
+            let v = vm.col(k);
+            let av = a.matvec(&v);
+            let lv = v.scaled(lambda);
+            assert!((&av - &lv).norm_inf() < 1e-8, "eigenpair {k} fails");
+        }
+    }
+
+    #[test]
+    fn jacobi_random_symmetric_spectrum_consistency() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 5, 10, 20] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    a[(i, j)] = v;
+                    a[(j, i)] = v;
+                }
+            }
+            let e = jacobi_eigen(&a, JacobiOptions::default());
+            assert_eq!(e.eigenvalues.len(), n);
+            // Eigenvalues sorted descending.
+            for w in e.eigenvalues.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+            // Trace preserved.
+            let tr: f64 = e.eigenvalues.iter().sum();
+            assert!(approx_eq(tr, a.trace(), 1e-8));
+        }
+    }
+
+    #[test]
+    fn lambda_star_and_accessors() {
+        let e = EigenDecomposition {
+            eigenvalues: vec![1.0, 0.7, -0.9],
+            eigenvectors: None,
+            sweeps: 1,
+            off_diagonal_norm: 0.0,
+        };
+        assert_eq!(e.lambda_max(), 1.0);
+        assert_eq!(e.lambda_min(), -0.9);
+        assert_eq!(e.lambda_2(), Some(0.7));
+        assert!(approx_eq(e.lambda_star().unwrap(), 0.9, 1e-15));
+    }
+
+    #[test]
+    fn power_iteration_dominant_pair() {
+        let a = symmetric_3x3();
+        let start = Vector::from_slice(&[1.0, 1.0, 1.0]);
+        let r = power_iteration(&a, &start, 10_000, 1e-12);
+        assert!(r.converged);
+        assert!(approx_eq(r.eigenvalue, 4.0, 1e-6));
+        // Residual check.
+        let res = &a.matvec(&r.eigenvector) - &r.eigenvector.scaled(r.eigenvalue);
+        assert!(res.norm_inf() < 1e-5);
+    }
+
+    #[test]
+    fn power_iteration_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let start = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        let r = power_iteration(&a, &start, 100, 1e-12);
+        assert!(r.converged);
+        assert_eq!(r.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn jacobi_empty_matrix() {
+        let a = Matrix::zeros(0, 0);
+        let e = jacobi_eigen(&a, JacobiOptions::default());
+        assert!(e.eigenvalues.is_empty());
+    }
+}

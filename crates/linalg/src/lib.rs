@@ -1,0 +1,72 @@
+//! # logit-linalg
+//!
+//! A small, dependency-free dense/sparse linear-algebra substrate used by the
+//! logit-dynamics workspace.
+//!
+//! The workspace needs exactly the numerical kernels required to analyse finite,
+//! reversible Markov chains on state spaces of size up to a few thousand:
+//!
+//! * dense row-major matrices with matrix/vector products ([`Matrix`], [`Vector`]),
+//! * an LU decomposition with partial pivoting for linear solves ([`lu`]),
+//! * a cyclic Jacobi eigensolver for symmetric matrices ([`eigen`]) — this is what
+//!   turns a reversible transition matrix into its spectrum (relaxation time,
+//!   Theorem 3.1 checks),
+//! * power iteration / deflation helpers ([`eigen::power_iteration`]),
+//! * a compressed-sparse-row matrix for large sparse chains ([`sparse`]),
+//! * summary statistics and least-squares exponent fitting ([`stats`]) used by the
+//!   experiment harness to recover growth exponents such as `βΔΦ` from measured
+//!   mixing times.
+//!
+//! Sizes involved never exceed a few thousand rows, so portability and clarity are
+//! preferred over BLAS-level tuning; the hot kernels are nevertheless written to be
+//! cache-friendly (row-major traversal, no per-element bounds checks in inner loops
+//! beyond what the compiler can elide).
+
+pub mod eigen;
+pub mod lu;
+pub mod matrix;
+pub mod sparse;
+pub mod stats;
+pub mod vector;
+
+pub use eigen::{jacobi_eigen, power_iteration, EigenDecomposition, JacobiOptions};
+pub use lu::{solve, LuDecomposition, LuError};
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+pub use vector::Vector;
+
+/// Default absolute tolerance used by iterative routines in this crate.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Returns `true` when `a` and `b` are equal up to absolute tolerance `tol`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Returns `true` when `a` and `b` are equal up to a relative tolerance `tol`
+/// (falling back to absolute comparison near zero).
+#[inline]
+pub fn approx_eq_rel(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_rel_scales_with_magnitude() {
+        assert!(approx_eq_rel(1e9, 1e9 + 1.0, 1e-8));
+        assert!(!approx_eq_rel(1.0, 1.1, 1e-8));
+        // near zero it behaves like an absolute comparison
+        assert!(approx_eq_rel(0.0, 1e-13, 1e-12));
+    }
+}

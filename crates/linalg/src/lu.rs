@@ -1,0 +1,253 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used for the linear solves the workspace needs: stationary distributions of
+//! small non-reversible chains (solving `πP = π` as a linear system) and expected
+//! hitting times (`(I - P_restricted) h = 1`).
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Errors produced by the LU factorisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is not square.
+    NotSquare,
+    /// The matrix is singular (a pivot smaller than the tolerance was found).
+    Singular {
+        /// Index of the failing pivot column.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::NotSquare => write!(f, "LU decomposition requires a square matrix"),
+            LuError::Singular { column } => {
+                write!(f, "matrix is singular (zero pivot in column {column})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// An LU decomposition `PA = LU` with partial (row) pivoting.
+///
+/// `L` is unit lower triangular, `U` upper triangular and `P` a permutation.
+/// Both factors are packed into a single square matrix.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed factors: strictly-lower part is `L` (unit diagonal implied), upper part is `U`.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factorised matrix is row `perm[i]` of the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used for the determinant.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Pivot tolerance below which a matrix is declared singular.
+    pub const PIVOT_TOL: f64 = 1e-13;
+
+    /// Factorises `a`.
+    pub fn new(a: &Matrix) -> Result<Self, LuError> {
+        if !a.is_square() {
+            return Err(LuError::NotSquare);
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < Self::PIVOT_TOL {
+                return Err(LuError::Singular { column: k });
+            }
+            if pivot_row != k {
+                // Swap rows k and pivot_row.
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve: right-hand side has wrong length");
+        // Apply permutation and forward-substitute L y = P b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back-substitute U x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n);
+        let mut out = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.col(j);
+            let x = self.solve(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Inverse of the factorised matrix.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factorised matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Convenience wrapper: solves `A x = b` in one call.
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LuError> {
+    Ok(LuDecomposition::new(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Vector::from_slice(&[5.0, 10.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!(approx_eq(x[0], 1.0, 1e-10));
+        assert!(approx_eq(x[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = Vector::from_slice(&[2.0, 3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!(approx_eq(x[0], 3.0, 1e-12));
+        assert!(approx_eq(x[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        match LuDecomposition::new(&a) {
+            Err(LuError::Singular { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(LuDecomposition::new(&a).unwrap_err(), LuError::NotSquare);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.5],
+            vec![1.0, 3.0, -1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let inv = LuDecomposition::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 4.0, 5.0],
+            vec![1.0, 0.0, 6.0],
+        ]);
+        // det = 1*(24-0) - 2*(0-5) + 3*(0-4) = 24 + 10 - 12 = 22
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!(approx_eq(det, 22.0, 1e-10));
+    }
+
+    #[test]
+    fn residual_is_small_for_random_systems() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [3usize, 6, 12, 25] {
+            let a = Matrix::from_fn(n, n, |i, j| {
+                let base: f64 = rng.gen_range(-1.0..1.0);
+                if i == j {
+                    base + n as f64 // diagonally dominant => well-conditioned
+                } else {
+                    base
+                }
+            });
+            let b = Vector::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let x = solve(&a, &b).unwrap();
+            let r = &a.matvec(&x) - &b;
+            assert!(r.norm_inf() < 1e-9, "large residual for n={n}");
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Dense row-major `f64` matrices.
+//!
+//! [`Matrix`] is the workhorse representation of a transition matrix in the
+//! workspace: state spaces up to a few thousand profiles fit comfortably in a
+//! dense row-major buffer, and exact mixing-time computation needs repeated
+//! matrix–matrix products (via repeated squaring) which are simplest and fastest
+//! on contiguous storage.
+
+use crate::vector::Vector;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major `Vec`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: expected {} entries, got {}",
+            rows * cols,
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|row| row.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Creates a square diagonal matrix from a vector of diagonal entries.
+    pub fn diag(d: &Vector) -> Self {
+        let n = d.len();
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = d[i];
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new [`Vector`].
+    pub fn col(&self, j: usize) -> Vector {
+        assert!(j < self.cols);
+        Vector::from_vec((0..self.rows).map(|i| self[(i, j)]).collect())
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &Vector) -> Vector {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        let mut out = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v.as_slice()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Row-vector–matrix product `vᵀ * self`, returned as a vector.
+    ///
+    /// This is the natural "distribution step" for a row-stochastic transition
+    /// matrix: if `v` is a distribution over states then `vec_mat(v)` is the
+    /// distribution after one step of the chain.
+    pub fn vecmat(&self, v: &Vector) -> Vector {
+        assert_eq!(self.rows, v.len(), "vecmat: dimension mismatch");
+        let mut out = Vector::zeros(self.cols);
+        for i in 0..self.rows {
+            let vi = v[i];
+            if vi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (j, &a) in row.iter().enumerate() {
+                out[j] += vi * a;
+            }
+        }
+        out
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// Classic triple loop with the `k` loop innermost over contiguous rows of
+    /// `other` (ikj order), which keeps the inner loop cache-friendly.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix power `self^k` via exponentiation by squaring.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn pow(&self, mut k: u64) -> Matrix {
+        assert!(self.is_square(), "pow: matrix must be square");
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.matmul(&base);
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.matmul(&base);
+            }
+        }
+        result
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc: f64, x| acc.max(x.abs()))
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace: matrix must be square");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Sum of the entries of row `i`.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.row(i).iter().sum()
+    }
+
+    /// Returns `true` when the matrix is row-stochastic up to tolerance `tol`:
+    /// all entries non-negative and every row sums to one.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            if self.row(i).iter().any(|&x| x < -tol) {
+                return false;
+            }
+            if (self.row_sum(i) - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when the matrix is symmetric up to tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Entry-wise maximum absolute difference with another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0, |acc: f64, (a, b)| acc.max((a - b).abs()))
+    }
+
+    /// Scales every entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Mul<&Vector> for &Matrix {
+    type Output = Vector;
+    fn mul(self, rhs: &Vector) -> Vector {
+        self.matvec(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = sample();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = sample();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let m = sample();
+        let v = Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(m.matvec(&v).as_slice(), &[3.0, 7.0]);
+        assert_eq!(m.vecmat(&v).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = sample();
+        let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = sample();
+        let mut expect = Matrix::identity(2);
+        for _ in 0..5 {
+            expect = expect.matmul(&a);
+        }
+        let got = a.pow(5);
+        assert!(got.max_abs_diff(&expect) < 1e-9);
+        assert_eq!(a.pow(0), Matrix::identity(2));
+        assert_eq!(a.pow(1), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn stochastic_and_symmetric_checks() {
+        let p = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.25, 0.75]]);
+        assert!(p.is_row_stochastic(1e-12));
+        assert!(!p.is_symmetric(1e-12));
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 5.0]]);
+        assert!(s.is_symmetric(1e-12));
+        let neg = Matrix::from_rows(&[vec![-0.1, 1.1], vec![0.5, 0.5]]);
+        assert!(!neg.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn trace_diag_and_norms() {
+        let d = Matrix::diag(&Vector::from_slice(&[1.0, 2.0, 3.0]));
+        assert_eq!(d.trace(), 6.0);
+        assert_eq!(d.frobenius_norm(), (14.0f64).sqrt());
+        assert_eq!(d.max_abs(), 3.0);
+    }
+
+    #[test]
+    fn from_fn_builds_expected_entries() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m[(2, 2)], 8.0);
+        assert_eq!(m.row_sum(0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn operators() {
+        let a = sample();
+        let b = Matrix::identity(2);
+        let sum = &a + &b;
+        assert_eq!(sum[(0, 0)], 2.0);
+        let diff = &sum - &b;
+        assert!(diff.max_abs_diff(&a) < 1e-15);
+        let prod = &a * &b;
+        assert_eq!(prod, a);
+    }
+}

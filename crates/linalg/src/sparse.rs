@@ -1,0 +1,329 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The logit-dynamics transition matrix on `n` players with `m` strategies has
+//! `mⁿ` states but only `n(m-1)+1` non-zero entries per row (single-player
+//! updates plus the self loop). [`CsrMatrix`] stores exactly those entries and
+//! supports the distribution-step and matrix-vector products used by the
+//! simulation-scale analyses where a dense matrix would not fit.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// A sparse matrix in compressed-sparse-row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Row pointer: entries of row `i` live in `indices/values[row_ptr[i]..row_ptr[i+1]]`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    indices: Vec<usize>,
+    /// Non-zero values.
+    values: Vec<f64>,
+}
+
+/// Incremental builder that accepts triplets in any order and merges duplicates
+/// by summing them.
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    nrows: usize,
+    ncols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.nrows, "row {row} out of range");
+        assert!(col < self.ncols, "col {col} out of range");
+        if value != 0.0 {
+            self.triplets.push((row, col, value));
+        }
+    }
+
+    /// Number of triplets currently buffered (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Returns `true` when no triplet has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Finalises the builder into a [`CsrMatrix`].
+    pub fn build(mut self) -> CsrMatrix {
+        self.triplets
+            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.nrows];
+        for (r, c, v) in self.triplets {
+            match rows[r].last_mut() {
+                Some((lc, lv)) if *lc == c => *lv += v,
+                _ => rows[r].push((c, v)),
+            }
+        }
+        CsrMatrix::from_rows(self.ncols, rows)
+    }
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix directly from per-row `(col, value)` lists.
+    ///
+    /// Duplicate columns within a row are summed; columns are sorted.
+    pub fn from_rows(ncols: usize, rows: Vec<Vec<(usize, f64)>>) -> Self {
+        let nrows = rows.len();
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for mut row in rows {
+            row.sort_by_key(|&(c, _)| c);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for (c, v) in row {
+                assert!(c < ncols, "column {c} out of range");
+                if v == 0.0 {
+                    continue;
+                }
+                match merged.last_mut() {
+                    Some((lc, lv)) if *lc == c => *lv += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                indices.push(c);
+                values.push(v);
+            }
+            row_ptr.push(indices.len());
+        }
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Converts a dense matrix to CSR, dropping entries with absolute value `<= drop_tol`.
+    pub fn from_dense(m: &Matrix, drop_tol: f64) -> Self {
+        let rows = (0..m.nrows())
+            .map(|i| {
+                m.row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v.abs() > drop_tol)
+                    .map(|(j, &v)| (j, v))
+                    .collect()
+            })
+            .collect();
+        Self::from_rows(m.ncols(), rows)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(col, value)` pairs of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Value at `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.row_iter(i)
+            .find(|&(c, _)| c == j)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &Vector) -> Vector {
+        assert_eq!(self.ncols, v.len(), "matvec: dimension mismatch");
+        let mut out = Vector::zeros(self.nrows);
+        for i in 0..self.nrows {
+            let mut acc = 0.0;
+            for (c, val) in self.row_iter(i) {
+                acc += val * v[c];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Row-vector–matrix product `vᵀ * self` (one distribution step for a
+    /// row-stochastic matrix).
+    pub fn vecmat(&self, v: &Vector) -> Vector {
+        assert_eq!(self.nrows, v.len(), "vecmat: dimension mismatch");
+        let mut out = Vector::zeros(self.ncols);
+        for i in 0..self.nrows {
+            let vi = v[i];
+            if vi == 0.0 {
+                continue;
+            }
+            for (c, val) in self.row_iter(i) {
+                out[c] += vi * val;
+            }
+        }
+        out
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (c, v) in self.row_iter(i) {
+                m[(i, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Sum of row `i`.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.row_iter(i).map(|(_, v)| v).sum()
+    }
+
+    /// `true` when the matrix is square, entries are non-negative and rows sum
+    /// to one within `tol`.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for i in 0..self.nrows {
+            if self.row_iter(i).any(|(_, v)| v < -tol) {
+                return false;
+            }
+            if (self.row_sum(i) - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, 0.5, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.25, 0.25, 0.5],
+        ])
+    }
+
+    #[test]
+    fn from_dense_round_trip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 6);
+        assert_eq!(s.to_dense(), d);
+        assert!(s.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn from_rows_merges_duplicates_and_sorts() {
+        let s = CsrMatrix::from_rows(3, vec![vec![(2, 1.0), (0, 0.5), (2, 0.5)], vec![], vec![(1, 2.0)]]);
+        assert_eq!(s.get(0, 2), 1.5);
+        assert_eq!(s.get(0, 0), 0.5);
+        assert_eq!(s.get(1, 1), 0.0);
+        assert_eq!(s.get(2, 1), 2.0);
+        let cols: Vec<usize> = s.row_iter(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 2]);
+    }
+
+    #[test]
+    fn matvec_and_vecmat_match_dense() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.matvec(&v).as_slice(), d.matvec(&v).as_slice());
+        assert_eq!(s.vecmat(&v).as_slice(), d.vecmat(&v).as_slice());
+    }
+
+    #[test]
+    fn builder_accumulates_triplets() {
+        let mut b = CsrBuilder::new(2, 2);
+        assert!(b.is_empty());
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 2.0);
+        b.push(0, 1, 3.0);
+        b.push(0, 0, 0.0); // zero is dropped
+        assert_eq!(b.len(), 3);
+        let s = b.build();
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), 3.0);
+        assert_eq!(s.get(1, 1), 2.0);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let s = CsrMatrix::from_rows(4, vec![vec![], vec![(3, 1.0)], vec![], vec![]]);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.row_sum(0), 0.0);
+        assert_eq!(s.row_sum(1), 1.0);
+        let v = Vector::from_slice(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.matvec(&v).as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn drop_tolerance_removes_small_entries() {
+        let d = Matrix::from_rows(&[vec![1e-15, 1.0], vec![0.5, 0.5]]);
+        let s = CsrMatrix::from_dense(&d, 1e-12);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn random_dense_sparse_consistency() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 17;
+        let d = Matrix::from_fn(n, n, |_, _| {
+            if rng.gen_bool(0.2) {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let v = Vector::from_vec((0..n).map(|i| i as f64).collect());
+        let dv = d.matvec(&v);
+        let sv = s.matvec(&v);
+        assert!((&dv - &sv).norm_inf() < 1e-12);
+        let dtv = d.vecmat(&v);
+        let stv = s.vecmat(&v);
+        assert!((&dtv - &stv).norm_inf() < 1e-12);
+    }
+}

@@ -1,0 +1,351 @@
+//! Summary statistics and regression helpers.
+//!
+//! The experiment harness needs to turn a series of measured mixing times into a
+//! growth exponent (e.g. fit `log t_mix ≈ a·β + b` and compare `a` with the
+//! paper's `ΔΦ` or `ζ` or `2δ`), and simulation estimators need running means and
+//! confidence-interval-ish spreads. These small, dependency-free routines cover
+//! that.
+
+/// Arithmetic mean of a slice. Returns `NaN` for the empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance. Returns 0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of the two central elements for even lengths).
+/// Returns `NaN` for the empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Empirical quantile via linear interpolation, `q` in `[0, 1]`.
+/// Returns `NaN` for the empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Result of an ordinary least-squares fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+/// Ordinary least-squares line fit.
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than two points.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    assert!(xs.len() >= 2, "linear_fit: need at least two points");
+    let n = xs.len() as f64;
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    assert!(sxx > 0.0, "linear_fit: x values are all identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: n as usize,
+    }
+}
+
+/// Fits `y ≈ C · e^{rate · x}` by regressing `ln y` on `x`.
+///
+/// Non-positive `y` values are rejected with a panic because the model cannot
+/// represent them. Returns `(rate, C, r_squared)` wrapped in [`ExponentialFit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialFit {
+    /// Growth rate `rate` in `C·e^{rate·x}`.
+    pub rate: f64,
+    /// Prefactor `C`.
+    pub prefactor: f64,
+    /// R² of the underlying log-linear fit.
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of an exponential growth model (see [`ExponentialFit`]).
+pub fn exponential_fit(xs: &[f64], ys: &[f64]) -> ExponentialFit {
+    assert!(
+        ys.iter().all(|&y| y > 0.0),
+        "exponential_fit: all y values must be positive"
+    );
+    let logs: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_fit(xs, &logs);
+    ExponentialFit {
+        rate: fit.slope,
+        prefactor: fit.intercept.exp(),
+        r_squared: fit.r_squared,
+    }
+}
+
+/// Running (streaming) mean and variance via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn mean_variance_median() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx_eq(mean(&xs), 5.0, 1e-12));
+        assert!(approx_eq(std_dev(&xs), (32.0f64 / 7.0).sqrt(), 1e-12));
+        assert!(approx_eq(median(&xs), 4.5, 1e-12));
+        assert!(mean(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(approx_eq(quantile(&xs, 0.0), 1.0, 1e-12));
+        assert!(approx_eq(quantile(&xs, 1.0), 4.0, 1e-12));
+        assert!(approx_eq(quantile(&xs, 0.5), 2.5, 1e-12));
+        assert!(approx_eq(quantile(&xs, 1.0 / 3.0), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys);
+        assert!(approx_eq(f.slope, 2.0, 1e-12));
+        assert!(approx_eq(f.intercept, 1.0, 1e-12));
+        assert!(approx_eq(f.r_squared, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn linear_fit_noisy_data_reasonable() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 3.0 * x - 2.0 + if x as u64 % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * (1.3 * x).exp()).collect();
+        let f = exponential_fit(&xs, &ys);
+        assert!(approx_eq(f.rate, 1.3, 1e-9));
+        assert!(approx_eq(f.prefactor, 2.5, 1e-9));
+        assert!(f.r_squared > 0.999999);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_fit_rejects_nonpositive() {
+        let _ = exponential_fit(&[0.0, 1.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 5);
+        assert!(approx_eq(rs.mean(), mean(&xs), 1e-12));
+        assert!(approx_eq(rs.variance(), variance(&xs), 1e-12));
+        assert_eq!(rs.min(), 1.0);
+        assert_eq!(rs.max(), 10.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, -1.0];
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..3] {
+            a.push(x);
+        }
+        for &x in &xs[3..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!(approx_eq(a.mean(), all.mean(), 1e-12));
+        assert!(approx_eq(a.variance(), all.variance(), 1e-12));
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        let empty = RunningStats::new();
+        a.push(4.0);
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+        let mut e2 = RunningStats::new();
+        e2.merge(&a);
+        assert_eq!(e2.count(), 1);
+        assert!(approx_eq(e2.mean(), 4.0, 1e-12));
+    }
+}

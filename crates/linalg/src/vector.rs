@@ -1,0 +1,387 @@
+//! Dense `f64` vectors.
+//!
+//! [`Vector`] is a thin, owned wrapper around `Vec<f64>` with the handful of
+//! numerical operations the rest of the workspace needs: dot products, norms,
+//! axpy-style updates and probability-distribution helpers (normalisation and
+//! total-variation distance live in `logit-markov`, but the building blocks are
+//! here).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense vector of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of `n` copies of `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Self {
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a vector from a `Vec<f64>`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+
+    /// Creates a vector from a slice.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Self {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Standard basis vector `e_i` of length `n`.
+    pub fn basis(n: usize, i: usize) -> Self {
+        assert!(i < n, "basis index {i} out of range for length {n}");
+        let mut v = Self::zeros(n);
+        v.data[i] = 1.0;
+        v
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the vector has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over entries.
+    pub fn iter(&self) -> impl Iterator<Item = &f64> {
+        self.data.iter()
+    }
+
+    /// Dot product `self · other`.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Max norm (largest absolute value). Returns 0 for the empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Sum of entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest entry (not absolute value). Returns `f64::NEG_INFINITY` when empty.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest entry. Returns `f64::INFINITY` when empty.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// In-place `self += alpha * other` (the BLAS `axpy` update).
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "axpy: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling `self *= alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Returns a copy scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> Vector {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+
+    /// Normalises the vector so its entries sum to one.
+    ///
+    /// # Panics
+    /// Panics if the sum is zero or non-finite, since the result would not be a
+    /// probability distribution.
+    pub fn normalize_l1(&mut self) {
+        let s = self.sum();
+        assert!(
+            s.is_finite() && s != 0.0,
+            "normalize_l1: sum must be finite and non-zero, got {s}"
+        );
+        self.scale(1.0 / s);
+    }
+
+    /// Normalises the vector to unit Euclidean norm.
+    ///
+    /// # Panics
+    /// Panics if the norm is zero or non-finite.
+    pub fn normalize_l2(&mut self) {
+        let s = self.norm2();
+        assert!(
+            s.is_finite() && s != 0.0,
+            "normalize_l2: norm must be finite and non-zero, got {s}"
+        );
+        self.scale(1.0 / s);
+    }
+
+    /// Returns `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Returns `true` when the vector is a probability distribution up to
+    /// tolerance `tol`: non-negative entries summing to one.
+    pub fn is_distribution(&self, tol: f64) -> bool {
+        self.data.iter().all(|&x| x >= -tol) && (self.sum() - 1.0).abs() <= tol
+    }
+
+    /// Entry-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len(), "hadamard: length mismatch");
+        Vector::from_vec(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a * b)
+                .collect(),
+        )
+    }
+
+    /// Index of the largest entry (first one in case of ties). `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector({:?})", self.data)
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add<&Vector> for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        let mut out = self.clone();
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl Sub<&Vector> for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = Vector::zeros(4);
+        assert_eq!(z.len(), 4);
+        assert_eq!(z.sum(), 0.0);
+        let f = Vector::filled(3, 2.5);
+        assert_eq!(f.sum(), 7.5);
+    }
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        let n = 5;
+        for i in 0..n {
+            for j in 0..n {
+                let ei = Vector::basis(n, i);
+                let ej = Vector::basis(n, j);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert_eq!(ei.dot(&ej), expected);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn basis_out_of_range_panics() {
+        let _ = Vector::basis(3, 3);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let v = Vector::from_slice(&[3.0, -4.0]);
+        assert_eq!(v.norm2(), 5.0);
+        assert_eq!(v.norm1(), 7.0);
+        assert_eq!(v.norm_inf(), 4.0);
+        let w = Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(v.dot(&w), -1.0);
+    }
+
+    #[test]
+    fn axpy_and_ops() {
+        let mut v = Vector::from_slice(&[1.0, 2.0]);
+        let w = Vector::from_slice(&[10.0, 20.0]);
+        v.axpy(0.5, &w);
+        assert_eq!(v.as_slice(), &[6.0, 12.0]);
+
+        let s = &v - &w;
+        assert_eq!(s.as_slice(), &[-4.0, -8.0]);
+        let a = &v + &w;
+        assert_eq!(a.as_slice(), &[16.0, 32.0]);
+        let m = &v * 2.0;
+        assert_eq!(m.as_slice(), &[12.0, 24.0]);
+        let n = -&v;
+        assert_eq!(n.as_slice(), &[-6.0, -12.0]);
+    }
+
+    #[test]
+    fn normalize_l1_gives_distribution() {
+        let mut v = Vector::from_slice(&[1.0, 3.0, 4.0]);
+        v.normalize_l1();
+        assert!(v.is_distribution(1e-12));
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalize_l1")]
+    fn normalize_l1_zero_panics() {
+        let mut v = Vector::zeros(3);
+        v.normalize_l1();
+    }
+
+    #[test]
+    fn normalize_l2_unit_norm() {
+        let mut v = Vector::from_slice(&[3.0, 4.0]);
+        v.normalize_l2();
+        assert!((v.norm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_and_extrema() {
+        let v = Vector::from_slice(&[1.0, 5.0, -2.0, 5.0]);
+        assert_eq!(v.argmax(), Some(1));
+        assert_eq!(v.max(), 5.0);
+        assert_eq!(v.min(), -2.0);
+        assert_eq!(Vector::zeros(0).argmax(), None);
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let w = Vector::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(v.hadamard(&w).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let v = Vector::from_slice(&[1.0, f64::NAN]);
+        assert!(!v.is_finite());
+        let w = Vector::from_slice(&[1.0, 2.0]);
+        assert!(w.is_finite());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use logit_linalg::{jacobi_eigen, solve, CsrMatrix, JacobiOptions, Matrix, Vector};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dot product is symmetric and the Cauchy–Schwarz inequality holds.
+    #[test]
+    fn dot_symmetric_and_cauchy_schwarz(a in small_vec(8), b in small_vec(8)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let d1 = va.dot(&vb);
+        let d2 = vb.dot(&va);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!(d1.abs() <= va.norm2() * vb.norm2() + 1e-9);
+    }
+
+    /// Triangle inequality for the Euclidean norm.
+    #[test]
+    fn norm_triangle_inequality(a in small_vec(6), b in small_vec(6)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let sum = &va + &vb;
+        prop_assert!(sum.norm2() <= va.norm2() + vb.norm2() + 1e-9);
+    }
+
+    /// Matrix multiplication is associative on small matrices.
+    #[test]
+    fn matmul_associative(data_a in small_vec(9), data_b in small_vec(9), data_c in small_vec(9)) {
+        let a = Matrix::from_vec(3, 3, data_a);
+        let b = Matrix::from_vec(3, 3, data_b);
+        let c = Matrix::from_vec(3, 3, data_c);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-7);
+    }
+
+    /// (A B)^T = B^T A^T.
+    #[test]
+    fn transpose_of_product(data_a in small_vec(12), data_b in small_vec(8)) {
+        let a = Matrix::from_vec(3, 4, data_a);
+        let b = Matrix::from_vec(4, 2, data_b);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    /// LU solve returns a vector whose residual is tiny for diagonally dominant systems.
+    #[test]
+    fn lu_solve_small_residual(off in small_vec(16), rhs in small_vec(4)) {
+        let n = 4;
+        let mut a = Matrix::from_vec(n, n, off);
+        for i in 0..n {
+            // Make the matrix strictly diagonally dominant so it is invertible.
+            let rowsum: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+            a[(i, i)] = rowsum + 1.0;
+        }
+        let b = Vector::from_vec(rhs);
+        let x = solve(&a, &b).expect("diagonally dominant matrices are invertible");
+        let residual = &a.matvec(&x) - &b;
+        prop_assert!(residual.norm_inf() < 1e-8);
+    }
+
+    /// Jacobi eigenvalues of a symmetric matrix preserve trace and Frobenius norm.
+    #[test]
+    fn jacobi_preserves_invariants(data in small_vec(25)) {
+        let n = 5;
+        let raw = Matrix::from_vec(n, n, data);
+        // Symmetrise.
+        let a = Matrix::from_fn(n, n, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+        let e = jacobi_eigen(&a, JacobiOptions::default());
+        let trace: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((trace - a.trace()).abs() < 1e-7);
+        let sumsq: f64 = e.eigenvalues.iter().map(|l| l * l).sum();
+        prop_assert!((sumsq - a.frobenius_norm().powi(2)).abs() < 1e-6);
+    }
+
+    /// CSR and dense agree on matvec / vecmat for arbitrary sparse patterns.
+    #[test]
+    fn csr_matches_dense(entries in prop::collection::vec((0usize..6, 0usize..6, -5.0..5.0f64), 0..30),
+                         v in small_vec(6)) {
+        let mut dense = Matrix::zeros(6, 6);
+        let mut builder = logit_linalg::sparse::CsrBuilder::new(6, 6);
+        for (i, j, val) in entries {
+            dense[(i, j)] += val;
+            builder.push(i, j, val);
+        }
+        let sparse = builder.build();
+        let vv = Vector::from_vec(v);
+        let d1 = dense.matvec(&vv);
+        let s1 = sparse.matvec(&vv);
+        prop_assert!((&d1 - &s1).norm_inf() < 1e-9);
+        let d2 = dense.vecmat(&vv);
+        let s2 = sparse.vecmat(&vv);
+        prop_assert!((&d2 - &s2).norm_inf() < 1e-9);
+    }
+
+    /// Round-tripping dense -> CSR -> dense is the identity (up to dropping exact zeros).
+    #[test]
+    fn csr_round_trip(data in small_vec(16)) {
+        let d = Matrix::from_vec(4, 4, data);
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        prop_assert!(s.to_dense().max_abs_diff(&d) == 0.0);
+    }
+}

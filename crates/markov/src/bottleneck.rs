@@ -1,0 +1,174 @@
+//! Bottleneck ratios and the Theorem 2.7 lower bound.
+//!
+//! For a set `R` of states with `π(R) ≤ ½`, the bottleneck ratio is
+//! `B(R) = Q(R, R̄) / π(R)` where `Q(x, y) = π(x)P(x, y)`, and the mixing time
+//! satisfies `t_mix(ε) ≥ (1 − 2ε) / (2 B(R))`.
+
+use crate::chain::MarkovChain;
+use logit_linalg::Vector;
+
+/// Probability mass of a set of states.
+pub fn set_mass(pi: &Vector, set: &[usize]) -> f64 {
+    set.iter().map(|&x| pi[x]).sum()
+}
+
+/// Bottleneck ratio `B(R) = Q(R, R̄) / π(R)` of the set `R` (given as a list of
+/// state indices).
+///
+/// # Panics
+/// Panics when `R` is empty or has zero stationary mass.
+pub fn bottleneck_ratio(chain: &MarkovChain, pi: &Vector, r: &[usize]) -> f64 {
+    assert!(!r.is_empty(), "bottleneck set must be non-empty");
+    let n = chain.num_states();
+    let mut in_r = vec![false; n];
+    for &x in r {
+        assert!(x < n, "state {x} out of range");
+        in_r[x] = true;
+    }
+    let mass = set_mass(pi, r);
+    assert!(mass > 0.0, "bottleneck set has zero stationary mass");
+    let mut flow = 0.0;
+    for &x in r {
+        for y in 0..n {
+            if !in_r[y] {
+                flow += chain.edge_measure(pi, x, y);
+            }
+        }
+    }
+    flow / mass
+}
+
+/// Theorem 2.7 lower bound: `t_mix(ε) ≥ (1 − 2ε)/(2·B(R))` for any `R` with
+/// `π(R) ≤ ½`.
+///
+/// # Panics
+/// Panics when `π(R) > ½ + 1e-9` since the theorem does not apply.
+pub fn bottleneck_lower_bound(chain: &MarkovChain, pi: &Vector, r: &[usize], epsilon: f64) -> f64 {
+    let mass = set_mass(pi, r);
+    assert!(
+        mass <= 0.5 + 1e-9,
+        "bottleneck lower bound requires pi(R) <= 1/2, got {mass}"
+    );
+    let b = bottleneck_ratio(chain, pi, r);
+    (1.0 - 2.0 * epsilon) / (2.0 * b)
+}
+
+/// Scans all "level sets below a threshold" of a scoring function and returns
+/// the set with the smallest bottleneck ratio among those with mass ≤ ½.
+///
+/// `score` assigns a real value to every state (for potential games this is the
+/// potential); the candidate sets are `{x : score(x) ≤ θ}` for every distinct
+/// threshold θ. This matches how the paper's lower bounds pick their bottleneck
+/// sets (sub-level sets of the potential around one equilibrium).
+///
+/// Returns `(set, ratio)`; `None` when no non-trivial candidate has mass ≤ ½.
+pub fn best_level_set_bottleneck(
+    chain: &MarkovChain,
+    pi: &Vector,
+    score: &[f64],
+) -> Option<(Vec<usize>, f64)> {
+    let n = chain.num_states();
+    assert_eq!(score.len(), n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| score[a].partial_cmp(&score[b]).expect("finite scores"));
+
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut current: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        // Add all states sharing the same threshold value at once.
+        let theta = score[order[i]];
+        while i < n && score[order[i]] == theta {
+            current.push(order[i]);
+            i += 1;
+        }
+        if current.len() == n {
+            break; // the full space is never a valid bottleneck set
+        }
+        if set_mass(pi, &current) <= 0.5 + 1e-12 {
+            let ratio = bottleneck_ratio(chain, pi, &current);
+            if best.as_ref().map(|(_, r)| ratio < *r).unwrap_or(true) {
+                best = Some((current.clone(), ratio));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixing::mixing_time_quarter;
+    use crate::stationary::stationary_distribution;
+    use logit_linalg::Matrix;
+
+    fn two_state(p01: f64, p10: f64) -> MarkovChain {
+        MarkovChain::new(Matrix::from_rows(&[
+            vec![1.0 - p01, p01],
+            vec![p10, 1.0 - p10],
+        ]))
+    }
+
+    #[test]
+    fn two_state_bottleneck_closed_form() {
+        let chain = two_state(0.1, 0.3);
+        let pi = stationary_distribution(&chain);
+        // R = {0}: B(R) = π(0)P(0,1)/π(0) = P(0,1) = 0.1.
+        let b = bottleneck_ratio(&chain, &pi, &[0]);
+        assert!((b - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_is_actually_below_mixing_time() {
+        let chain = two_state(0.02, 0.05);
+        let pi = stationary_distribution(&chain);
+        let t_mix = mixing_time_quarter(&chain, &pi, 1 << 30).unwrap().mixing_time as f64;
+        // π(0) = 5/7 > 1/2, so use R = {1}.
+        let lb = bottleneck_lower_bound(&chain, &pi, &[1], 0.25);
+        assert!(lb <= t_mix + 1.0, "lower bound {lb} vs mixing time {t_mix}");
+        assert!(lb > 1.0, "bound should be non-trivial for a slow chain");
+    }
+
+    #[test]
+    #[should_panic(expected = "pi(R) <= 1/2")]
+    fn heavy_set_rejected_for_lower_bound() {
+        let chain = two_state(0.02, 0.05);
+        let pi = stationary_distribution(&chain);
+        let _ = bottleneck_lower_bound(&chain, &pi, &[0], 0.25);
+    }
+
+    #[test]
+    fn level_set_scan_finds_the_obvious_bottleneck() {
+        // A 4-state chain shaped like two wells {0,1} and {2,3} with a weak link.
+        let eps = 1e-3;
+        let p = Matrix::from_rows(&[
+            vec![0.5, 0.5, 0.0, 0.0],
+            vec![0.5, 0.5 - eps, eps, 0.0],
+            vec![0.0, eps, 0.5 - eps, 0.5],
+            vec![0.0, 0.0, 0.5, 0.5],
+        ]);
+        let chain = MarkovChain::new(p);
+        let pi = stationary_distribution(&chain);
+        // Score states by which well they belong to.
+        let score = vec![0.0, 0.0, 1.0, 1.0];
+        let (set, ratio) = best_level_set_bottleneck(&chain, &pi, &score).unwrap();
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+        assert!(ratio < 0.01, "the weak link should yield a tiny ratio, got {ratio}");
+    }
+
+    #[test]
+    fn set_mass_sums_probabilities() {
+        let pi = Vector::from_slice(&[0.1, 0.2, 0.3, 0.4]);
+        assert!((set_mass(&pi, &[0, 3]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_rejected() {
+        let chain = two_state(0.5, 0.5);
+        let pi = stationary_distribution(&chain);
+        let _ = bottleneck_ratio(&chain, &pi, &[]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Validated finite Markov chains.
+
+use logit_linalg::{Matrix, Vector};
+
+/// Tolerance used when validating stochasticity and detailed balance.
+pub const STOCHASTIC_TOL: f64 = 1e-9;
+
+/// A finite Markov chain given by a dense row-stochastic transition matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    p: Matrix,
+}
+
+impl MarkovChain {
+    /// Wraps a transition matrix after validating that it is square and
+    /// row-stochastic (within [`STOCHASTIC_TOL`]).
+    ///
+    /// # Panics
+    /// Panics when the matrix is not a valid transition matrix.
+    pub fn new(p: Matrix) -> Self {
+        assert!(p.is_square(), "transition matrix must be square");
+        assert!(
+            p.is_row_stochastic(STOCHASTIC_TOL),
+            "transition matrix must be row-stochastic"
+        );
+        Self { p }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.p.nrows()
+    }
+
+    /// The transition matrix.
+    pub fn transition_matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Transition probability `P(x, y)`.
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        self.p[(x, y)]
+    }
+
+    /// One distribution step: `μ ↦ μP`.
+    pub fn step_distribution(&self, mu: &Vector) -> Vector {
+        self.p.vecmat(mu)
+    }
+
+    /// The `t`-step transition matrix `Pᵗ`.
+    pub fn t_step_matrix(&self, t: u64) -> Matrix {
+        self.p.pow(t)
+    }
+
+    /// Returns `true` when every state can reach every other state
+    /// (irreducibility), determined by BFS over the positive-probability edges.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.num_states();
+        if n == 0 {
+            return false;
+        }
+        // Strong connectivity of the directed graph with edges P(x,y) > 0.
+        self.reachable_from(0).iter().all(|&r| r)
+            && self.reachable_from_reverse(0).iter().all(|&r| r)
+    }
+
+    fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let n = self.num_states();
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(x) = stack.pop() {
+            for y in 0..n {
+                if !seen[y] && self.p[(x, y)] > 0.0 {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        seen
+    }
+
+    fn reachable_from_reverse(&self, start: usize) -> Vec<bool> {
+        let n = self.num_states();
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(x) = stack.pop() {
+            for y in 0..n {
+                if !seen[y] && self.p[(y, x)] > 0.0 {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` when the chain is aperiodic. For irreducible chains a
+    /// single state with a self-loop suffices; otherwise the period is computed
+    /// as the gcd of cycle-length differences found by BFS.
+    pub fn is_aperiodic(&self) -> bool {
+        let n = self.num_states();
+        // Fast path: any self loop makes an irreducible chain aperiodic.
+        if (0..n).any(|x| self.p[(x, x)] > 0.0) {
+            return true;
+        }
+        self.period() == 1
+    }
+
+    /// Period of the chain: gcd over states of the possible return-time
+    /// differences (1 means aperiodic). Only meaningful for irreducible chains.
+    pub fn period(&self) -> u64 {
+        let n = self.num_states();
+        if n == 0 {
+            return 0;
+        }
+        // BFS from state 0 assigning levels; every edge (x, y) contributes
+        // |level[x] + 1 - level[y]| to the gcd.
+        let mut level = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        level[0] = 0;
+        queue.push_back(0);
+        let mut g: u64 = 0;
+        while let Some(x) = queue.pop_front() {
+            for y in 0..n {
+                if self.p[(x, y)] <= 0.0 {
+                    continue;
+                }
+                if level[y] == usize::MAX {
+                    level[y] = level[x] + 1;
+                    queue.push_back(y);
+                } else {
+                    let diff = (level[x] as i64 + 1 - level[y] as i64).unsigned_abs();
+                    if diff != 0 {
+                        g = gcd(g, diff);
+                    }
+                }
+            }
+        }
+        if g == 0 {
+            // No cycles found from the BFS tree edges alone (e.g. a chain that is
+            // not irreducible); report a period of 0 to signal "undefined".
+            0
+        } else {
+            g
+        }
+    }
+
+    /// Returns `true` when the chain is ergodic (irreducible and aperiodic).
+    pub fn is_ergodic(&self) -> bool {
+        self.is_irreducible() && self.is_aperiodic()
+    }
+
+    /// Checks the detailed-balance condition `π(x)P(x,y) = π(y)P(y,x)` for the
+    /// given distribution, i.e. reversibility with respect to `π`.
+    pub fn is_reversible(&self, pi: &Vector, tol: f64) -> bool {
+        let n = self.num_states();
+        assert_eq!(pi.len(), n);
+        for x in 0..n {
+            for y in (x + 1)..n {
+                let forward = pi[x] * self.p[(x, y)];
+                let backward = pi[y] * self.p[(y, x)];
+                if (forward - backward).abs() > tol * forward.abs().max(backward.abs()).max(1e-300)
+                    && (forward - backward).abs() > tol
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Edge stationary measure `Q(x, y) = π(x) P(x, y)` (Section 2).
+    pub fn edge_measure(&self, pi: &Vector, x: usize, y: usize) -> f64 {
+        pi[x] * self.p[(x, y)]
+    }
+
+    /// The lazy version of the chain: `(P + I) / 2`, always aperiodic.
+    pub fn lazy(&self) -> MarkovChain {
+        let n = self.num_states();
+        let mut q = self.p.clone();
+        q.scale(0.5);
+        for i in 0..n {
+            q[(i, i)] += 0.5;
+        }
+        MarkovChain::new(q)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        b
+    } else if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(p01: f64, p10: f64) -> MarkovChain {
+        MarkovChain::new(Matrix::from_rows(&[
+            vec![1.0 - p01, p01],
+            vec![p10, 1.0 - p10],
+        ]))
+    }
+
+    #[test]
+    fn validation_accepts_stochastic_rejects_other() {
+        let _ = two_state(0.3, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-stochastic")]
+    fn validation_rejects_bad_rows() {
+        let _ = MarkovChain::new(Matrix::from_rows(&[vec![0.5, 0.6], vec![0.5, 0.5]]));
+    }
+
+    #[test]
+    fn irreducibility_and_aperiodicity() {
+        let ergodic = two_state(0.3, 0.6);
+        assert!(ergodic.is_irreducible());
+        assert!(ergodic.is_aperiodic());
+        assert!(ergodic.is_ergodic());
+
+        // Absorbing chain: not irreducible.
+        let absorbing = MarkovChain::new(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.5, 0.5]]));
+        assert!(!absorbing.is_irreducible());
+
+        // Deterministic 2-cycle: irreducible but periodic with period 2.
+        let cycle = MarkovChain::new(Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]));
+        assert!(cycle.is_irreducible());
+        assert!(!cycle.is_aperiodic());
+        assert_eq!(cycle.period(), 2);
+        // Its lazy version is aperiodic.
+        assert!(cycle.lazy().is_ergodic());
+    }
+
+    #[test]
+    fn period_of_3_cycle() {
+        let p = MarkovChain::new(Matrix::from_rows(&[
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ]));
+        assert_eq!(p.period(), 3);
+        assert!(!p.is_aperiodic());
+    }
+
+    #[test]
+    fn step_distribution_and_powers() {
+        let c = two_state(0.5, 0.5);
+        let mu = Vector::from_slice(&[1.0, 0.0]);
+        let one = c.step_distribution(&mu);
+        assert_eq!(one.as_slice(), &[0.5, 0.5]);
+        let p2 = c.t_step_matrix(2);
+        assert!(p2.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn reversibility_of_birth_death_chain() {
+        // Simple random walk with holding on 3 states is reversible w.r.t. uniform.
+        let p = MarkovChain::new(Matrix::from_rows(&[
+            vec![0.5, 0.5, 0.0],
+            vec![0.5, 0.0, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ]));
+        let uniform = Vector::filled(3, 1.0 / 3.0);
+        assert!(p.is_reversible(&uniform, 1e-12));
+
+        // A chain that is *not* reversible w.r.t. uniform.
+        let q = MarkovChain::new(Matrix::from_rows(&[
+            vec![0.0, 0.9, 0.1],
+            vec![0.1, 0.0, 0.9],
+            vec![0.9, 0.1, 0.0],
+        ]));
+        assert!(!q.is_reversible(&uniform, 1e-12));
+    }
+
+    #[test]
+    fn edge_measure_symmetric_for_reversible() {
+        let c = two_state(0.3, 0.6);
+        // stationary: pi = (2/3, 1/3)
+        let pi = Vector::from_slice(&[2.0 / 3.0, 1.0 / 3.0]);
+        let q01 = c.edge_measure(&pi, 0, 1);
+        let q10 = c.edge_measure(&pi, 1, 0);
+        assert!((q01 - q10).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Expected hitting times.
+//!
+//! The related work discussed in the paper (Asadpour–Saberi on congestion games,
+//! Montanari–Saberi on local interaction games) studies the *hitting time* of
+//! specific profiles — e.g. the highest-potential Nash equilibrium — rather than
+//! the mixing time. For a finite chain the expected hitting times
+//! `h(x) = E_x[min{t : X_t ∈ T}]` of a target set `T` solve the linear system
+//!
+//! `h(x) = 0` for `x ∈ T`, `h(x) = 1 + Σ_y P(x,y) h(y)` otherwise,
+//!
+//! which we solve exactly with the LU decomposition.
+
+use crate::chain::MarkovChain;
+use logit_linalg::{LuDecomposition, Matrix, Vector};
+
+/// Expected hitting times of the target set `targets` from every state.
+///
+/// Returns a vector `h` with `h[x] = E_x[τ_T]`; entries of target states are 0.
+///
+/// # Panics
+/// Panics when `targets` is empty, contains out-of-range states, or when some
+/// state cannot reach the target set (the hitting time would be infinite and the
+/// linear system singular).
+pub fn expected_hitting_times(chain: &MarkovChain, targets: &[usize]) -> Vector {
+    let n = chain.num_states();
+    assert!(!targets.is_empty(), "target set must be non-empty");
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        assert!(t < n, "target state {t} out of range");
+        is_target[t] = true;
+    }
+    // Index the non-target states.
+    let free: Vec<usize> = (0..n).filter(|&x| !is_target[x]).collect();
+    let k = free.len();
+    if k == 0 {
+        return Vector::zeros(n);
+    }
+    let index_of: Vec<Option<usize>> = {
+        let mut v = vec![None; n];
+        for (i, &x) in free.iter().enumerate() {
+            v[x] = Some(i);
+        }
+        v
+    };
+    // (I - P_restricted) h = 1
+    let p = chain.transition_matrix();
+    let mut a = Matrix::zeros(k, k);
+    for (i, &x) in free.iter().enumerate() {
+        for (j, &y) in free.iter().enumerate() {
+            a[(i, j)] = if i == j { 1.0 } else { 0.0 } - p[(x, y)];
+        }
+    }
+    let b = Vector::filled(k, 1.0);
+    let lu = LuDecomposition::new(&a).expect(
+        "hitting-time system is singular: some state cannot reach the target set",
+    );
+    let h_free = lu.solve(&b);
+    let mut h = Vector::zeros(n);
+    for x in 0..n {
+        if let Some(i) = index_of[x] {
+            h[x] = h_free[i];
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(p01: f64, p10: f64) -> MarkovChain {
+        MarkovChain::new(Matrix::from_rows(&[
+            vec![1.0 - p01, p01],
+            vec![p10, 1.0 - p10],
+        ]))
+    }
+
+    #[test]
+    fn geometric_hitting_time() {
+        // From state 0, hitting {1} is geometric with success probability p01.
+        let chain = two_state(0.2, 0.7);
+        let h = expected_hitting_times(&chain, &[1]);
+        assert!((h[0] - 5.0).abs() < 1e-9);
+        assert_eq!(h[1], 0.0);
+    }
+
+    #[test]
+    fn symmetric_random_walk_on_path_gambler_ruin() {
+        // Lazy-free symmetric walk on 0..4 with reflecting behaviour replaced by
+        // absorption at 4; expected time from 0 to hit 4 with reflecting at 0:
+        // classic answer n² = 16 for n = 4.
+        let n = 5;
+        let mut p = Matrix::zeros(n, n);
+        p[(0, 1)] = 1.0; // reflect
+        for x in 1..n - 1 {
+            p[(x, x - 1)] = 0.5;
+            p[(x, x + 1)] = 0.5;
+        }
+        p[(n - 1, n - 1)] = 1.0; // absorbing target
+        let chain = MarkovChain::new(p);
+        let h = expected_hitting_times(&chain, &[n - 1]);
+        assert!((h[0] - 16.0).abs() < 1e-8);
+        assert!((h[1] - 15.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn multiple_targets_take_minimum() {
+        let chain = MarkovChain::new(Matrix::from_rows(&[
+            vec![0.0, 0.5, 0.5],
+            vec![0.5, 0.0, 0.5],
+            vec![0.5, 0.5, 0.0],
+        ]));
+        let h = expected_hitting_times(&chain, &[1, 2]);
+        // From state 0 we hit {1,2} in exactly one step.
+        assert!((h[0] - 1.0).abs() < 1e-12);
+        assert_eq!(h[1], 0.0);
+        assert_eq!(h[2], 0.0);
+    }
+
+    #[test]
+    fn all_states_targets_gives_zero() {
+        let chain = two_state(0.3, 0.3);
+        let h = expected_hitting_times(&chain, &[0, 1]);
+        assert_eq!(h.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_target_rejected() {
+        let chain = two_state(0.3, 0.3);
+        let _ = expected_hitting_times(&chain, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn unreachable_target_detected() {
+        // State 0 is absorbing, so it can never reach state 1.
+        let chain = MarkovChain::new(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.5, 0.5]]));
+        let _ = expected_hitting_times(&chain, &[1]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # logit-markov
+//!
+//! Finite Markov-chain machinery used to analyse the logit dynamics exactly.
+//!
+//! The crate mirrors the toolbox of Section 2 of the paper:
+//!
+//! * [`chain::MarkovChain`] — a validated row-stochastic transition matrix with
+//!   irreducibility/aperiodicity/reversibility checks,
+//! * [`stationary`] — stationary distributions (power method and direct linear
+//!   solve),
+//! * [`tv`] — total variation distance,
+//! * [`mixing`] — the exact mixing time `t_mix(ε) = min{t : max_x ‖Pᵗ(x,·) − π‖_TV ≤ ε}`
+//!   computed by matrix powers with bracketing + binary search,
+//! * [`spectral`] — the spectrum of reversible chains via the symmetrised matrix
+//!   `D^{1/2} P D^{-1/2}`, the relaxation time `t_rel = 1/(1-λ*)` and the
+//!   Theorem 2.3 sandwich between relaxation and mixing time,
+//! * [`bottleneck`] — bottleneck ratios `B(R) = Q(R, R̄)/π(R)` and the Theorem 2.7
+//!   lower bound,
+//! * [`hitting`] — expected hitting times of target sets (the quantity studied by
+//!   the related work of Asadpour–Saberi and Montanari–Saberi),
+//! * [`coupling`] — generic machinery for simulating coupled chains and turning
+//!   coupling-time tail bounds into mixing-time upper estimates (Theorem 2.1).
+
+pub mod bottleneck;
+pub mod chain;
+pub mod coupling;
+pub mod hitting;
+pub mod mixing;
+pub mod spectral;
+pub mod stationary;
+pub mod tv;
+
+pub use bottleneck::{bottleneck_lower_bound, bottleneck_ratio};
+pub use chain::MarkovChain;
+pub use coupling::{coupling_mixing_upper_bound, simulate_coupling, CouplingEstimate};
+pub use hitting::expected_hitting_times;
+pub use mixing::{distance_to_stationarity, mixing_time, MixingTimeResult};
+pub use spectral::{relaxation_time, spectral_analysis, SpectralSummary};
+pub use stationary::{stationary_distribution, stationary_power_method};
+pub use tv::total_variation;
+
+/// The conventional mixing-time threshold `ε = 1/4` (Section 2).
+pub const MIXING_EPSILON: f64 = 0.25;

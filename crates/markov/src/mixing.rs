@@ -1,0 +1,196 @@
+//! Exact mixing-time computation.
+//!
+//! `t_mix(ε) = min{ t : max_x ‖Pᵗ(x,·) − π‖_TV ≤ ε }` (Section 2 of the paper).
+//! The worst-case distance `d(t) = max_x ‖Pᵗ(x,·) − π‖_TV` is non-increasing in
+//! `t`, so the mixing time can be found by exponential bracketing followed by
+//! binary search, evaluating `d(t)` from the exact matrix power `Pᵗ` each time.
+//! The cost is `O(|Ω|³ log t_mix)`, which is what makes exhaustive verification
+//! of the paper's bounds feasible for the small games in the experiments.
+
+use crate::chain::MarkovChain;
+use crate::tv::total_variation_slices;
+use logit_linalg::{Matrix, Vector};
+
+/// Result of a mixing-time computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixingTimeResult {
+    /// The mixing time `t_mix(ε)` in steps.
+    pub mixing_time: u64,
+    /// The threshold `ε` used.
+    pub epsilon: f64,
+    /// Worst-case total variation distance at `t_mix` (≤ ε).
+    pub distance_at_mixing: f64,
+    /// Worst-case total variation distance at `t_mix - 1` (> ε), or `None`
+    /// when the chain already mixes in a single step (or zero steps).
+    pub distance_before: Option<f64>,
+}
+
+/// Worst-case (over starting states) total variation distance to stationarity
+/// after exactly `t` steps: `d(t) = max_x ‖Pᵗ(x,·) − π‖_TV`.
+pub fn distance_to_stationarity(chain: &MarkovChain, pi: &Vector, t: u64) -> f64 {
+    let pt = chain.t_step_matrix(t);
+    worst_row_distance(&pt, pi)
+}
+
+fn worst_row_distance(pt: &Matrix, pi: &Vector) -> f64 {
+    (0..pt.nrows())
+        .map(|x| total_variation_slices(pt.row(x), pi.as_slice()))
+        .fold(0.0, f64::max)
+}
+
+/// Exact mixing time `t_mix(ε)`.
+///
+/// `max_time` caps the search (important for low-temperature chains whose mixing
+/// time is astronomically large); when the cap is hit the function returns
+/// `None` so callers can distinguish "didn't mix within the budget" from a real
+/// value.
+pub fn mixing_time(
+    chain: &MarkovChain,
+    pi: &Vector,
+    epsilon: f64,
+    max_time: u64,
+) -> Option<MixingTimeResult> {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(max_time >= 1);
+
+    // d(0) = max_x ||δ_x - π|| = 1 - min_x π(x) which is > ε in any non-trivial case,
+    // but handle the trivial single-state chain gracefully.
+    if chain.num_states() <= 1 {
+        return Some(MixingTimeResult {
+            mixing_time: 0,
+            epsilon,
+            distance_at_mixing: 0.0,
+            distance_before: None,
+        });
+    }
+
+    // Exponential bracketing: find the smallest power of two t with d(t) <= ε.
+    let mut hi: u64 = 1;
+    let mut d_hi = distance_to_stationarity(chain, pi, hi);
+    if d_hi <= epsilon {
+        return Some(MixingTimeResult {
+            mixing_time: 1,
+            epsilon,
+            distance_at_mixing: d_hi,
+            distance_before: None,
+        });
+    }
+    let mut lo: u64 = 1; // d(lo) > ε invariant
+    while d_hi > epsilon {
+        lo = hi;
+        if hi >= max_time {
+            return None;
+        }
+        hi = (hi * 2).min(max_time);
+        d_hi = distance_to_stationarity(chain, pi, hi);
+        if hi == max_time && d_hi > epsilon {
+            return None;
+        }
+    }
+
+    // Binary search in (lo, hi]: d(lo) > ε ≥ d(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let d_mid = distance_to_stationarity(chain, pi, mid);
+        if d_mid <= epsilon {
+            hi = mid;
+            d_hi = d_mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let distance_before = Some(distance_to_stationarity(chain, pi, lo));
+    Some(MixingTimeResult {
+        mixing_time: hi,
+        epsilon,
+        distance_at_mixing: d_hi,
+        distance_before,
+    })
+}
+
+/// Convenience wrapper with the standard `ε = 1/4`.
+pub fn mixing_time_quarter(chain: &MarkovChain, pi: &Vector, max_time: u64) -> Option<MixingTimeResult> {
+    mixing_time(chain, pi, crate::MIXING_EPSILON, max_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::stationary_distribution;
+
+    fn two_state(p01: f64, p10: f64) -> MarkovChain {
+        MarkovChain::new(Matrix::from_rows(&[
+            vec![1.0 - p01, p01],
+            vec![p10, 1.0 - p10],
+        ]))
+    }
+
+    #[test]
+    fn two_state_mixing_matches_closed_form() {
+        // For the two-state chain, Pᵗ(x,·) - π decays as (1 - p01 - p10)ᵗ and
+        // d(t) = max(π0, π1) ... more precisely d(t) = |1 - p01 - p10|ᵗ · max(π1, π0).
+        let (p01, p10) = (0.2, 0.1);
+        let chain = two_state(p01, p10);
+        let pi = stationary_distribution(&chain);
+        let lambda: f64 = 1.0 - p01 - p10;
+        let d0 = pi[0].max(pi[1]);
+        // Closed form: t_mix = min t with d0 * lambda^t <= 1/4.
+        let expected = ((0.25f64 / d0).ln() / lambda.ln()).ceil() as u64;
+        let result = mixing_time_quarter(&chain, &pi, 1 << 32).expect("must mix");
+        assert_eq!(result.mixing_time, expected);
+        assert!(result.distance_at_mixing <= 0.25);
+        if let Some(before) = result.distance_before {
+            assert!(before > 0.25);
+        }
+    }
+
+    #[test]
+    fn distance_is_monotone_non_increasing() {
+        let chain = two_state(0.15, 0.25);
+        let pi = stationary_distribution(&chain);
+        let mut prev = f64::INFINITY;
+        for t in 1..20 {
+            let d = distance_to_stationarity(&chain, &pi, t);
+            assert!(d <= prev + 1e-12, "d(t) must be non-increasing");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn fast_chain_mixes_in_one_step() {
+        // A chain that jumps straight to stationarity: all rows equal π.
+        let pi_rows = vec![vec![0.3, 0.7], vec![0.3, 0.7]];
+        let chain = MarkovChain::new(Matrix::from_rows(&pi_rows));
+        let pi = stationary_distribution(&chain);
+        let result = mixing_time_quarter(&chain, &pi, 100).unwrap();
+        assert_eq!(result.mixing_time, 1);
+        assert!(result.distance_before.is_none());
+    }
+
+    #[test]
+    fn slow_chain_exceeds_budget() {
+        // Nearly-absorbing chain with a tiny escape probability mixes very slowly.
+        let chain = two_state(1e-9, 1e-9);
+        let pi = stationary_distribution(&chain);
+        assert_eq!(mixing_time_quarter(&chain, &pi, 1000), None);
+    }
+
+    #[test]
+    fn single_state_chain_mixes_instantly() {
+        let chain = MarkovChain::new(Matrix::from_rows(&[vec![1.0]]));
+        let pi = stationary_distribution(&chain);
+        let r = mixing_time_quarter(&chain, &pi, 10).unwrap();
+        assert_eq!(r.mixing_time, 0);
+    }
+
+    #[test]
+    fn smaller_epsilon_needs_more_time() {
+        let chain = two_state(0.2, 0.15);
+        let pi = stationary_distribution(&chain);
+        let loose = mixing_time(&chain, &pi, 0.25, 1 << 20).unwrap().mixing_time;
+        let tight = mixing_time(&chain, &pi, 0.01, 1 << 20).unwrap().mixing_time;
+        assert!(tight >= loose);
+        // And the standard log(1/ε) relation roughly holds: t(ε) ≤ t(1/4)·⌈log2(1/ε)⌉.
+        assert!(tight <= loose * 7 + 7);
+    }
+}

@@ -1,0 +1,184 @@
+//! Spectral analysis of reversible chains.
+//!
+//! For a chain reversible w.r.t. `π`, the matrix
+//! `A = D^{1/2} P D^{-1/2}` (`D = diag(π)`) is symmetric and has the same
+//! eigenvalues as `P`; its spectrum gives the relaxation time
+//! `t_rel = 1/(1 - λ*)` and, through Theorem 2.3, two-sided bounds on the mixing
+//! time:
+//!
+//! `(t_rel − 1)·log(1/2ε) ≤ t_mix(ε) ≤ t_rel·log(1/(ε·π_min))`.
+
+use crate::chain::MarkovChain;
+use logit_linalg::{jacobi_eigen, JacobiOptions, Matrix, Vector};
+
+/// Summary of the spectrum of a reversible chain.
+#[derive(Debug, Clone)]
+pub struct SpectralSummary {
+    /// All eigenvalues in non-increasing order (λ₁ = 1 first).
+    pub eigenvalues: Vec<f64>,
+    /// Second-largest eigenvalue λ₂.
+    pub lambda_2: f64,
+    /// Smallest eigenvalue λ_|Ω|.
+    pub lambda_min: f64,
+    /// `λ* = max(|λ₂|, |λ_min|)` — the quantity controlling the relaxation time.
+    pub lambda_star: f64,
+    /// Relaxation time `1/(1 − λ*)`.
+    pub relaxation_time: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub spectral_gap: f64,
+}
+
+impl SpectralSummary {
+    /// Theorem 2.3 lower bound on `t_mix(ε)`: `(t_rel − 1)·log(1/2ε)`.
+    pub fn mixing_time_lower_bound(&self, epsilon: f64) -> f64 {
+        (self.relaxation_time - 1.0) * (1.0 / (2.0 * epsilon)).ln()
+    }
+
+    /// Theorem 2.3 upper bound on `t_mix(ε)`: `t_rel·log(1/(ε·π_min))`.
+    pub fn mixing_time_upper_bound(&self, epsilon: f64, pi_min: f64) -> f64 {
+        self.relaxation_time * (1.0 / (epsilon * pi_min)).ln()
+    }
+}
+
+/// Computes the full spectrum of a chain that is reversible with respect to `pi`.
+///
+/// # Panics
+/// Panics when `pi` has non-positive entries (the symmetrisation needs
+/// `√(π(x)/π(y))`) or when the chain fails the detailed-balance check by a wide
+/// margin, since the symmetrisation would then silently analyse a different
+/// matrix.
+pub fn spectral_analysis(chain: &MarkovChain, pi: &Vector) -> SpectralSummary {
+    let n = chain.num_states();
+    assert_eq!(pi.len(), n);
+    assert!(
+        pi.as_slice().iter().all(|&p| p > 0.0),
+        "stationary distribution must be strictly positive for spectral analysis"
+    );
+    assert!(
+        chain.is_reversible(pi, 1e-6),
+        "spectral_analysis requires a reversible chain"
+    );
+
+    let p = chain.transition_matrix();
+    // A(x,y) = sqrt(pi_x / pi_y) * P(x,y); symmetric by detailed balance.
+    let mut a = Matrix::zeros(n, n);
+    for x in 0..n {
+        for y in 0..n {
+            a[(x, y)] = (pi[x] / pi[y]).sqrt() * p[(x, y)];
+        }
+    }
+    // Average out any residual asymmetry from floating point noise.
+    let a_sym = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+
+    let eig = jacobi_eigen(&a_sym, JacobiOptions::default());
+    let eigenvalues = eig.eigenvalues;
+    let lambda_2 = if n >= 2 { eigenvalues[1] } else { 1.0 };
+    let lambda_min = *eigenvalues.last().expect("non-empty spectrum");
+    let lambda_star = if n >= 2 {
+        eigenvalues[1..]
+            .iter()
+            .fold(0.0f64, |acc, &l| acc.max(l.abs()))
+    } else {
+        0.0
+    };
+    let spectral_gap = 1.0 - lambda_2;
+    let relaxation_time = if lambda_star >= 1.0 {
+        f64::INFINITY
+    } else {
+        1.0 / (1.0 - lambda_star)
+    };
+    SpectralSummary {
+        eigenvalues,
+        lambda_2,
+        lambda_min,
+        lambda_star,
+        spectral_gap,
+        relaxation_time,
+    }
+}
+
+/// Relaxation time `t_rel = 1/(1 − λ*)` of a reversible chain.
+pub fn relaxation_time(chain: &MarkovChain, pi: &Vector) -> f64 {
+    spectral_analysis(chain, pi).relaxation_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixing::mixing_time_quarter;
+    use crate::stationary::stationary_distribution;
+
+    fn two_state(p01: f64, p10: f64) -> MarkovChain {
+        MarkovChain::new(Matrix::from_rows(&[
+            vec![1.0 - p01, p01],
+            vec![p10, 1.0 - p10],
+        ]))
+    }
+
+    #[test]
+    fn two_state_spectrum_closed_form() {
+        let (p01, p10) = (0.2, 0.3);
+        let chain = two_state(p01, p10);
+        let pi = stationary_distribution(&chain);
+        let s = spectral_analysis(&chain, &pi);
+        assert!((s.eigenvalues[0] - 1.0).abs() < 1e-9);
+        assert!((s.lambda_2 - (1.0 - p01 - p10)).abs() < 1e-9);
+        assert!((s.relaxation_time - 1.0 / (p01 + p10)).abs() < 1e-9);
+        assert!((s.spectral_gap - (p01 + p10)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lazy_random_walk_on_cycle_has_known_gap() {
+        // Lazy random walk on the 4-cycle: eigenvalues (1 + cos(2πk/4)) / 2.
+        let n = 4;
+        let mut p = Matrix::zeros(n, n);
+        for x in 0..n {
+            p[(x, x)] = 0.5;
+            p[(x, (x + 1) % n)] = 0.25;
+            p[(x, (x + n - 1) % n)] = 0.25;
+        }
+        let chain = MarkovChain::new(p);
+        let pi = Vector::filled(n, 0.25);
+        let s = spectral_analysis(&chain, &pi);
+        assert!((s.lambda_2 - 0.5).abs() < 1e-9);
+        assert!((s.lambda_min - 0.0).abs() < 1e-9);
+        assert!((s.relaxation_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_2_3_sandwiches_true_mixing_time() {
+        let chain = two_state(0.1, 0.05);
+        let pi = stationary_distribution(&chain);
+        let s = spectral_analysis(&chain, &pi);
+        let t_mix = mixing_time_quarter(&chain, &pi, 1 << 30).unwrap().mixing_time as f64;
+        let lower = s.mixing_time_lower_bound(0.25);
+        let upper = s.mixing_time_upper_bound(0.25, pi.min());
+        assert!(
+            lower <= t_mix + 1.0,
+            "spectral lower bound {lower} exceeds measured mixing time {t_mix}"
+        );
+        assert!(
+            t_mix <= upper + 1.0,
+            "measured mixing time {t_mix} exceeds spectral upper bound {upper}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reversible")]
+    fn non_reversible_chain_rejected() {
+        let chain = MarkovChain::new(Matrix::from_rows(&[
+            vec![0.0, 0.9, 0.1],
+            vec![0.1, 0.0, 0.9],
+            vec![0.9, 0.1, 0.0],
+        ]));
+        let pi = Vector::filled(3, 1.0 / 3.0);
+        let _ = spectral_analysis(&chain, &pi);
+    }
+
+    #[test]
+    fn relaxation_time_helper_matches_summary() {
+        let chain = two_state(0.25, 0.25);
+        let pi = stationary_distribution(&chain);
+        assert!((relaxation_time(&chain, &pi) - 2.0).abs() < 1e-9);
+    }
+}

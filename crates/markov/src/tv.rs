@@ -1,0 +1,83 @@
+//! Total variation distance.
+
+use logit_linalg::Vector;
+
+/// Total variation distance
+/// `‖μ − ν‖_TV = ½ Σ_x |μ(x) − ν(x)|` between two distributions.
+///
+/// # Panics
+/// Panics when the vectors have different lengths.
+pub fn total_variation(mu: &Vector, nu: &Vector) -> f64 {
+    assert_eq!(mu.len(), nu.len(), "total_variation: length mismatch");
+    0.5 * mu
+        .as_slice()
+        .iter()
+        .zip(nu.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Total variation distance computed directly from slices (avoids constructing
+/// `Vector`s when the caller already has rows of a matrix).
+pub fn total_variation_slices(mu: &[f64], nu: &[f64]) -> f64 {
+    assert_eq!(mu.len(), nu.len(), "total_variation: length mismatch");
+    0.5 * mu
+        .iter()
+        .zip(nu)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let mu = Vector::from_slice(&[0.25, 0.25, 0.5]);
+        assert_eq!(total_variation(&mu, &mu), 0.0);
+    }
+
+    #[test]
+    fn disjoint_supports_have_distance_one() {
+        let mu = Vector::from_slice(&[1.0, 0.0]);
+        let nu = Vector::from_slice(&[0.0, 1.0]);
+        assert_eq!(total_variation(&mu, &nu), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        let mu = Vector::from_slice(&[0.5, 0.3, 0.2]);
+        let nu = Vector::from_slice(&[0.2, 0.5, 0.3]);
+        // 0.5 * (0.3 + 0.2 + 0.1) = 0.3
+        assert!((total_variation(&mu, &nu) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_and_triangle_inequality() {
+        let a = Vector::from_slice(&[0.7, 0.2, 0.1]);
+        let b = Vector::from_slice(&[0.1, 0.6, 0.3]);
+        let c = Vector::from_slice(&[0.3, 0.3, 0.4]);
+        assert_eq!(total_variation(&a, &b), total_variation(&b, &a));
+        assert!(total_variation(&a, &c) <= total_variation(&a, &b) + total_variation(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    fn slice_version_matches_vector_version() {
+        let mu = [0.5, 0.25, 0.25];
+        let nu = [0.1, 0.4, 0.5];
+        assert_eq!(
+            total_variation_slices(&mu, &nu),
+            total_variation(&Vector::from_slice(&mu), &Vector::from_slice(&nu))
+        );
+    }
+
+    #[test]
+    fn bounded_by_one_for_distributions() {
+        let mu = Vector::from_slice(&[0.9, 0.1, 0.0, 0.0]);
+        let nu = Vector::from_slice(&[0.0, 0.0, 0.5, 0.5]);
+        let d = total_variation(&mu, &nu);
+        assert!(d <= 1.0 + 1e-12);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

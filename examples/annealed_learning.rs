@@ -1,0 +1,91 @@
+//! Time-varying rationality (the paper's "learning process" variant).
+//!
+//! ```text
+//! cargo run --release --example annealed_learning
+//! ```
+//!
+//! The conclusions of the paper suggest studying a logit dynamics whose β is not
+//! fixed but grows over time as players learn the game. This example compares
+//! four β schedules on a clique coordination game whose two consensus profiles
+//! are separated by a Θ(n²δ) barrier (the hard case of Theorem 5.5), starting
+//! from the *wrong* (non-risk-dominant) consensus:
+//!
+//! * a fixed low β (fast mixing, but the stationary law is spread out),
+//! * a fixed high β (the chain is trapped: the Theorem 5.5 barrier),
+//! * a linear ramp (anneal slowly, then exploit),
+//! * the logarithmic Hajek schedule tuned to the game's barrier ζ.
+//!
+//! The annealed schedules reach the potential-minimising consensus far more
+//! reliably than the fixed high-β dynamics with the same step budget — the
+//! practical payoff of treating β as a learning rate.
+
+use logit_dynamics::anneal::welfare::welfare_ratio;
+use logit_dynamics::core::zeta;
+use logit_dynamics::prelude::*;
+
+fn main() {
+    let n = 6;
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::clique(n),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let space = game.profile_space();
+    let start = space.index_of(&vec![1usize; n]); // the shallow equilibrium
+    let barrier = zeta(&game).zeta;
+    let steps = 3_000u64;
+    let replicas = 200;
+
+    println!("Annealed logit dynamics on a {n}-player clique coordination game");
+    println!("barrier zeta = {barrier:.2}, start = all-ones (the non-risk-dominant consensus)");
+    println!("{steps} steps per replica, {replicas} replicas per schedule\n");
+    println!(
+        "{:<42} {:>14} {:>20}",
+        "schedule", "success rate", "mean final potential"
+    );
+
+    let report = |label: &str, outcome: &logit_dynamics::anneal::AnnealingOutcome| {
+        println!(
+            "{:<42} {:>14.2} {:>20.2}",
+            label, outcome.success_rate, outcome.mean_final_potential
+        );
+    };
+
+    let fixed_low = anneal_minimize(&game, ConstantSchedule::new(0.3), start, steps, replicas, 1);
+    report("constant beta = 0.3", &fixed_low);
+
+    let fixed_high = anneal_minimize(&game, ConstantSchedule::new(3.0), start, steps, replicas, 2);
+    report("constant beta = 3.0 (quench)", &fixed_high);
+
+    let ramp = anneal_minimize(
+        &game,
+        LinearRamp::new(0.1, 3.0, steps / 2),
+        start,
+        steps,
+        replicas,
+        3,
+    );
+    report("linear ramp 0.1 -> 3.0", &ramp);
+
+    let hajek = anneal_minimize(
+        &game,
+        LogarithmicSchedule::new(barrier.max(1.0)),
+        start,
+        steps,
+        replicas,
+        4,
+    );
+    report("logarithmic ln(t+2)/zeta (Hajek)", &hajek);
+
+    println!();
+    println!("global potential minimum = {:.2} (the risk-dominant all-zero consensus)", ramp.global_minimum);
+    println!();
+    println!("Stationary welfare as a function of beta (reference [4]'s measure):");
+    for beta in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let ratio = welfare_ratio(&game, beta).expect("coordination payoffs are positive");
+        println!("  beta = {beta:>4}: E_pi[welfare] / optimum = {ratio:.4}");
+    }
+    println!();
+    println!("A quench at high beta gets stuck in the starting consensus (low success rate);");
+    println!("ramped or logarithmic schedules cross the barrier while it is still cheap and");
+    println!("then freeze in the risk-dominant optimum — the 'learning' variant pays off.");
+}

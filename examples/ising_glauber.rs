@@ -1,0 +1,74 @@
+//! The Ising model / Glauber dynamics correspondence.
+//!
+//! ```text
+//! cargo run --release --example ising_glauber
+//! ```
+//!
+//! The paper observes that the zero-field ferromagnetic Ising model is the
+//! special graphical coordination game with no risk-dominant equilibrium and
+//! that Glauber dynamics *is* the logit dynamics. This example:
+//!
+//! 1. checks the correspondence numerically (identical spectral gaps for the
+//!    Ising game and the δ₀ = δ₁ = 2J coordination game),
+//! 2. shows the low-/high-temperature phase picture on a ring vs a clique
+//!    (mean absolute magnetisation under the Gibbs measure),
+//! 3. reports how the relaxation time diverges with β on the clique
+//!    (mean-field / Curie–Weiss behaviour) but stays tame on the ring.
+
+use logit_dynamics::core::gibbs::gibbs_distribution;
+use logit_dynamics::core::spectral_mixing_bounds;
+use logit_dynamics::prelude::*;
+
+fn mean_abs_magnetization(game: &IsingGame, beta: f64) -> f64 {
+    let space = game.profile_space();
+    let pi = gibbs_distribution(game, beta);
+    space
+        .indices()
+        .map(|idx| {
+            let profile = space.profile_of(idx);
+            pi[idx] * game.magnetization(&profile).abs() / game.num_players() as f64
+        })
+        .sum()
+}
+
+fn main() {
+    let n = 5;
+    let j = 0.5;
+
+    // 1. Glauber == logit on the coordination-game translation.
+    let ising_ring = IsingGame::zero_field(GraphBuilder::ring(n), j);
+    let coord_ring = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(n),
+        CoordinationGame::symmetric(2.0 * j),
+    );
+    let beta_check = 0.8;
+    let gap_ising = spectral_mixing_bounds(&ising_ring, beta_check).spectral_gap;
+    let gap_coord = spectral_mixing_bounds(&coord_ring, beta_check).spectral_gap;
+    println!("Glauber/logit correspondence at beta = {beta_check}:");
+    println!("  spectral gap (Ising, J = {j})            = {gap_ising:.8}");
+    println!("  spectral gap (coordination, delta = 2J)  = {gap_coord:.8}");
+    println!("  |difference| = {:.2e}\n", (gap_ising - gap_coord).abs());
+
+    // 2/3. Phase picture and relaxation times: ring vs clique.
+    let ising_clique = IsingGame::zero_field(GraphBuilder::clique(n), j);
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>16}",
+        "beta", "|m| ring", "|m| clique", "t_rel ring", "t_rel clique"
+    );
+    for beta in [0.1, 0.3, 0.6, 1.0, 1.5, 2.0, 2.5] {
+        let m_ring = mean_abs_magnetization(&ising_ring, beta);
+        let m_clique = mean_abs_magnetization(&ising_clique, beta);
+        let r_ring = spectral_mixing_bounds(&ising_ring, beta).relaxation_time;
+        let r_clique = spectral_mixing_bounds(&ising_clique, beta).relaxation_time;
+        println!(
+            "{:>6.2} {:>16.4} {:>16.4} {:>16.2} {:>16.2}",
+            beta, m_ring, m_clique, r_ring, r_clique
+        );
+    }
+
+    println!();
+    println!("As beta grows both models magnetise (|m| -> 1), but the clique's");
+    println!("relaxation time blows up exponentially in beta*n^2*J (the Curie-Weiss");
+    println!("barrier), while the ring's grows only like e^(4*J*beta) — the same");
+    println!("contrast Theorems 5.5 and 5.6/5.7 prove for coordination games.");
+}

@@ -1,0 +1,75 @@
+//! # logit-dynamics
+//!
+//! Facade crate for the reproduction of *"Convergence to Equilibrium of Logit
+//! Dynamics for Strategic Games"* (Auletta, Ferraioli, Pasquale, Penna,
+//! Persiano; SPAA 2011).
+//!
+//! Everything is re-exported from the workspace crates so downstream users can
+//! depend on a single crate:
+//!
+//! * [`games`] — strategic games: coordination, graphical coordination, Ising,
+//!   congestion, dominant-strategy and lower-bound constructions,
+//! * [`graphs`] — social-graph topologies and cutwidth,
+//! * [`markov`] — Markov-chain machinery (stationary distributions, exact mixing
+//!   times, spectral gaps, bottleneck ratios, hitting times),
+//! * [`core`] — the logit dynamics itself: chain construction, Gibbs measures,
+//!   simulation, couplings, the barrier ζ and every theorem's closed-form bound,
+//! * [`linalg`] — the small numerical substrate underneath it all.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use logit_dynamics::prelude::*;
+//!
+//! // A 2x2 coordination game on a 4-player ring, moderate rationality.
+//! let game = GraphicalCoordinationGame::new(
+//!     GraphBuilder::ring(4),
+//!     CoordinationGame::from_deltas(2.0, 1.0),
+//! );
+//! let measurement = exact_mixing_time(&game, 1.0, 0.25, 1 << 30);
+//! let t_mix = measurement.mixing_time.expect("small game mixes");
+//! let bound = bounds::theorem_3_4_mixing_upper(4, 2, 1.0, game.max_global_variation(), 0.25);
+//! assert!((t_mix as f64) <= bound);
+//! ```
+
+pub use logit_anneal as anneal;
+pub use logit_core as core;
+pub use logit_games as games;
+pub use logit_graphs as graphs;
+pub use logit_linalg as linalg;
+pub use logit_markov as markov;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use logit_anneal::{
+        anneal_minimize, expected_social_welfare, AnnealedLogitDynamics, BetaSchedule,
+        ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule,
+    };
+    pub use logit_core::bounds;
+    pub use logit_core::{
+        exact_mixing_time, gibbs_distribution, zeta, BarrierResult, CouplingKind, LogitDynamics,
+        MixingMeasurement, Simulator,
+    };
+    pub use logit_games::{
+        AllZeroDominantGame, CongestionGame, CoordinationGame, Game, GraphicalCoordinationGame,
+        IsingGame, PotentialGame, ProfileSpace, TableGame, TablePotentialGame, WellGame,
+    };
+    pub use logit_graphs::{cutwidth_exact, Graph, GraphBuilder};
+    pub use logit_markov::{
+        mixing_time, spectral_analysis, stationary_distribution, total_variation, MarkovChain,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_work_together() {
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let d = LogitDynamics::new(game, 1.0);
+        assert_eq!(d.num_states(), 4);
+        let chain = d.transition_chain();
+        assert!(chain.is_ergodic());
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests for the annealing / welfare extension
+//! (the "β as a learning process" variant suggested in the paper's conclusions).
+
+use logit_dynamics::anneal::welfare::{
+    expected_social_welfare, limit_welfare_at_infinite_beta, optimal_social_welfare,
+};
+use logit_dynamics::core::zeta;
+use logit_dynamics::prelude::*;
+
+/// A quench (fixed large β) starting in the non-risk-dominant consensus of a
+/// clique coordination game stays trapped, while a ramped schedule escapes and
+/// finds the potential minimiser — the barrier picture of Theorem 5.5 seen
+/// through the annealing lens.
+#[test]
+fn ramp_escapes_the_clique_trap_quench_does_not() {
+    let n = 5;
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::clique(n),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let space = game.profile_space();
+    let start = space.index_of(&vec![1usize; n]);
+    let steps = 2_000u64;
+    let replicas = 100;
+
+    let quench = anneal_minimize(&game, ConstantSchedule::new(3.0), start, steps, replicas, 11);
+    let ramp = anneal_minimize(
+        &game,
+        LinearRamp::new(0.1, 3.0, steps / 2),
+        start,
+        steps,
+        replicas,
+        12,
+    );
+
+    assert!(
+        quench.success_rate < 0.2,
+        "a quench should rarely cross the Theta(n^2 delta) barrier, got {}",
+        quench.success_rate
+    );
+    assert!(
+        ramp.success_rate > 0.8,
+        "a slow ramp should almost always reach the risk-dominant consensus, got {}",
+        ramp.success_rate
+    );
+    assert!(ramp.found_global_minimum(1e-9));
+    assert_eq!(ramp.best_profile, vec![0usize; n]);
+}
+
+/// The Hajek logarithmic schedule tuned to the game's own barrier ζ also
+/// succeeds, tying the extension back to the Section 3.4 quantity.
+#[test]
+fn logarithmic_schedule_tuned_to_zeta_succeeds() {
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::clique(4),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let barrier = zeta(&game).zeta;
+    assert!(barrier > 0.0);
+    let space = game.profile_space();
+    let start = space.index_of(&vec![1usize; 4]);
+    let outcome = anneal_minimize(
+        &game,
+        LogarithmicSchedule::new(barrier),
+        start,
+        3_000,
+        80,
+        21,
+    );
+    assert!(outcome.success_rate > 0.8);
+}
+
+/// Stationary expected social welfare is monotone in β for a risk-dominant
+/// coordination game (higher rationality concentrates mass on the welfare
+/// optimum) and converges to the optimal welfare.
+#[test]
+fn stationary_welfare_increases_to_the_optimum() {
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(5),
+        CoordinationGame::new(2.0, 1.0, 0.0, 0.0),
+    );
+    let (opt, profile) = optimal_social_welfare(&game);
+    assert_eq!(profile, vec![0usize; 5]);
+    let mut previous = f64::NEG_INFINITY;
+    for beta in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let w = expected_social_welfare(&game, beta);
+        assert!(w >= previous - 1e-9, "welfare should not decrease with beta");
+        assert!(w <= opt + 1e-9);
+        previous = w;
+    }
+    assert!((limit_welfare_at_infinite_beta(&game) - opt).abs() < 1e-9);
+    assert!(opt - previous < 0.05 * opt, "at beta = 4 the welfare is essentially optimal");
+}
+
+/// The annealed dynamics with a constant schedule is statistically
+/// indistinguishable from the fixed-β dynamics: long-run fraction of time in the
+/// risk-dominant consensus matches the Gibbs mass.
+#[test]
+fn constant_annealed_dynamics_matches_gibbs_occupancy() {
+    use logit_dynamics::core::gibbs_distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(4),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let beta = 1.0;
+    let space = game.profile_space();
+    let consensus = space.index_of(&[0, 0, 0, 0]);
+    let pi = gibbs_distribution(&game, beta);
+
+    let dynamics = AnnealedLogitDynamics::new(game.clone(), ConstantSchedule::new(beta));
+    let mut rng = StdRng::seed_from_u64(5);
+    // Long single trajectory; compare occupancy of the consensus state with its
+    // Gibbs mass (ergodic theorem).
+    let burn_in = 2_000u64;
+    let horizon = 120_000u64;
+    let trajectory = dynamics.simulate(0, horizon, &mut rng);
+    let occupancy = trajectory[burn_in as usize..]
+        .iter()
+        .filter(|&&s| s == consensus)
+        .count() as f64
+        / (horizon - burn_in + 1) as f64;
+    assert!(
+        (occupancy - pi[consensus]).abs() < 0.05,
+        "occupancy {occupancy} should match the Gibbs mass {}",
+        pi[consensus]
+    );
+}

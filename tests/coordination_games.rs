@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: Section 5 (graphical coordination games).
+
+use logit_dynamics::core::bounds;
+use logit_dynamics::core::{exact_mixing_time, CouplingKind, LogitDynamics};
+use logit_dynamics::core::coupling::coupling_time_estimate;
+use logit_dynamics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f64 = 0.25;
+const BUDGET: u64 = 1 << 34;
+
+/// Theorem 5.1: the cutwidth bound holds on every topology we can compute
+/// exactly (path, ring, star, small clique, small grid).
+#[test]
+fn theorem_5_1_cutwidth_bound_holds() {
+    let base = CoordinationGame::from_deltas(1.5, 1.0);
+    let graphs = vec![
+        ("path", GraphBuilder::path(4)),
+        ("ring", GraphBuilder::ring(4)),
+        ("star", GraphBuilder::star(4)),
+        ("clique", GraphBuilder::clique(4)),
+    ];
+    for (name, graph) in graphs {
+        let n = graph.num_vertices();
+        let chi = cutwidth_exact(&graph).cutwidth;
+        let game = GraphicalCoordinationGame::new(graph, base);
+        for beta in [0.25, 0.5, 1.0] {
+            let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+                .mixing_time
+                .expect("small games mix") as f64;
+            let bound = bounds::theorem_5_1_mixing_upper(n, chi, 1.5, 1.0, beta);
+            assert!(
+                t <= bound,
+                "{name}: measured {t} exceeds the Theorem 5.1 bound {bound} at beta {beta}"
+            );
+        }
+    }
+}
+
+/// Theorem 5.5: on the clique the growth exponent of log t_mix in β matches the
+/// barrier Φ_max − Φ(1) (within a modest tolerance), and the clique is
+/// dramatically slower than the ring at the same β.
+#[test]
+fn theorem_5_5_clique_exponent_and_ring_contrast() {
+    let n = 5;
+    let (d0, d1) = (1.0, 1.0); // worst case: no risk dominance
+    let clique = GraphicalCoordinationGame::new(
+        GraphBuilder::clique(n),
+        CoordinationGame::from_deltas(d0, d1),
+    );
+    let ring = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(n),
+        CoordinationGame::from_deltas(d0, d1),
+    );
+    let exponent = bounds::theorem_5_5_exponent(n, d0, d1);
+    assert!(exponent > 0.0);
+
+    let betas = [1.0, 1.25, 1.5, 1.75];
+    let mut clique_logs = Vec::new();
+    let mut ring_times = Vec::new();
+    let mut clique_times = Vec::new();
+    for &beta in &betas {
+        let tc = exact_mixing_time(&clique, beta, EPS, BUDGET)
+            .mixing_time
+            .expect("within budget") as f64;
+        let tr = exact_mixing_time(&ring, beta, EPS, BUDGET)
+            .mixing_time
+            .expect("within budget") as f64;
+        clique_logs.push(tc.ln());
+        clique_times.push(tc);
+        ring_times.push(tr);
+    }
+    // Same β, same δ: the clique is slower than the ring, and the gap widens.
+    for i in 0..betas.len() {
+        assert!(
+            clique_times[i] >= ring_times[i],
+            "clique should be no faster than the ring at beta {}",
+            betas[i]
+        );
+    }
+    assert!(
+        clique_times[3] / ring_times[3] > clique_times[0] / ring_times[0],
+        "the clique/ring gap should widen with beta"
+    );
+    // Clique growth exponent tracks the Theorem 5.5 barrier.
+    let fit = logit_dynamics::linalg::stats::linear_fit(&betas, &clique_logs);
+    assert!(
+        fit.slope > 0.5 * exponent && fit.slope < 1.5 * exponent,
+        "clique growth exponent {} should track the barrier {exponent}",
+        fit.slope
+    );
+}
+
+/// Theorems 5.6 and 5.7: on the ring with no risk dominance the mixing time is
+/// sandwiched between Ω(1 + e^{2δβ}) and O(e^{2δβ} n log n).
+#[test]
+fn theorems_5_6_and_5_7_ring_sandwich() {
+    let delta = 1.0;
+    for n in [4usize, 5, 6] {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(n),
+            CoordinationGame::symmetric(delta),
+        );
+        for beta in [0.5, 1.0, 1.5] {
+            let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+                .mixing_time
+                .expect("ring mixes fast") as f64;
+            let upper = bounds::theorem_5_6_mixing_upper(n, delta, beta, EPS);
+            let lower = bounds::theorem_5_7_mixing_lower(delta, beta, EPS);
+            assert!(
+                t <= upper,
+                "n={n}, beta={beta}: measured {t} above the Theorem 5.6 bound {upper}"
+            );
+            assert!(
+                t >= lower,
+                "n={n}, beta={beta}: measured {t} below the Theorem 5.7 bound {lower}"
+            );
+        }
+    }
+}
+
+/// The Theorem 5.6 proof's coupling, run as a simulation, produces an upper
+/// estimate that is consistent with the exact mixing time on the ring.
+#[test]
+fn ring_coupling_estimate_upper_bounds_exact_mixing() {
+    let n = 5;
+    let delta = 1.0;
+    let beta = 1.0;
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(n),
+        CoordinationGame::symmetric(delta),
+    );
+    let exact = exact_mixing_time(&game, beta, EPS, BUDGET)
+        .mixing_time
+        .expect("within budget");
+
+    let dynamics = LogitDynamics::new(game.clone(), beta);
+    let space = dynamics.space();
+    let all0 = space.index_of(&vec![0usize; n]);
+    let all1 = space.index_of(&vec![1usize; n]);
+    let mut rng = StdRng::seed_from_u64(2024);
+    let est = coupling_time_estimate(
+        &dynamics,
+        &mut rng,
+        all0,
+        all1,
+        CouplingKind::SharedUniform,
+        400,
+        1_000_000,
+        EPS,
+    );
+    assert_eq!(est.censored, 0);
+    // Coupling gives an upper bound on mixing; allow statistical slack downward.
+    assert!(
+        (est.quantile_time as f64) >= 0.5 * exact as f64,
+        "coupling estimate {} suspiciously below the exact mixing time {exact}",
+        est.quantile_time
+    );
+    assert!(
+        (est.quantile_time as f64) <= 200.0 * exact as f64,
+        "coupling estimate {} is absurdly loose vs exact {exact}",
+        est.quantile_time
+    );
+}
+
+/// Stationary behaviour: for β large the Gibbs measure of a risk-dominant
+/// coordination game on any graph concentrates on the risk-dominant consensus.
+#[test]
+fn gibbs_concentrates_on_risk_dominant_consensus() {
+    let base = CoordinationGame::from_deltas(2.0, 1.0);
+    for graph in [GraphBuilder::ring(5), GraphBuilder::clique(5), GraphBuilder::star(5)] {
+        let game = GraphicalCoordinationGame::new(graph, base);
+        let space = game.profile_space();
+        let pi = logit_dynamics::core::gibbs_distribution(&game, 10.0);
+        let zero = space.index_of(&vec![0usize; 5]);
+        assert!(
+            pi[zero] > 0.99,
+            "risk-dominant consensus should dominate the Gibbs measure"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: Section 4 (games with dominant strategies).
+
+use logit_dynamics::core::bounds;
+use logit_dynamics::core::exact_mixing_time;
+use logit_dynamics::games::dominant::BonusDominantGame;
+use logit_dynamics::games::find_dominant_profile;
+use logit_dynamics::prelude::*;
+
+const EPS: f64 = 0.25;
+const BUDGET: u64 = 1 << 34;
+
+/// Theorem 4.2: the mixing time of a game with a dominant profile stays below
+/// the β-independent bound O(mⁿ n log n) for every β, including very large ones.
+#[test]
+fn theorem_4_2_upper_bound_independent_of_beta() {
+    for (n, m) in [(2usize, 2usize), (3, 2), (2, 3)] {
+        let game = AllZeroDominantGame::new(n, m);
+        assert!(find_dominant_profile(&game).is_some());
+        let bound = bounds::theorem_4_2_mixing_upper(n, m);
+        for beta in [0.0, 1.0, 5.0, 20.0, 100.0] {
+            let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+                .mixing_time
+                .expect("dominant games mix within the budget") as f64;
+            assert!(
+                t <= bound,
+                "(n={n}, m={m}) measured {t} exceeds the Theorem 4.2 bound {bound} at beta {beta}"
+            );
+        }
+    }
+}
+
+/// The contrast the paper draws: a potential game *without* dominant strategies
+/// keeps slowing down as β grows, while the dominant-strategy game's mixing
+/// time saturates.
+#[test]
+fn dominant_vs_non_dominant_beta_dependence() {
+    let dominant = AllZeroDominantGame::new(3, 2);
+    let well = WellGame::plateau(3, 1.0);
+
+    let t_dom_small = exact_mixing_time(&dominant, 1.0, EPS, BUDGET)
+        .mixing_time
+        .unwrap() as f64;
+    let t_dom_large = exact_mixing_time(&dominant, 50.0, EPS, BUDGET)
+        .mixing_time
+        .unwrap() as f64;
+    let t_well_small = exact_mixing_time(&well, 1.0, EPS, BUDGET)
+        .mixing_time
+        .unwrap() as f64;
+    let t_well_large = exact_mixing_time(&well, 8.0, EPS, BUDGET)
+        .mixing_time
+        .unwrap() as f64;
+
+    // Dominant game: bounded growth (saturation).
+    assert!(
+        t_dom_large <= 3.0 * t_dom_small + 20.0,
+        "dominant-strategy game should saturate: {t_dom_small} -> {t_dom_large}"
+    );
+    // Well game: strong growth.
+    assert!(
+        t_well_large >= 5.0 * t_well_small,
+        "the well game should slow down dramatically: {t_well_small} -> {t_well_large}"
+    );
+}
+
+/// Theorem 4.3: for large β the all-zero game's mixing time is at least
+/// (mⁿ − 1)/(4(m − 1)); and the stationary distribution still gives the
+/// dominant profile non-vanishing mass.
+#[test]
+fn theorem_4_3_lower_bound_at_large_beta() {
+    for (n, m) in [(2usize, 2usize), (3, 2), (2, 3)] {
+        let game = AllZeroDominantGame::new(n, m);
+        let lower = bounds::theorem_4_3_mixing_lower(n, m);
+        let beta = 30.0;
+        let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+            .mixing_time
+            .expect("within budget") as f64;
+        assert!(
+            t >= lower,
+            "(n={n}, m={m}) measured {t} below the Theorem 4.3 lower bound {lower}"
+        );
+
+        // Section 4's structural remark: the dominant profile keeps
+        // non-vanishing stationary mass as β → ∞.
+        let pi = logit_dynamics::core::gibbs_distribution(&game, beta);
+        let space = game.profile_space();
+        let zero = space.index_of(&vec![0usize; n]);
+        assert!(pi[zero] > 0.4, "dominant profile should carry large stationary mass");
+    }
+}
+
+/// The benign dominant-strategy game (independent pull towards 0) mixes in
+/// O(n log n) regardless of β — much faster than the Theorem 4.2 worst case.
+#[test]
+fn bonus_dominant_game_mixes_fast_for_all_beta() {
+    let n = 4;
+    let game = BonusDominantGame::new(n, 2, 1.0);
+    let mut previous = None;
+    for beta in [0.0, 2.0, 10.0, 50.0] {
+        let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+            .mixing_time
+            .expect("within budget");
+        // The chain is a product of independent two-state chains; its mixing time
+        // stays within a small constant multiple of n log n.
+        assert!(
+            (t as f64) <= 10.0 * (n as f64) * (n as f64).ln() + 20.0,
+            "bonus game should mix in O(n log n), got {t} at beta {beta}"
+        );
+        if let Some(prev) = previous {
+            // And it never grows much beyond its beta = 0 value.
+            assert!((t as f64) <= 4.0 * (prev as f64) + 10.0);
+        }
+        previous = Some(t);
+    }
+}

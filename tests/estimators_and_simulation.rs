@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: simulation-based estimators vs. exact analysis.
+//!
+//! The exact machinery (transition matrices, spectra, mixing times) only scales
+//! to a few thousand profiles; everything beyond that relies on the simulators
+//! and coupling estimators. These tests pin the estimators against the exact
+//! answers on games where both are available, so their use at larger scale is
+//! justified.
+
+use logit_dynamics::core::coupling::coupling_time_estimate;
+use logit_dynamics::core::gibbs::expected_potential;
+use logit_dynamics::core::{
+    exact_mixing_time, gibbs_distribution, CouplingKind, LogitDynamics, Simulator,
+};
+use logit_dynamics::games::analysis::best_response_dynamics;
+use logit_dynamics::markov::{distance_to_stationarity, expected_hitting_times};
+use logit_dynamics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The ensemble simulator's empirical law at t = t_mix is within sampling noise
+/// of the Gibbs measure, and far from it at t = 1 — i.e. the exact mixing time
+/// really is the time scale at which the simulated system equilibrates.
+#[test]
+fn ensemble_law_matches_exact_mixing_time_scale() {
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(4),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let beta = 1.0;
+    let exact = exact_mixing_time(&game, beta, 0.25, 1 << 30)
+        .mixing_time
+        .expect("small game mixes");
+    let dynamics = LogitDynamics::new(game.clone(), beta);
+    let pi = gibbs_distribution(&game, beta);
+    let space = game.profile_space();
+    let worst_start = space.index_of(&[1, 1, 1, 1]); // the shallower equilibrium
+
+    let sim = Simulator::new(2024, 20_000);
+    let tv_early = sim.tv_distance_after(&dynamics, worst_start, 1, &pi);
+    let tv_at_mix = sim.tv_distance_after(&dynamics, worst_start, 4 * exact, &pi);
+    assert!(tv_early > 0.4, "one step should be far from stationarity, tv = {tv_early}");
+    assert!(
+        tv_at_mix < 0.1,
+        "a few mixing times should be near stationarity, tv = {tv_at_mix}"
+    );
+}
+
+/// The empirical TV curve of the simulator tracks the exact worst-case distance
+/// d(t) computed from matrix powers.
+#[test]
+fn empirical_tv_tracks_exact_distance_curve() {
+    let game = WellGame::plateau(4, 1.5);
+    let beta = 1.0;
+    let dynamics = LogitDynamics::new(game.clone(), beta);
+    let chain = dynamics.transition_chain();
+    let pi = gibbs_distribution(&game, beta);
+    let space = game.profile_space();
+    let start = space.index_of(&[0, 0, 0, 0]);
+    let sim = Simulator::new(5, 30_000);
+
+    for t in [2u64, 8, 32, 128] {
+        let exact_d = distance_to_stationarity(&chain, &pi, t); // worst-case over starts
+        let empirical = sim.tv_distance_after(&dynamics, start, t, &pi); // one start
+        // The empirical distance from one start can be at most the worst case
+        // plus sampling noise.
+        assert!(
+            empirical <= exact_d + 0.05,
+            "t={t}: empirical {empirical} should not exceed worst-case {exact_d} + noise"
+        );
+    }
+}
+
+/// Coupling estimates upper-bound the exact mixing time (Theorem 2.1) on both
+/// couplings, for several games and βs (up to sampling slack on the low side).
+#[test]
+fn coupling_estimates_upper_bound_exact_mixing() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(5),
+        CoordinationGame::symmetric(1.0),
+    );
+    for beta in [0.3, 0.8] {
+        let exact = exact_mixing_time(&game, beta, 0.25, 1 << 30)
+            .mixing_time
+            .unwrap();
+        let dynamics = LogitDynamics::new(game.clone(), beta);
+        let space = dynamics.space();
+        let a = space.index_of(&vec![0usize; 5]);
+        let b = space.index_of(&vec![1usize; 5]);
+        for kind in [CouplingKind::Maximal, CouplingKind::SharedUniform] {
+            let est = coupling_time_estimate(
+                &dynamics, &mut rng, a, b, kind, 300, 500_000, 0.25,
+            );
+            assert_eq!(est.censored, 0, "coupling should succeed at beta {beta}");
+            assert!(
+                (est.quantile_time as f64) >= 0.3 * exact as f64,
+                "{kind:?} at beta {beta}: estimate {} implausibly below exact {exact}",
+                est.quantile_time
+            );
+        }
+    }
+}
+
+/// Expected hitting time of the risk-dominant consensus: starting from the
+/// *competing* (shallower) equilibrium, raising β traps the chain there and the
+/// hitting time grows — the metastability effect behind the Section 3 lower
+/// bounds; starting from a mixed profile the pull towards the risk-dominant
+/// consensus makes hitting much faster than from the trap.
+#[test]
+fn hitting_time_of_risk_dominant_consensus() {
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(4),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let space = game.profile_space();
+    let target = space.index_of(&[0, 0, 0, 0]);
+    let trap = space.index_of(&[1, 1, 1, 1]);
+    let mixed = space.index_of(&[0, 1, 0, 1]);
+
+    let hits_at = |beta: f64| {
+        let chain = LogitDynamics::new(game.clone(), beta).transition_chain();
+        expected_hitting_times(&chain, &[target])
+    };
+    let h_noisy = hits_at(0.1);
+    let h_rational = hits_at(2.0);
+    assert!(h_noisy[trap].is_finite() && h_rational[trap].is_finite());
+    assert!(
+        h_rational[trap] > h_noisy[trap],
+        "higher beta should trap the chain in the competing equilibrium: {} vs {}",
+        h_rational[trap],
+        h_noisy[trap]
+    );
+    assert!(
+        h_rational[mixed] < h_rational[trap],
+        "from a mixed profile the risk-dominant consensus is reached faster than from the trap"
+    );
+}
+
+/// The Gibbs expected potential interpolates between the uniform average (β = 0)
+/// and the minimum (β → ∞), and the simulator's long-run observable agrees with it.
+#[test]
+fn expected_potential_interpolates_and_matches_simulation() {
+    let game = WellGame::new(5, 3.0, 1.5);
+    let space = game.profile_space();
+    let uniform_avg: f64 = space
+        .indices()
+        .map(|i| game.potential(&space.profile_of(i)))
+        .sum::<f64>()
+        / space.size() as f64;
+    let min_phi = game.min_potential();
+
+    let e0 = expected_potential(&game, 0.0);
+    let e_mid = expected_potential(&game, 1.0);
+    let e_high = expected_potential(&game, 6.0);
+    assert!((e0 - uniform_avg).abs() < 1e-9);
+    assert!(e_mid < e0 && e_high < e_mid);
+    assert!(e_high >= min_phi - 1e-9);
+    assert!((e_high - min_phi).abs() < 0.2, "high beta should be near the minimum");
+
+    // Simulation agreement at beta = 1.
+    let beta = 1.0;
+    let dynamics = LogitDynamics::new(game.clone(), beta);
+    let sim = Simulator::new(31, 20_000);
+    let space2 = dynamics.space().clone();
+    let game2 = game.clone();
+    let result = sim.run(&dynamics, 0, 600, move |idx| {
+        game2.potential(&space2.profile_of(idx))
+    });
+    assert!(
+        (result.observable_stats.mean() - e_mid).abs() < 0.1,
+        "simulated mean potential {} should match E_pi[Phi] = {e_mid}",
+        result.observable_stats.mean()
+    );
+}
+
+/// Best-response dynamics (β = ∞ baseline) reaches a pure Nash equilibrium of
+/// every game the logit experiments use, and the logit dynamics' Gibbs measure
+/// at large β concentrates on profiles that are Nash equilibria.
+#[test]
+fn best_response_baseline_and_high_beta_consistency() {
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::clique(4),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let (profile, converged) = best_response_dynamics(&game, &[0, 1, 0, 1], 100);
+    assert!(converged);
+    assert!(logit_dynamics::games::is_pure_nash(&game, &profile));
+
+    // High-β Gibbs mass concentrates on the two consensus equilibria.
+    let pi = gibbs_distribution(&game, 8.0);
+    let space = game.profile_space();
+    let mass_on_nash: f64 = logit_dynamics::games::find_pure_nash_equilibria(&game)
+        .iter()
+        .map(|eq| pi[space.index_of(eq)])
+        .sum();
+    assert!(mass_on_nash > 0.99);
+}

@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: Section 3 (potential games).
+//!
+//! Each test exercises the whole stack — game construction, chain construction,
+//! exact mixing time, spectral analysis, barrier computation — and checks the
+//! measured quantities against the paper's bounds.
+
+use logit_dynamics::core::bounds;
+use logit_dynamics::core::{exact_mixing_time, zeta};
+use logit_dynamics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f64 = 0.25;
+const BUDGET: u64 = 1 << 34;
+
+/// Lemma 3.2: at β = 0 the relaxation time is at most n.
+#[test]
+fn lemma_3_2_relaxation_time_at_beta_zero() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in 2..=4 {
+        for m in 2..=3 {
+            let game = TablePotentialGame::random(vec![m; n], 3.0, &mut rng);
+            let meas = exact_mixing_time(&game, 0.0, EPS, BUDGET);
+            assert!(
+                meas.relaxation_time <= bounds::lemma_3_2_relaxation_beta0(n) + 1e-6,
+                "t_rel = {} exceeds n = {n}",
+                meas.relaxation_time
+            );
+        }
+    }
+}
+
+/// Theorem 3.1 + Lemma 3.3: eigenvalues are non-negative and the relaxation
+/// time respects 2·m·n·e^{βΔΦ}.
+#[test]
+fn lemma_3_3_relaxation_upper_bound_holds() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..5 {
+        let game = TablePotentialGame::random(vec![2, 2, 2], 2.0, &mut rng);
+        let dphi = game.max_global_variation();
+        for beta in [0.0, 0.5, 1.0, 2.0] {
+            let meas = exact_mixing_time(&game, beta, EPS, BUDGET);
+            assert!(meas.lambda_min >= -1e-8, "Theorem 3.1 violated");
+            let bound = bounds::lemma_3_3_relaxation_upper(3, 2, beta, dphi);
+            assert!(
+                meas.relaxation_time <= bound,
+                "t_rel {} exceeds Lemma 3.3 bound {bound} at beta {beta}",
+                meas.relaxation_time
+            );
+        }
+    }
+}
+
+/// Theorem 3.4: the mixing time never exceeds 2mn·e^{βΔΦ}(log 4 + βΔΦ + n log m).
+#[test]
+fn theorem_3_4_mixing_upper_bound_holds() {
+    fn check<G: PotentialGame>(name: &str, game: &G) {
+        let n = game.num_players();
+        let m = game.max_strategies();
+        let dphi = game.max_global_variation();
+        for beta in [0.0, 0.5, 1.0, 2.0] {
+            let meas = exact_mixing_time(game, beta, EPS, BUDGET);
+            let t = meas.mixing_time.expect("these games mix within budget") as f64;
+            let bound = bounds::theorem_3_4_mixing_upper(n, m, beta, dphi, EPS);
+            assert!(
+                t <= bound,
+                "{name}: measured {t} exceeds Theorem 3.4 bound {bound} at beta {beta}"
+            );
+        }
+    }
+    check("well(4, 2, 2)", &WellGame::plateau(4, 2.0));
+    check(
+        "coordination ring n=4",
+        &GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        ),
+    );
+    check("congestion 3x2", &CongestionGame::load_balancing(3, 2, 1.0));
+}
+
+/// Theorem 3.5: on the well potential the mixing time really does grow
+/// exponentially with βΔΦ — the measured growth rate of log t_mix in β is close
+/// to ΔΦ, and the explicit lower bound is respected.
+#[test]
+fn theorem_3_5_lower_bound_and_growth_rate() {
+    let n = 4;
+    let game = WellGame::plateau(n, 2.0);
+    let dphi = game.max_global_variation();
+    let dloc = game.max_local_variation();
+
+    let betas = [2.0, 2.5, 3.0, 3.5];
+    let mut logs = Vec::new();
+    for &beta in &betas {
+        let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+            .mixing_time
+            .expect("within budget") as f64;
+        let lower = bounds::theorem_3_5_mixing_lower(n, 2, beta, dphi, dloc, EPS);
+        assert!(
+            t >= lower,
+            "measured {t} below the Theorem 3.5 lower bound {lower} at beta {beta}"
+        );
+        logs.push(t.ln());
+    }
+    // Exponential growth rate ≈ ΔΦ (Theorems 3.4 + 3.5 pin it between (1-o(1))ΔΦ and (1+o(1))ΔΦ).
+    let fit = logit_dynamics::linalg::stats::linear_fit(&betas, &logs);
+    assert!(
+        (fit.slope - dphi).abs() < 0.35 * dphi,
+        "growth exponent {} should be close to delta_phi {dphi}",
+        fit.slope
+    );
+}
+
+/// Theorem 3.6: for β ≤ c/(nδΦ) the mixing time is O(n log n) — check against
+/// the explicit path-coupling constant.
+#[test]
+fn theorem_3_6_small_beta_fast_mixing() {
+    for n in 3..=5 {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(n),
+            CoordinationGame::symmetric(1.0),
+        );
+        let dloc = game.max_local_variation();
+        let c = 0.5;
+        let beta = c / (n as f64 * dloc);
+        let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+            .mixing_time
+            .expect("fast regime") as f64;
+        let bound = bounds::theorem_3_6_mixing_upper(n, beta, dloc, EPS);
+        assert!(
+            t <= bound,
+            "n={n}: measured {t} exceeds the Theorem 3.6 bound {bound}"
+        );
+    }
+}
+
+/// Theorems 3.8/3.9: for large β the mixing time is e^{βζ(1±o(1))}; the measured
+/// growth rate of log t_mix in β approaches ζ, and the explicit upper bound holds.
+#[test]
+fn theorems_3_8_and_3_9_zeta_growth() {
+    // A game where ζ < ΔΦ, so the refined bound is genuinely sharper: a clique
+    // coordination game with risk dominance.
+    let n = 4;
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::clique(n),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    );
+    let barrier = zeta(&game);
+    let dphi = game.max_global_variation();
+    assert!(barrier.zeta > 0.0);
+    assert!(barrier.zeta < dphi, "zeta should be strictly below delta_phi here");
+
+    let betas = [2.0, 2.5, 3.0, 3.5];
+    let mut logs = Vec::new();
+    for &beta in &betas {
+        let t = exact_mixing_time(&game, beta, EPS, BUDGET)
+            .mixing_time
+            .expect("within budget") as f64;
+        let upper = bounds::theorem_3_8_mixing_upper(n, 2, beta, barrier.zeta, dphi, EPS);
+        assert!(t <= upper, "measured {t} exceeds the Theorem 3.8 bound {upper}");
+        logs.push(t.ln());
+    }
+    let fit = logit_dynamics::linalg::stats::linear_fit(&betas, &logs);
+    assert!(
+        (fit.slope - barrier.zeta).abs() < 0.4 * barrier.zeta.max(1.0),
+        "growth exponent {} should approach zeta {}",
+        fit.slope,
+        barrier.zeta
+    );
+}
+
+/// The relaxation time equals 1/(1-λ₂) for potential games (Theorem 3.1's
+/// consequence): λ* is always attained by λ₂, never by |λ_min|.
+#[test]
+fn relaxation_time_driven_by_lambda_2() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..5 {
+        let game = TablePotentialGame::random(vec![2, 3], 2.0, &mut rng);
+        for beta in [0.3, 1.0, 3.0] {
+            let meas = exact_mixing_time(&game, beta, EPS, BUDGET);
+            assert!(meas.lambda_min >= -1e-8);
+            // spectral gap = 1 - λ₂ and relaxation = 1/(1-λ*) must coincide.
+            assert!(
+                (meas.relaxation_time - 1.0 / meas.spectral_gap).abs()
+                    / meas.relaxation_time
+                    < 1e-6,
+                "relaxation time should be 1/(1-lambda_2)"
+            );
+        }
+    }
+}
