@@ -21,7 +21,11 @@ impl<G: Game, S: BetaSchedule> AnnealedLogitDynamics<G, S> {
     /// Creates the annealed dynamics.
     pub fn new(game: G, schedule: S) -> Self {
         let space = game.profile_space();
-        Self { game, schedule, space }
+        Self {
+            game,
+            schedule,
+            space,
+        }
     }
 
     /// The underlying game.

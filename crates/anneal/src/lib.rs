@@ -26,5 +26,7 @@ pub mod welfare;
 
 pub use annealed::AnnealedLogitDynamics;
 pub use optimize::{anneal_minimize, AnnealingOutcome};
-pub use schedule::{BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule};
+pub use schedule::{
+    BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule,
+};
 pub use welfare::{expected_social_welfare, optimal_social_welfare, welfare_ratio};

@@ -74,8 +74,9 @@ where
         .into_par_iter()
         .map(|replica| {
             let dynamics = AnnealedLogitDynamics::new(game.clone(), schedule.clone());
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(seed ^ (replica as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (replica as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            );
             let mut state = start;
             for t in 0..steps {
                 state = dynamics.step(t, state, &mut rng);
@@ -130,17 +131,13 @@ mod tests {
         );
         let space = game.profile_space();
         let start = space.index_of(&[1, 1, 1, 1, 1]);
-        let outcome = anneal_minimize(
-            &game,
-            LinearRamp::new(0.1, 4.0, 400),
-            start,
-            800,
-            64,
-            7,
-        );
+        let outcome = anneal_minimize(&game, LinearRamp::new(0.1, 4.0, 400), start, 800, 64, 7);
         assert!(outcome.found_global_minimum(1e-9));
         assert_eq!(outcome.best_profile, vec![0, 0, 0, 0, 0]);
-        assert!(outcome.success_rate > 0.7, "most replicas should land in the minimiser");
+        assert!(
+            outcome.success_rate > 0.7,
+            "most replicas should land in the minimiser"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl ConstantSchedule {
     /// # Panics
     /// Panics when `beta` is negative or non-finite.
     pub fn new(beta: f64) -> Self {
-        assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and non-negative");
+        assert!(
+            beta >= 0.0 && beta.is_finite(),
+            "beta must be finite and non-negative"
+        );
         Self { beta }
     }
 }
@@ -62,9 +65,16 @@ impl LinearRamp {
     /// Panics on negative/non-finite endpoints or zero duration.
     pub fn new(start: f64, end: f64, duration: u64) -> Self {
         assert!(start >= 0.0 && end >= 0.0, "beta must stay non-negative");
-        assert!(start.is_finite() && end.is_finite(), "beta must stay finite");
+        assert!(
+            start.is_finite() && end.is_finite(),
+            "beta must stay finite"
+        );
         assert!(duration > 0, "ramp duration must be positive");
-        Self { start, end, duration }
+        Self {
+            start,
+            end,
+            duration,
+        }
     }
 }
 
@@ -78,7 +88,10 @@ impl BetaSchedule for LinearRamp {
         }
     }
     fn describe(&self) -> String {
-        format!("linear({} -> {} over {} steps)", self.start, self.end, self.duration)
+        format!(
+            "linear({} -> {} over {} steps)",
+            self.start, self.end, self.duration
+        )
     }
 }
 
@@ -101,11 +114,22 @@ impl GeometricSchedule {
     /// # Panics
     /// Panics on non-positive `start`, `factor < 1`, zero period, or `max < start`.
     pub fn new(start: f64, factor: f64, period: u64, max: f64) -> Self {
-        assert!(start > 0.0, "geometric schedules need a positive starting beta");
-        assert!(factor >= 1.0, "the factor must be at least 1 (cooling means raising beta)");
+        assert!(
+            start > 0.0,
+            "geometric schedules need a positive starting beta"
+        );
+        assert!(
+            factor >= 1.0,
+            "the factor must be at least 1 (cooling means raising beta)"
+        );
         assert!(period > 0, "period must be positive");
         assert!(max >= start, "the cap must be at least the starting beta");
-        Self { start, factor, period, max }
+        Self {
+            start,
+            factor,
+            period,
+            max,
+        }
     }
 }
 
@@ -201,7 +225,10 @@ mod tests {
     fn logarithmic_for_game_uses_barrier() {
         let game = WellGame::plateau(4, 2.0);
         let s = LogarithmicSchedule::for_game(&game);
-        assert!((s.c - 2.0).abs() < 1e-9, "the well game's barrier is its depth");
+        assert!(
+            (s.c - 2.0).abs() < 1e-9,
+            "the well game's barrier is its depth"
+        );
     }
 
     #[test]

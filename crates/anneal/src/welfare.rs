@@ -107,7 +107,10 @@ mod tests {
         let w0 = expected_social_welfare(&game, 0.0);
         let w1 = expected_social_welfare(&game, 1.0);
         let w3 = expected_social_welfare(&game, 3.0);
-        assert!(w1 > w0, "more rationality should raise welfare: {w0} -> {w1}");
+        assert!(
+            w1 > w0,
+            "more rationality should raise welfare: {w0} -> {w1}"
+        );
         assert!(w3 > w1);
         // And it converges to the optimum because the risk-dominant consensus is
         // also the welfare-optimal profile here.
@@ -145,10 +148,8 @@ mod tests {
     fn limit_welfare_averages_tied_minimisers() {
         // Symmetric coordination game: both consensus profiles are potential
         // minimisers with equal welfare, so the limit is that common value.
-        let game = GraphicalCoordinationGame::new(
-            GraphBuilder::ring(4),
-            CoordinationGame::symmetric(1.0),
-        );
+        let game =
+            GraphicalCoordinationGame::new(GraphBuilder::ring(4), CoordinationGame::symmetric(1.0));
         let limit = limit_welfare_at_infinite_beta(&game);
         assert!((limit - 8.0).abs() < 1e-9); // 4 players x 2 neighbours x payoff 1
     }

@@ -7,7 +7,10 @@ use logit_games::{CoordinationGame, GraphicalCoordinationGame};
 use logit_graphs::GraphBuilder;
 
 fn ring_game(n: usize) -> GraphicalCoordinationGame {
-    GraphicalCoordinationGame::new(GraphBuilder::ring(n), CoordinationGame::from_deltas(2.0, 1.0))
+    GraphicalCoordinationGame::new(
+        GraphBuilder::ring(n),
+        CoordinationGame::from_deltas(2.0, 1.0),
+    )
 }
 
 fn bench_dense_transition(c: &mut Criterion) {
@@ -15,9 +18,11 @@ fn bench_dense_transition(c: &mut Criterion) {
     for n in [4usize, 6, 8, 10] {
         let game = ring_game(n);
         let dynamics = LogitDynamics::new(game, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
-            b.iter(|| d.transition_matrix())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| b.iter(|| d.transition_matrix()),
+        );
     }
     group.finish();
 }
@@ -27,9 +32,11 @@ fn bench_sparse_transition(c: &mut Criterion) {
     for n in [8usize, 10, 12] {
         let game = ring_game(n);
         let dynamics = LogitDynamics::new(game, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
-            b.iter(|| d.transition_sparse())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| b.iter(|| d.transition_sparse()),
+        );
     }
     group.finish();
 }
@@ -38,9 +45,11 @@ fn bench_gibbs(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs_distribution");
     for n in [8usize, 10, 12] {
         let game = ring_game(n);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &game, |b, g| {
-            b.iter(|| gibbs_distribution(g, 1.5))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &game,
+            |b, g| b.iter(|| gibbs_distribution(g, 1.5)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,95 @@
+//! Criterion benches: single-step cost of the flat-index engine vs the
+//! in-place profile engine on ring coordination games.
+//!
+//! The flat engine stops existing at n = 64 (the state index overflows
+//! `usize`), so the comparison runs where both engines live and the profile
+//! engine continues alone up to n = 100000 — the point of the in-place
+//! refactor is that its per-step cost stays flat while n grows by four
+//! orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logit_core::{LogitDynamics, Scratch};
+use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame};
+use logit_graphs::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ring_dynamics(n: usize) -> LogitDynamics<GraphicalCoordinationGame> {
+    LogitDynamics::new(
+        GraphicalCoordinationGame::new(
+            GraphBuilder::ring(n),
+            CoordinationGame::from_deltas(1.0, 2.0),
+        ),
+        1.5,
+    )
+}
+
+fn bench_flat_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_engine_step");
+    for n in [16usize, 48] {
+        let dynamics = ring_dynamics(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut scratch = Scratch::for_game(d.game());
+                let mut state = 0usize;
+                b.iter(|| {
+                    state = d.step_indexed(state, &mut scratch, &mut rng);
+                    state
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profile_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_engine_step");
+    group.sample_size(10);
+    for n in [16usize, 48, 1_000, 10_000, 100_000] {
+        let dynamics = ring_dynamics(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut scratch = Scratch::for_game(d.game());
+                let mut profile = vec![0usize; d.game().num_players()];
+                b.iter(|| d.step_profile(&mut profile, &mut scratch, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_legacy_alloc_step(c: &mut Criterion) {
+    // The pre-refactor hot path: a fresh Scratch (hence fresh buffers) per
+    // step, as `LogitDynamics::step` still provides for one-off callers.
+    let mut group = c.benchmark_group("legacy_alloc_per_step");
+    for n in [16usize, 48] {
+        let dynamics = ring_dynamics(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut state = 0usize;
+                b.iter(|| {
+                    state = d.step(state, &mut rng);
+                    state
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flat_engine,
+    bench_profile_engine,
+    bench_legacy_alloc_step
+);
+criterion_main!(benches);

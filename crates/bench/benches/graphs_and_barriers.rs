@@ -12,9 +12,11 @@ fn bench_cutwidth_exact(c: &mut Criterion) {
     group.sample_size(15);
     for n in [8usize, 12, 16] {
         let graph = GraphBuilder::grid(2, n / 2);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("grid_2x{}", n / 2)), &graph, |b, g| {
-            b.iter(|| cutwidth_exact(g))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("grid_2x{}", n / 2)),
+            &graph,
+            |b, g| b.iter(|| cutwidth_exact(g)),
+        );
     }
     group.finish();
 }
@@ -24,10 +26,14 @@ fn bench_cutwidth_heuristic(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         let mut rng = StdRng::seed_from_u64(7);
         let graph = GraphBuilder::connected_erdos_renyi(n, 0.15, &mut rng, 50);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("er_n={n}")), &graph, |b, g| {
-            let mut rng = StdRng::seed_from_u64(8);
-            b.iter(|| cutwidth_heuristic(g, &mut rng, 3))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("er_n={n}")),
+            &graph,
+            |b, g| {
+                let mut rng = StdRng::seed_from_u64(8);
+                b.iter(|| cutwidth_heuristic(g, &mut rng, 3))
+            },
+        );
     }
     group.finish();
 }
@@ -37,9 +43,11 @@ fn bench_zeta(c: &mut Criterion) {
     group.sample_size(20);
     for n in [8usize, 10, 12] {
         let game = WellGame::plateau(n, 2.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("well_n={n}")), &game, |b, g| {
-            b.iter(|| zeta(g))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("well_n={n}")),
+            &game,
+            |b, g| b.iter(|| zeta(g)),
+        );
     }
     let clique_game = GraphicalCoordinationGame::new(
         GraphBuilder::clique(10),
@@ -49,5 +57,10 @@ fn bench_zeta(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cutwidth_exact, bench_cutwidth_heuristic, bench_zeta);
+criterion_group!(
+    benches,
+    bench_cutwidth_exact,
+    bench_cutwidth_heuristic,
+    bench_zeta
+);
 criterion_main!(benches);

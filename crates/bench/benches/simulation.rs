@@ -20,14 +20,18 @@ fn bench_single_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("logit_steps");
     for n in [8usize, 16, 32] {
         let dynamics = ring_dynamics(n, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
-            let mut rng = StdRng::seed_from_u64(1);
-            let mut state = 0usize;
-            b.iter(|| {
-                state = d.step(state, &mut rng);
-                state
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut state = 0usize;
+                b.iter(|| {
+                    state = d.step(state, &mut rng);
+                    state
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -36,10 +40,14 @@ fn bench_trajectory(c: &mut Criterion) {
     let mut group = c.benchmark_group("trajectory_1000_steps");
     for n in [8usize, 16] {
         let dynamics = ring_dynamics(n, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &dynamics, |b, d| {
-            let mut rng = StdRng::seed_from_u64(2);
-            b.iter(|| simulate_trajectory(d, 0, 1000, &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| simulate_trajectory(d, 0, 1000, &mut rng))
+            },
+        );
     }
     group.finish();
 }

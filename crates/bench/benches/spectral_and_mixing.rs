@@ -14,9 +14,11 @@ fn bench_spectral_analysis(c: &mut Criterion) {
             GraphBuilder::ring(n),
             CoordinationGame::from_deltas(2.0, 1.0),
         );
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &game, |b, g| {
-            b.iter(|| spectral_mixing_bounds(g, 1.0))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &game,
+            |b, g| b.iter(|| spectral_mixing_bounds(g, 1.0)),
+        );
     }
     group.finish();
 }
@@ -26,9 +28,11 @@ fn bench_exact_mixing_time(c: &mut Criterion) {
     group.sample_size(15);
     for n in [4usize, 6] {
         let game = WellGame::plateau(n, 2.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("well_n={n}")), &game, |b, g| {
-            b.iter(|| exact_mixing_time(g, 1.5, 0.25, 1 << 34))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("well_n={n}")),
+            &game,
+            |b, g| b.iter(|| exact_mixing_time(g, 1.5, 0.25, 1 << 34)),
+        );
     }
     group.finish();
 }
@@ -42,9 +46,11 @@ fn bench_stationary_linear_solve(c: &mut Criterion) {
             CoordinationGame::from_deltas(2.0, 1.0),
         );
         let chain = LogitDynamics::new(game, 1.0).transition_chain();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &chain, |b, ch| {
-            b.iter(|| stationary_distribution(ch))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &chain,
+            |b, ch| b.iter(|| stationary_distribution(ch)),
+        );
     }
     group.finish();
 }

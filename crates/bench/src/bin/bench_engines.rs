@@ -1,0 +1,77 @@
+//! Engine-throughput baseline: steps/sec of the flat-index engine vs the
+//! in-place profile engine on ring coordination games, emitted as JSON
+//! (the committed `BENCH_step_throughput.json` is this binary's output).
+//!
+//! The flat engine needs the profile space to fit a `usize`, which caps it at
+//! 63 binary players; beyond that its column is `null`. The in-place engine
+//! is measured up to n = 100000.
+
+use logit_core::{LogitDynamics, Scratch};
+use logit_games::{CoordinationGame, GraphicalCoordinationGame};
+use logit_graphs::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Binary-profile rings stop fitting a flat `usize` index past this size.
+const FLAT_LIMIT: usize = 63;
+
+fn ring_dynamics(n: usize) -> LogitDynamics<GraphicalCoordinationGame> {
+    LogitDynamics::new(
+        GraphicalCoordinationGame::new(
+            GraphBuilder::ring(n),
+            CoordinationGame::from_deltas(1.0, 2.0),
+        ),
+        1.5,
+    )
+}
+
+fn flat_steps_per_sec(n: usize, steps: u64) -> f64 {
+    let dynamics = ring_dynamics(n);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut scratch = Scratch::for_game(dynamics.game());
+    let mut state = 0usize;
+    let clock = std::time::Instant::now();
+    for _ in 0..steps {
+        state = dynamics.step_indexed(state, &mut scratch, &mut rng);
+    }
+    std::hint::black_box(state);
+    steps as f64 / clock.elapsed().as_secs_f64()
+}
+
+fn profile_steps_per_sec(n: usize, steps: u64) -> f64 {
+    let dynamics = ring_dynamics(n);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut scratch = Scratch::for_game(dynamics.game());
+    let mut profile = vec![0usize; n];
+    let clock = std::time::Instant::now();
+    for _ in 0..steps {
+        dynamics.step_profile(&mut profile, &mut scratch, &mut rng);
+    }
+    std::hint::black_box(&profile);
+    steps as f64 / clock.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let steps: u64 = if fast { 200_000 } else { 2_000_000 };
+    let sizes = [16usize, 48, 1_000, 10_000, 100_000];
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let flat = if n <= FLAT_LIMIT {
+            format!("{:.0}", flat_steps_per_sec(n, steps))
+        } else {
+            "null".to_string()
+        };
+        let profile = profile_steps_per_sec(n, steps);
+        rows.push(format!(
+            "    {{\"n\": {n}, \"flat_steps_per_sec\": {flat}, \"profile_steps_per_sec\": {profile:.0}}}"
+        ));
+        eprintln!("n = {n:>6}: flat = {flat:>12}, profile = {profile:.3e} steps/sec");
+    }
+
+    println!(
+        "{{\n  \"benchmark\": \"logit step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"rows\": [\n{}\n  ]\n}}",
+        rows.join(",\n")
+    );
+}

@@ -1,0 +1,6 @@
+//! E11 — the large-n in-place simulation engine on rings of 10^3 to 10^5
+//! players (state spaces up to 2^100000: no flat index exists).
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("{}", logit_bench::experiments::e11_large_ring(fast));
+}

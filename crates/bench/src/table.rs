@@ -78,7 +78,8 @@ impl Table {
 
 /// Formats an `Option<u64>` mixing time, with `> budget` for censored values.
 pub fn show_time(t: Option<u64>) -> String {
-    t.map(|v| v.to_string()).unwrap_or_else(|| "> budget".into())
+    t.map(|v| v.to_string())
+        .unwrap_or_else(|| "> budget".into())
 }
 
 /// Formats a float with 3 decimal places (compact experiment output).

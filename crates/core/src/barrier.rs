@@ -205,8 +205,8 @@ pub fn zeta_brute_force<G: PotentialGame>(game: &G) -> f64 {
 mod tests {
     use super::*;
     use logit_games::{
-        AllZeroDominantGame, CoordinationGame, Game, GraphicalCoordinationGame,
-        TablePotentialGame, WellGame,
+        AllZeroDominantGame, CoordinationGame, Game, GraphicalCoordinationGame, TablePotentialGame,
+        WellGame,
     };
     use logit_graphs::GraphBuilder;
     use rand::rngs::StdRng;
@@ -271,7 +271,7 @@ mod tests {
 
     #[test]
     fn clique_coordination_barrier_matches_closed_form() {
-        use logit_games::graphical::{clique_barrier};
+        use logit_games::graphical::clique_barrier;
         let (n, d0, d1) = (5, 2.0, 1.0);
         let game = GraphicalCoordinationGame::new(
             GraphBuilder::clique(n),

@@ -19,7 +19,13 @@ pub fn lemma_3_3_relaxation_upper(n: usize, m: usize, beta: f64, delta_phi: f64)
 }
 
 /// Theorem 3.4: `t_mix(ε) ≤ 2·m·n·e^{βΔΦ}·(log(1/ε) + βΔΦ + n·log m)`.
-pub fn theorem_3_4_mixing_upper(n: usize, m: usize, beta: f64, delta_phi: f64, epsilon: f64) -> f64 {
+pub fn theorem_3_4_mixing_upper(
+    n: usize,
+    m: usize,
+    beta: f64,
+    delta_phi: f64,
+    epsilon: f64,
+) -> f64 {
     lemma_3_3_relaxation_upper(n, m, beta, delta_phi)
         * ((1.0 / epsilon).ln() + beta * delta_phi + n as f64 * (m as f64).ln())
 }

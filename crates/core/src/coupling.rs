@@ -120,6 +120,7 @@ pub enum CouplingKind {
 /// starting pair `(x0, y0)` and converts it into a mixing-time upper estimate
 /// (Theorem 2.1: `d(t) ≤ P(τ_couple > t)`), targeting the quantile
 /// `1 − ε` so the returned `quantile_time` estimates `t_mix(ε)`.
+#[allow(clippy::too_many_arguments)]
 pub fn coupling_time_estimate<G: Game, R: Rng + ?Sized>(
     dynamics: &LogitDynamics<G>,
     rng: &mut R,

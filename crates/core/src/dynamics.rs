@@ -1,19 +1,95 @@
 //! The logit dynamics update rule and its Markov chain.
+//!
+//! Two simulation engines share the eq.-(2) update:
+//!
+//! * the **in-place profile engine** ([`LogitDynamics::step_profile`]):
+//!   mutates a strategy profile directly using reusable [`Scratch`] buffers,
+//!   never touches the flat state index, and therefore scales to games whose
+//!   profile space does not even fit in a `usize` (e.g. rings with `n = 10⁶`
+//!   players). One step costs `O(|S_i| + cost(utilities_for))` — for
+//!   `LocalGame`s that is `O(|S_i| + deg(i))`, independent of `n` and `|S|`;
+//! * the **flat-index engine** ([`LogitDynamics::step`] /
+//!   [`LogitDynamics::step_indexed`]): a thin wrapper that decodes the index,
+//!   delegates to the profile engine and re-encodes. It consumes the RNG
+//!   stream identically, so both engines produce the same trajectory from the
+//!   same seed; it exists for the exact analyses, which index distributions
+//!   by flat state.
 
 use logit_games::{Game, PotentialGame, ProfileSpace};
 use logit_linalg::{CsrMatrix, Matrix};
 use logit_markov::MarkovChain;
 use rand::Rng;
+use std::sync::OnceLock;
+
+/// Reusable per-chain scratch buffers for the allocation-free step paths.
+///
+/// One `Scratch` per replica (or per thread) eliminates the per-step heap
+/// churn the original engine suffered: utilities, probabilities and the
+/// decoded profile all live here and are recycled across steps.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Utilities `u_i(s, x_{-i})`, one per strategy of the updating player.
+    utils: Vec<f64>,
+    /// The softmax probabilities of eq. (2) over those strategies.
+    probs: Vec<f64>,
+    /// Decoded profile buffer used by the flat-index wrapper.
+    profile: Vec<usize>,
+}
+
+impl Scratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for `game` (avoids even the first-use allocations).
+    pub fn for_game<G: Game>(game: &G) -> Self {
+        let m = game.max_strategies();
+        Self {
+            utils: Vec::with_capacity(m),
+            probs: Vec::with_capacity(m),
+            profile: Vec::with_capacity(game.num_players()),
+        }
+    }
+
+    /// The update distribution computed by the most recent
+    /// [`LogitDynamics::update_distribution_into`] /
+    /// [`LogitDynamics::step_profile`] call.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+/// What one in-place step did: which player updated and how she moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEvent {
+    /// The player selected for update.
+    pub player: usize,
+    /// Her strategy before the update.
+    pub old_strategy: usize,
+    /// Her strategy after the update (possibly the same).
+    pub new_strategy: usize,
+}
+
+impl StepEvent {
+    /// Whether the profile actually changed.
+    pub fn moved(&self) -> bool {
+        self.old_strategy != self.new_strategy
+    }
+}
 
 /// The logit dynamics `M_β(G)` for a strategic game `G` with inverse noise `β`.
 ///
 /// The struct borrows nothing: it owns the game (games are cheap to clone or are
-/// themselves small descriptors) and caches the profile space.
+/// themselves small descriptors). The profile space is materialised lazily —
+/// only the flat-index paths need it, and for large-`n` games it cannot even
+/// be represented (`|S|` overflows `usize`), while the profile engine runs
+/// fine without it.
 #[derive(Debug, Clone)]
 pub struct LogitDynamics<G: Game> {
     game: G,
     beta: f64,
-    space: ProfileSpace,
+    space: OnceLock<ProfileSpace>,
 }
 
 impl<G: Game> LogitDynamics<G> {
@@ -22,9 +98,15 @@ impl<G: Game> LogitDynamics<G> {
     /// # Panics
     /// Panics when `β` is negative or not finite.
     pub fn new(game: G, beta: f64) -> Self {
-        assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and non-negative");
-        let space = game.profile_space();
-        Self { game, beta, space }
+        assert!(
+            beta >= 0.0 && beta.is_finite(),
+            "beta must be finite and non-negative"
+        );
+        Self {
+            game,
+            beta,
+            space: OnceLock::new(),
+        }
     }
 
     /// The inverse noise `β`.
@@ -37,36 +119,67 @@ impl<G: Game> LogitDynamics<G> {
         &self.game
     }
 
-    /// The profile space of the game.
+    /// The profile space of the game (materialised on first use).
+    ///
+    /// # Panics
+    /// Panics when `|S| = Π_i |S_i|` overflows `usize` — use the profile
+    /// engine ([`Self::step_profile`]) for such games; it never calls this.
     pub fn space(&self) -> &ProfileSpace {
-        &self.space
+        self.space.get_or_init(|| self.game.profile_space())
     }
 
     /// Number of states of the chain (`|S| = Π_i |S_i|`).
+    ///
+    /// # Panics
+    /// Panics when `|S|` overflows `usize` (see [`Self::space`]).
     pub fn num_states(&self) -> usize {
-        self.space.size()
+        self.space().size()
     }
 
     /// The update distribution `σ_i(· | x)` of player `i` at profile `x`
     /// (eq. 2), returned as a probability vector over the player's strategies.
     ///
-    /// Computed with the usual log-sum-exp shift so large `β·u` values do not
-    /// overflow.
+    /// Allocating convenience wrapper around
+    /// [`Self::update_distribution_into`]; hot paths should use the latter
+    /// with a reused [`Scratch`].
     pub fn update_distribution(&self, player: usize, profile: &[usize]) -> Vec<f64> {
-        let m = self.game.num_strategies(player);
+        let mut scratch = Scratch::new();
         let mut work = profile.to_vec();
-        let mut logits = Vec::with_capacity(m);
-        for s in 0..m {
-            work[player] = s;
-            logits.push(self.beta * self.game.utility(player, &work));
-        }
-        let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut probs: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
-        let total: f64 = probs.iter().sum();
-        for p in &mut probs {
+        self.update_distribution_into(player, &mut work, &mut scratch);
+        scratch.probs
+    }
+
+    /// Computes `σ_i(· | x)` into `scratch.probs` without allocating (after
+    /// the buffers' first growth).
+    ///
+    /// `profile` is borrowed mutably so strategies can be varied in place by
+    /// the game's `utilities_for` hook; it is restored before returning.
+    /// Numerically stable via the usual log-sum-exp shift, so large `β·u`
+    /// values do not overflow.
+    pub fn update_distribution_into(
+        &self,
+        player: usize,
+        profile: &mut [usize],
+        scratch: &mut Scratch,
+    ) {
+        let m = self.game.num_strategies(player);
+        scratch.utils.clear();
+        scratch.utils.resize(m, 0.0);
+        self.game.utilities_for(player, profile, &mut scratch.utils);
+
+        let max = scratch
+            .utils
+            .iter()
+            .map(|&u| self.beta * u)
+            .fold(f64::NEG_INFINITY, f64::max);
+        scratch.probs.clear();
+        scratch
+            .probs
+            .extend(scratch.utils.iter().map(|&u| (self.beta * u - max).exp()));
+        let total: f64 = scratch.probs.iter().sum();
+        for p in &mut scratch.probs {
             *p /= total;
         }
-        probs
     }
 
     /// Probability that player `i`, selected for update at profile `x`, picks
@@ -75,17 +188,67 @@ impl<G: Game> LogitDynamics<G> {
         self.update_distribution(player, profile)[strategy]
     }
 
-    /// One step of the dynamics from the profile with flat index `state`:
-    /// select a player uniformly at random and resample her strategy from
-    /// `σ_i(· | x)`. Returns the new flat index.
-    pub fn step<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> usize {
+    /// One in-place step of the dynamics: selects a player uniformly at
+    /// random, resamples her strategy from `σ_i(· | x)` (eq. 2) and writes it
+    /// directly into `profile`. Returns what happened as a [`StepEvent`].
+    ///
+    /// This is the large-`n` engine: it never builds the flat profile space,
+    /// allocates nothing (with a warmed-up `scratch`), and its per-step cost
+    /// is independent of `|S|`.
+    pub fn step_profile<R: Rng + ?Sized>(
+        &self,
+        profile: &mut [usize],
+        scratch: &mut Scratch,
+        rng: &mut R,
+    ) -> StepEvent {
         let n = self.game.num_players();
+        debug_assert_eq!(
+            profile.len(),
+            n,
+            "profile length must equal the player count"
+        );
         let player = rng.gen_range(0..n);
-        let mut profile = vec![0usize; n];
-        self.space.write_profile(state, &mut profile);
-        let probs = self.update_distribution(player, &profile);
-        let new_strategy = sample_index(&probs, rng);
-        self.space.with_strategy(state, player, new_strategy)
+        self.update_distribution_into(player, profile, scratch);
+        let new_strategy = sample_index(&scratch.probs, rng);
+        let old_strategy = profile[player];
+        profile[player] = new_strategy;
+        StepEvent {
+            player,
+            old_strategy,
+            new_strategy,
+        }
+    }
+
+    /// One step of the flat-index chain using reusable scratch buffers:
+    /// decodes `state`, delegates to [`Self::step_profile`] and re-encodes in
+    /// `O(1)` via the single changed coordinate.
+    ///
+    /// Consumes the RNG stream identically to [`Self::step_profile`], so the
+    /// two engines produce the same trajectory from the same seed.
+    pub fn step_indexed<R: Rng + ?Sized>(
+        &self,
+        state: usize,
+        scratch: &mut Scratch,
+        rng: &mut R,
+    ) -> usize {
+        let space = self.space();
+        let mut profile = std::mem::take(&mut scratch.profile);
+        profile.resize(self.game.num_players(), 0);
+        space.write_profile(state, &mut profile);
+        let event = self.step_profile(&mut profile, scratch, rng);
+        scratch.profile = profile;
+        space.with_strategy(state, event.player, event.new_strategy)
+    }
+
+    /// One step of the dynamics from the profile with flat index `state`.
+    /// Returns the new flat index.
+    ///
+    /// Convenience wrapper that builds a fresh [`Scratch`] per call; loops
+    /// should hold a `Scratch` and call [`Self::step_indexed`] (or work with
+    /// profiles directly via [`Self::step_profile`]).
+    pub fn step<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> usize {
+        let mut scratch = Scratch::new();
+        self.step_indexed(state, &mut scratch, rng)
     }
 
     /// The full transition matrix (eq. 3) as a dense validated Markov chain.
@@ -98,16 +261,18 @@ impl<G: Game> LogitDynamics<G> {
 
     /// The dense transition matrix of eq. (3) without the validation wrapper.
     pub fn transition_matrix(&self) -> Matrix {
-        let size = self.space.size();
+        let space = self.space();
+        let size = space.size();
         let n = self.game.num_players();
         let mut p = Matrix::zeros(size, size);
+        let mut scratch = Scratch::for_game(&self.game);
         let mut profile = vec![0usize; n];
         for x in 0..size {
-            self.space.write_profile(x, &mut profile);
+            space.write_profile(x, &mut profile);
             for player in 0..n {
-                let probs = self.update_distribution(player, &profile);
-                for (s, &pr) in probs.iter().enumerate() {
-                    let y = self.space.with_strategy(x, player, s);
+                self.update_distribution_into(player, &mut profile, &mut scratch);
+                for (s, &pr) in scratch.probs().iter().enumerate() {
+                    let y = space.with_strategy(x, player, s);
                     p[(x, y)] += pr / n as f64;
                 }
             }
@@ -119,20 +284,22 @@ impl<G: Game> LogitDynamics<G> {
     /// `Σ_i(|S_i| - 1) + 1` non-zeros, so this scales to much larger state
     /// spaces than the dense construction.
     pub fn transition_sparse(&self) -> CsrMatrix {
-        let size = self.space.size();
+        let space = self.space();
+        let size = space.size();
         let n = self.game.num_players();
         let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(size);
+        let mut scratch = Scratch::for_game(&self.game);
         let mut profile = vec![0usize; n];
         for x in 0..size {
-            self.space.write_profile(x, &mut profile);
-            let mut row: Vec<(usize, f64)> = Vec::with_capacity(self.space.deviations_per_profile() + 1);
+            space.write_profile(x, &mut profile);
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(space.deviations_per_profile() + 1);
             for player in 0..n {
-                let probs = self.update_distribution(player, &profile);
-                for (s, &pr) in probs.iter().enumerate() {
+                self.update_distribution_into(player, &mut profile, &mut scratch);
+                for (s, &pr) in scratch.probs().iter().enumerate() {
                     if pr == 0.0 {
                         continue;
                     }
-                    let y = self.space.with_strategy(x, player, s);
+                    let y = space.with_strategy(x, player, s);
                     row.push((y, pr / n as f64));
                 }
             }
@@ -200,7 +367,10 @@ mod tests {
         let game = CoordinationGame::from_deltas(3.0, 1.0);
         let d = LogitDynamics::new(game, 50.0);
         let probs = d.update_distribution(0, &[1, 0]);
-        assert!(probs[0] > 0.999999, "best response should dominate at high beta");
+        assert!(
+            probs[0] > 0.999999,
+            "best response should dominate at high beta"
+        );
     }
 
     #[test]
@@ -301,5 +471,82 @@ mod tests {
     fn negative_beta_rejected() {
         let game = CoordinationGame::from_deltas(1.0, 1.0);
         let _ = LogitDynamics::new(game, -0.1);
+    }
+
+    #[test]
+    fn profile_and_flat_engines_share_one_trajectory() {
+        let game = TablePotentialGame::random(vec![2, 3, 2], 2.0, &mut StdRng::seed_from_u64(8));
+        let d = LogitDynamics::new(game, 1.1);
+        let space = d.space().clone();
+
+        let mut rng_flat = StdRng::seed_from_u64(99);
+        let mut rng_prof = StdRng::seed_from_u64(99);
+        let mut scratch = Scratch::for_game(d.game());
+        let mut state = space.index_of(&[1, 2, 0]);
+        let mut profile = vec![1usize, 2, 0];
+        for _ in 0..300 {
+            state = d.step(state, &mut rng_flat);
+            let event = d.step_profile(&mut profile, &mut scratch, &mut rng_prof);
+            assert_eq!(space.index_of(&profile), state, "engines diverged");
+            assert!(event.player < 3);
+        }
+    }
+
+    #[test]
+    fn step_events_report_the_move() {
+        let game = WellGame::plateau(4, 1.0);
+        let d = LogitDynamics::new(game, 0.5);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut scratch = Scratch::new();
+        let mut profile = vec![0usize; 4];
+        let mut moves = 0;
+        for _ in 0..200 {
+            let before = profile.clone();
+            let event = d.step_profile(&mut profile, &mut scratch, &mut rng);
+            assert_eq!(profile[event.player], event.new_strategy);
+            assert_eq!(before[event.player], event.old_strategy);
+            if event.moved() {
+                moves += 1;
+                assert_ne!(before, profile);
+            } else {
+                assert_eq!(before, profile);
+            }
+        }
+        assert!(moves > 0, "a beta=0.5 chain moves sometimes");
+    }
+
+    #[test]
+    fn profile_engine_runs_where_the_flat_index_cannot_exist() {
+        // 2^1000 profiles: the flat index overflows usize, but the in-place
+        // engine neither builds nor needs the profile space.
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(1000),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let d = LogitDynamics::new(game, 1.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = Scratch::for_game(d.game());
+        let mut profile = vec![0usize; 1000];
+        for _ in 0..5000 {
+            d.step_profile(&mut profile, &mut scratch, &mut rng);
+        }
+        assert!(profile.iter().all(|&s| s < 2));
+    }
+
+    #[test]
+    fn scratch_probs_expose_the_last_update_distribution() {
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let d = LogitDynamics::new(game, 0.7);
+        let mut scratch = Scratch::new();
+        let mut profile = vec![1usize, 0];
+        d.update_distribution_into(0, &mut profile, &mut scratch);
+        let via_scratch = scratch.probs().to_vec();
+        let via_alloc = d.update_distribution(0, &[1, 0]);
+        assert_eq!(via_scratch, via_alloc);
+        assert_eq!(
+            profile,
+            vec![1, 0],
+            "profile is restored after the batch call"
+        );
     }
 }

@@ -27,7 +27,10 @@ pub fn gibbs_distribution<G: PotentialGame>(game: &G, beta: f64) -> Vector {
 /// Gibbs distribution computed directly from a vector of potential values.
 pub fn gibbs_from_potentials(potentials: &[f64], beta: f64) -> Vector {
     assert!(!potentials.is_empty(), "need at least one state");
-    assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and non-negative");
+    assert!(
+        beta >= 0.0 && beta.is_finite(),
+        "beta must be finite and non-negative"
+    );
     let min = potentials.iter().copied().fold(f64::INFINITY, f64::min);
     let mut weights: Vec<f64> = potentials
         .iter()
@@ -146,11 +149,13 @@ mod tests {
             let space = game.profile_space();
             space
                 .indices()
-                .map(|i| (-beta * {
-                    let p = space.profile_of(i);
-                    logit_games::PotentialGame::potential(&game, &p)
+                .map(|i| {
+                    (-beta * {
+                        let p = space.profile_of(i);
+                        logit_games::PotentialGame::potential(&game, &p)
+                    })
+                    .exp()
                 })
-                .exp())
                 .sum::<f64>()
                 .ln()
         };

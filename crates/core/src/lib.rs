@@ -44,9 +44,15 @@ pub mod sweep;
 
 pub use barrier::{zeta, zeta_brute_force, BarrierResult};
 pub use coupling::{coupling_time_estimate, CouplingKind};
-pub use dynamics::LogitDynamics;
+pub use dynamics::{LogitDynamics, Scratch, StepEvent};
 pub use estimate::{exact_mixing_time, spectral_mixing_bounds, MixingMeasurement};
 pub use gibbs::{gibbs_distribution, log_partition_function};
-pub use observables::{ensemble_time_series, Observable, PotentialObservable, TimeSeries};
-pub use simulate::{simulate_trajectory, EnsembleResult, Simulator};
-pub use sweep::{beta_sweep, BetaSweepRow};
+pub use observables::{
+    ensemble_time_series, HammingToProfile, NamedObservable, Observable, PotentialObservable,
+    ProfileObservable, TimeSeries,
+};
+pub use simulate::{
+    simulate_profile_trajectory, simulate_trajectory, EmpiricalLaw, EnsembleResult,
+    ProfileEnsembleResult, Simulator,
+};
+pub use sweep::{beta_profile_sweep, beta_sweep, BetaSweepRow, ProfileSweepRow};

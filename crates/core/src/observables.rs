@@ -24,6 +24,77 @@ pub trait Observable {
     fn name(&self) -> &str;
 }
 
+/// A scalar observable evaluated directly on a strategy profile.
+///
+/// This is the large-`n` counterpart of [`Observable`]: the in-place profile
+/// engine never materialises flat indices (for `n ≳ 60` binary players they
+/// do not fit in a `usize`), so its streaming measurements go through this
+/// trait instead.
+pub trait ProfileObservable {
+    /// Evaluates the observable at `profile`.
+    fn evaluate_profile(&self, profile: &[usize]) -> f64;
+
+    /// Name used as a column header.
+    fn name(&self) -> &str;
+}
+
+/// An ad-hoc profile observable from a closure, for experiment binaries and
+/// tests: `NamedObservable::new("magnetisation", |x| ...)`.
+pub struct NamedObservable<F> {
+    label: String,
+    f: F,
+}
+
+impl<F: Fn(&[usize]) -> f64> NamedObservable<F> {
+    /// Wraps `f` under `label`.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        Self {
+            label: label.into(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&[usize]) -> f64> ProfileObservable for NamedObservable<F> {
+    fn evaluate_profile(&self, profile: &[usize]) -> f64 {
+        (self.f)(profile)
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Hamming distance to a reference profile given explicitly (the profile-space
+/// analogue of [`DistanceToProfile`], usable when `|S|` has no flat index).
+pub struct HammingToProfile {
+    reference: Vec<usize>,
+    label: String,
+}
+
+impl HammingToProfile {
+    /// Creates the observable for the given reference profile.
+    pub fn new(reference: Vec<usize>, label: impl Into<String>) -> Self {
+        Self {
+            reference,
+            label: label.into(),
+        }
+    }
+}
+
+impl ProfileObservable for HammingToProfile {
+    fn evaluate_profile(&self, profile: &[usize]) -> f64 {
+        debug_assert_eq!(profile.len(), self.reference.len());
+        profile
+            .iter()
+            .zip(&self.reference)
+            .filter(|(a, b)| a != b)
+            .count() as f64
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
 /// The potential `Φ(x)` of a potential game.
 pub struct PotentialObservable<G: PotentialGame> {
     game: G,
@@ -39,6 +110,15 @@ impl<G: PotentialGame> PotentialObservable<G> {
 impl<G: PotentialGame> Observable for PotentialObservable<G> {
     fn evaluate(&self, space: &ProfileSpace, state: usize) -> f64 {
         self.game.potential(&space.profile_of(state))
+    }
+    fn name(&self) -> &str {
+        "potential"
+    }
+}
+
+impl<G: PotentialGame> ProfileObservable for PotentialObservable<G> {
+    fn evaluate_profile(&self, profile: &[usize]) -> f64 {
+        self.game.potential(profile)
     }
     fn name(&self) -> &str {
         "potential"
@@ -93,6 +173,15 @@ impl Observable for StrategyFraction {
             .filter(|&i| space.strategy_of(state, i) == self.strategy)
             .count() as f64
             / n as f64
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+impl ProfileObservable for StrategyFraction {
+    fn evaluate_profile(&self, profile: &[usize]) -> f64 {
+        profile.iter().filter(|&&s| s == self.strategy).count() as f64 / profile.len() as f64
     }
     fn name(&self) -> &str {
         &self.label
@@ -166,14 +255,16 @@ where
     let per_replica: Vec<Vec<f64>> = (0..replicas)
         .into_par_iter()
         .map(|replica| {
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(seed ^ (replica as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (replica as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            );
+            let mut scratch = crate::dynamics::Scratch::for_game(dynamics.game());
             let mut state = start;
             let mut t = 0u64;
             let mut values = Vec::with_capacity(record_times.len());
             for &target in record_times {
                 while t < target {
-                    state = dynamics.step(state, &mut rng);
+                    state = dynamics.step_indexed(state, &mut scratch, &mut rng);
                     t += 1;
                 }
                 values.push(observable.evaluate(space, state));
@@ -214,7 +305,9 @@ mod tests {
 
         let phi = PotentialObservable::new(game.clone());
         assert_eq!(phi.evaluate(&space, all0), -8.0);
-        assert_eq!(phi.name(), "potential");
+        assert_eq!(Observable::name(&phi), "potential");
+        // The same observable also serves the profile engine.
+        assert_eq!(phi.evaluate_profile(&[0, 0, 0, 0]), -8.0);
 
         let dist = DistanceToProfile::new(all0, "d(all0)");
         assert_eq!(dist.evaluate(&space, all0), 0.0);
@@ -242,10 +335,8 @@ mod tests {
 
     #[test]
     fn mean_potential_relaxes_towards_the_gibbs_value() {
-        let game = GraphicalCoordinationGame::new(
-            GraphBuilder::ring(4),
-            CoordinationGame::symmetric(1.0),
-        );
+        let game =
+            GraphicalCoordinationGame::new(GraphBuilder::ring(4), CoordinationGame::symmetric(1.0));
         let beta = 1.0;
         let dynamics = LogitDynamics::new(game.clone(), beta);
         let obs = PotentialObservable::new(game.clone());
@@ -256,7 +347,10 @@ mod tests {
         let means = series.means();
         // Monotone-ish relaxation towards E_pi[Phi].
         let target = expected_potential(&game, beta);
-        assert!(means[0] > means[3], "mean potential should decrease over time");
+        assert!(
+            means[0] > means[3],
+            "mean potential should decrease over time"
+        );
         assert!(
             (means[3] - target).abs() < 0.15,
             "long-time mean {} should approach the Gibbs expectation {target}",
@@ -277,7 +371,10 @@ mod tests {
         let series = ensemble_time_series(&dynamics, &obs, 0, &[2, 30, 300], 1500, 9);
         let means = series.means();
         assert!(means[2] > means[0]);
-        assert!(means[2] > 0.7, "most players should have adopted by t = 300");
+        assert!(
+            means[2] > 0.7,
+            "most players should have adopted by t = 300"
+        );
     }
 
     #[test]

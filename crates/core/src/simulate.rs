@@ -6,11 +6,19 @@
 //! * [`simulate_trajectory`] — a single trajectory of flat state indices,
 //! * [`Simulator`] — reproducible parallel ensembles of independent replicas
 //!   (rayon work-stealing over replicas, one deterministic ChaCha stream per
-//!   replica so results do not depend on the number of worker threads),
+//!   replica so results do not depend on the number of worker threads). The
+//!   flat-index entry point [`Simulator::run`] serves the exactly-analysable
+//!   games; the in-place entry point [`Simulator::run_profiles`] serves
+//!   large-`n` games whose profile space does not fit a flat index, streaming
+//!   a [`ProfileObservable`](crate::observables::ProfileObservable) every `k`
+//!   steps instead of touching final states only,
+//! * [`EmpiricalLaw`] — the empirical distribution of an observable across
+//!   replicas, the `|S|`-free replacement for the per-state empirical vector,
 //! * empirical-distribution and observable tracking used by the experiments to
 //!   compare the simulated law of `X_t` against the Gibbs measure.
 
-use crate::dynamics::LogitDynamics;
+use crate::dynamics::{LogitDynamics, Scratch};
+use crate::observables::ProfileObservable;
 use logit_games::Game;
 use logit_linalg::stats::RunningStats;
 use logit_linalg::Vector;
@@ -29,14 +37,124 @@ pub fn simulate_trajectory<G: Game, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<usize> {
     assert!(start < dynamics.num_states(), "start state out of range");
+    let mut scratch = Scratch::for_game(dynamics.game());
     let mut out = Vec::with_capacity(steps as usize + 1);
     let mut state = start;
     out.push(state);
     for _ in 0..steps {
-        state = dynamics.step(state, rng);
+        state = dynamics.step_indexed(state, &mut scratch, rng);
         out.push(state);
     }
     out
+}
+
+/// Simulates a single in-place trajectory over profiles, calling `visit`
+/// after every step. The large-`n` analogue of [`simulate_trajectory`]: no
+/// flat indices, no per-step allocation, and the trajectory is not stored —
+/// it is streamed through the callback.
+pub fn simulate_profile_trajectory<G: Game, R: Rng + ?Sized>(
+    dynamics: &LogitDynamics<G>,
+    profile: &mut [usize],
+    steps: u64,
+    rng: &mut R,
+    mut visit: impl FnMut(u64, &[usize], crate::dynamics::StepEvent),
+) {
+    validate_start_profile(dynamics.game(), profile);
+    let mut scratch = Scratch::for_game(dynamics.game());
+    for t in 1..=steps {
+        let event = dynamics.step_profile(profile, &mut scratch, rng);
+        visit(t, profile, event);
+    }
+}
+
+fn validate_start_profile<G: Game>(game: &G, profile: &[usize]) {
+    assert_eq!(
+        profile.len(),
+        game.num_players(),
+        "start profile length must equal the player count"
+    );
+    for (i, &s) in profile.iter().enumerate() {
+        assert!(
+            s < game.num_strategies(i),
+            "start strategy {s} out of range for player {i}"
+        );
+    }
+}
+
+/// The deterministic per-replica stream seed shared by every ensemble entry
+/// point, so the flat and profile engines can be compared replica-by-replica.
+fn replica_seed(seed: u64, replica: usize) -> u64 {
+    seed ^ (replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The empirical law of a scalar observable across replicas.
+///
+/// For games small enough to enumerate, the experiments compare the empirical
+/// *state* distribution against the Gibbs measure; beyond `|S| ≈ usize::MAX`
+/// no such vector exists, and the law of a scalar observable — potential,
+/// magnetisation, adopter fraction — is what remains measurable and
+/// comparable (e.g. across engines, or against theory).
+#[derive(Debug, Clone)]
+pub struct EmpiricalLaw {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalLaw {
+    /// Builds the law from observable samples (one per replica).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN observable sample"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the law has no samples (never true for a constructed law).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("law is non-empty")
+    }
+
+    /// Empirical `q`-quantile (`0 ≤ q ≤ 1`), by the nearest-rank rule.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile order must be in [0, 1]");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Empirical CDF at `x`: the fraction of samples `≤ x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Kolmogorov–Smirnov distance `sup_x |F(x) - G(x)|` to another law —
+    /// the scalar-observable analogue of the total-variation comparisons the
+    /// exact experiments run on state distributions.
+    pub fn ks_distance(&self, other: &EmpiricalLaw) -> f64 {
+        let mut best: f64 = 0.0;
+        for &x in self.sorted.iter().chain(&other.sorted) {
+            best = best.max((self.cdf(x) - other.cdf(x)).abs());
+        }
+        best
+    }
 }
 
 /// Result of an ensemble run.
@@ -60,6 +178,63 @@ impl EnsembleResult {
     /// reference distribution (typically the Gibbs measure).
     pub fn tv_to(&self, reference: &Vector) -> f64 {
         logit_markov::total_variation(&self.empirical, reference)
+    }
+}
+
+/// Result of an in-place profile-ensemble run: a streamed time series of one
+/// observable across replicas, plus its final-time empirical law.
+#[derive(Debug, Clone)]
+pub struct ProfileEnsembleResult {
+    /// Number of replicas simulated.
+    pub replicas: usize,
+    /// Number of steps each replica ran.
+    pub steps: u64,
+    /// Sampling period of the streamed observable.
+    pub sample_every: u64,
+    /// Name of the observable.
+    pub name: String,
+    /// Recorded time steps (multiples of `sample_every`, plus `steps`).
+    pub times: Vec<u64>,
+    /// Statistics across replicas at each recorded step.
+    pub series: Vec<RunningStats>,
+    /// Observable value of every replica at the final step.
+    pub final_values: Vec<f64>,
+}
+
+impl ProfileEnsembleResult {
+    /// Mean of the observable across replicas at each recorded step.
+    pub fn means(&self) -> Vec<f64> {
+        self.series.iter().map(|s| s.mean()).collect()
+    }
+
+    /// The final-time empirical law of the observable across replicas.
+    pub fn law(&self) -> EmpiricalLaw {
+        EmpiricalLaw::from_samples(self.final_values.clone())
+    }
+
+    /// Statistics of the final observable values across replicas.
+    pub fn final_stats(&self) -> RunningStats {
+        let mut stats = RunningStats::new();
+        for &v in &self.final_values {
+            stats.push(v);
+        }
+        stats
+    }
+
+    /// Renders the streamed series as CSV (`t,mean,std_err,min,max`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,mean,std_err,min,max\n");
+        for (t, s) in self.times.iter().zip(&self.series) {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6}\n",
+                t,
+                s.mean(),
+                s.std_err(),
+                s.min(),
+                s.max()
+            ));
+        }
+        out
     }
 }
 
@@ -104,10 +279,11 @@ impl Simulator {
             .into_par_iter()
             .map(|replica| {
                 // Independent, reproducible stream per replica.
-                let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = ChaCha8Rng::seed_from_u64(replica_seed(self.seed, replica));
+                let mut scratch = Scratch::for_game(dynamics.game());
                 let mut state = start;
                 for _ in 0..steps {
-                    state = dynamics.step(state, &mut rng);
+                    state = dynamics.step_indexed(state, &mut scratch, &mut rng);
                 }
                 state
             })
@@ -127,6 +303,81 @@ impl Simulator {
             final_states,
             empirical,
             observable_stats: stats,
+        }
+    }
+
+    /// Runs every replica in place over strategy profiles — the large-`n`
+    /// entry point. Each replica starts from a copy of `start`, steps
+    /// `steps` times with its own deterministic ChaCha stream and reused
+    /// [`Scratch`] buffers, and records `observable` every `sample_every`
+    /// steps (plus at the final step), so the transient is observed as it
+    /// unfolds instead of final states only.
+    ///
+    /// Never builds the flat profile space: games with `n = 10⁵`–`10⁶`
+    /// players run fine. Replica streams use the same seed derivation as
+    /// [`Self::run`], so on small games the two engines agree replica by
+    /// replica.
+    pub fn run_profiles<G, O>(
+        &self,
+        dynamics: &LogitDynamics<G>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        O: ProfileObservable + Sync,
+    {
+        validate_start_profile(dynamics.game(), start);
+        assert!(steps >= 1, "need at least one step");
+        assert!(sample_every >= 1, "sampling period must be at least 1");
+
+        let mut times: Vec<u64> = (1..=steps / sample_every)
+            .map(|k| k * sample_every)
+            .collect();
+        if times.last() != Some(&steps) {
+            times.push(steps);
+        }
+
+        let per_replica: Vec<Vec<f64>> = (0..self.replicas)
+            .into_par_iter()
+            .map(|replica| {
+                let mut rng = ChaCha8Rng::seed_from_u64(replica_seed(self.seed, replica));
+                let mut scratch = Scratch::for_game(dynamics.game());
+                let mut profile = start.to_vec();
+                let mut values = Vec::with_capacity(times.len());
+                let mut t = 0u64;
+                for &target in &times {
+                    while t < target {
+                        dynamics.step_profile(&mut profile, &mut scratch, &mut rng);
+                        t += 1;
+                    }
+                    values.push(observable.evaluate_profile(&profile));
+                }
+                values
+            })
+            .collect();
+
+        let mut series = vec![RunningStats::new(); times.len()];
+        for values in &per_replica {
+            for (k, &v) in values.iter().enumerate() {
+                series[k].push(v);
+            }
+        }
+        let final_values: Vec<f64> = per_replica
+            .iter()
+            .map(|values| *values.last().expect("at least one recording time"))
+            .collect();
+
+        ProfileEnsembleResult {
+            replicas: self.replicas,
+            steps,
+            sample_every,
+            name: observable.name().to_string(),
+            times,
+            series,
+            final_values,
         }
     }
 
@@ -217,10 +468,8 @@ mod tests {
     fn long_runs_approach_the_gibbs_measure() {
         // Small game, moderate beta: after many steps the ensemble law should be
         // close to Gibbs (within sampling noise).
-        let game = GraphicalCoordinationGame::new(
-            GraphBuilder::ring(3),
-            CoordinationGame::symmetric(1.0),
-        );
+        let game =
+            GraphicalCoordinationGame::new(GraphBuilder::ring(3), CoordinationGame::symmetric(1.0));
         let beta = 0.7;
         let d = LogitDynamics::new(game.clone(), beta);
         let pi = gibbs_distribution(&game, beta);
@@ -261,5 +510,120 @@ mod tests {
         let d = LogitDynamics::new(game, 1.0);
         let sim = Simulator::new(1, 10);
         let _ = sim.run(&d, 1000, 10, |_| 0.0);
+    }
+
+    #[test]
+    fn profile_ensemble_matches_flat_ensemble_replica_by_replica() {
+        use crate::observables::PotentialObservable;
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let d = LogitDynamics::new(game.clone(), 0.9);
+        let space = d.space().clone();
+        let sim = Simulator::new(77, 48);
+
+        let flat = sim.run(&d, 0, 60, |idx| game.potential(&space.profile_of(idx)));
+        let obs = PotentialObservable::new(game.clone());
+        let prof = sim.run_profiles(&d, &[0, 0, 0, 0], 60, 60, &obs);
+
+        // Same seeds, same update rule, same draw order: the final observable
+        // values agree exactly, replica by replica.
+        let flat_finals: Vec<f64> = flat
+            .final_states
+            .iter()
+            .map(|&idx| game.potential(&space.profile_of(idx)))
+            .collect();
+        assert_eq!(flat_finals, prof.final_values);
+    }
+
+    #[test]
+    fn streaming_series_has_expected_schedule() {
+        use crate::observables::StrategyFraction;
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(6),
+            CoordinationGame::from_deltas(1.0, 2.0),
+        );
+        let d = LogitDynamics::new(game, 1.2);
+        let sim = Simulator::new(3, 100);
+        let obs = StrategyFraction::new(1, "adopters");
+        let result = sim.run_profiles(&d, &[0; 6], 205, 50, &obs);
+        // Samples at 50, 100, 150, 200 plus the final step 205.
+        assert_eq!(result.times, vec![50, 100, 150, 200, 205]);
+        assert_eq!(result.series.len(), 5);
+        assert!(result.series.iter().all(|s| s.count() == 100));
+        assert_eq!(result.final_values.len(), 100);
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 6);
+        // Risk-dominant strategy 1 gains adopters over time.
+        let means = result.means();
+        assert!(means[4] > means[0]);
+    }
+
+    #[test]
+    fn profile_ensemble_runs_beyond_flat_index_capacity() {
+        use crate::observables::StrategyFraction;
+        // 500 binary players: |S| = 2^500 has no flat index, the profile
+        // ensemble does not care.
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(500),
+            CoordinationGame::from_deltas(3.0, 1.0),
+        );
+        let d = LogitDynamics::new(game, 2.0);
+        let sim = Simulator::new(9, 8);
+        let obs = StrategyFraction::new(0, "zeros");
+        let result = sim.run_profiles(&d, &vec![1usize; 500], 20_000, 5_000, &obs);
+        assert_eq!(result.final_values.len(), 8);
+        // Strategy 0 is risk dominant; from all-ones, zeros should spread.
+        assert!(
+            result.law().mean() > 0.2,
+            "zeros fraction = {}",
+            result.law().mean()
+        );
+    }
+
+    #[test]
+    fn empirical_law_statistics() {
+        let law = EmpiricalLaw::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(law.len(), 4);
+        assert_eq!(law.min(), 1.0);
+        assert_eq!(law.max(), 4.0);
+        assert_eq!(law.mean(), 2.5);
+        assert_eq!(law.quantile(0.5), 2.0);
+        assert_eq!(law.quantile(1.0), 4.0);
+        assert_eq!(law.cdf(2.5), 0.5);
+        assert_eq!(law.cdf(0.0), 0.0);
+        assert_eq!(law.cdf(9.0), 1.0);
+        let same = EmpiricalLaw::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(law.ks_distance(&same), 0.0);
+        let shifted = EmpiricalLaw::from_samples(vec![11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(law.ks_distance(&shifted), 1.0);
+    }
+
+    #[test]
+    fn profile_trajectory_streams_every_step() {
+        let game = WellGame::plateau(5, 1.5);
+        let d = LogitDynamics::new(game, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut profile = vec![0usize; 5];
+        let mut visits = 0u64;
+        simulate_profile_trajectory(&d, &mut profile, 250, &mut rng, |t, p, event| {
+            visits += 1;
+            assert_eq!(t, visits);
+            assert_eq!(p.len(), 5);
+            assert_eq!(p[event.player], event.new_strategy);
+        });
+        assert_eq!(visits, 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn wrong_profile_length_rejected() {
+        use crate::observables::StrategyFraction;
+        let game = WellGame::plateau(4, 1.0);
+        let d = LogitDynamics::new(game, 1.0);
+        let sim = Simulator::new(1, 4);
+        let obs = StrategyFraction::new(0, "zeros");
+        let _ = sim.run_profiles(&d, &[0, 0], 10, 5, &obs);
     }
 }

@@ -1,6 +1,7 @@
 //! Property-based tests for the logit dynamics itself.
 
-use logit_core::{gibbs_distribution, zeta, zeta_brute_force, LogitDynamics};
+use logit_core::observables::PotentialObservable;
+use logit_core::{gibbs_distribution, zeta, zeta_brute_force, LogitDynamics, Scratch, Simulator};
 use logit_games::{Game, PotentialGame, TablePotentialGame};
 use logit_markov::{stationary_distribution, total_variation};
 use proptest::prelude::*;
@@ -85,6 +86,108 @@ proptest! {
         // ζ is at most ΔΦ and at least 0.
         prop_assert!(fast >= -1e-12);
         prop_assert!(fast <= game.max_global_variation() + 1e-9);
+    }
+
+    /// Engine equivalence, trajectory level: the in-place profile engine and
+    /// the flat-index engine consume the RNG stream identically, so from the
+    /// same seed they walk the same trajectory — on any random potential
+    /// game, any β, any start profile.
+    #[test]
+    fn engines_walk_identical_trajectories(
+        seed in 0u64..10_000,
+        beta in 0.0f64..4.0,
+        start_raw in 0usize..1000,
+    ) {
+        let mut game_rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 3, 2], 3.0, &mut game_rng);
+        let d = LogitDynamics::new(game, beta);
+        let space = d.space().clone();
+        let start = start_raw % space.size();
+
+        let mut rng_flat = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut rng_prof = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut scratch = Scratch::for_game(d.game());
+        let mut state = start;
+        let mut profile = space.profile_of(start);
+        for _ in 0..120 {
+            state = d.step(state, &mut rng_flat);
+            d.step_profile(&mut profile, &mut scratch, &mut rng_prof);
+            prop_assert_eq!(space.index_of(&profile), state);
+        }
+    }
+
+    /// Engine equivalence, ensemble level: `Simulator::run` (flat) and
+    /// `Simulator::run_profiles` (in-place) derive identical per-replica
+    /// streams, so the final-time empirical observable laws agree exactly —
+    /// a far stronger property than the sampling-tolerance agreement any
+    /// correct pair of engines would show.
+    #[test]
+    fn ensemble_empirical_laws_agree(seed in 0u64..10_000, beta in 0.0f64..3.0) {
+        let mut game_rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 2, 3], 2.0, &mut game_rng);
+        let d = LogitDynamics::new(game.clone(), beta);
+        let space = d.space().clone();
+        let sim = Simulator::new(seed ^ 0x5117, 32);
+
+        let flat = sim.run(&d, 0, 40, |idx| game.potential(&space.profile_of(idx)));
+        let obs = PotentialObservable::new(game.clone());
+        let start = space.profile_of(0);
+        let prof = sim.run_profiles(&d, &start, 40, 10, &obs);
+
+        let flat_finals: Vec<f64> = flat
+            .final_states
+            .iter()
+            .map(|&idx| game.potential(&space.profile_of(idx)))
+            .collect();
+        prop_assert_eq!(&flat_finals, &prof.final_values);
+        // And through the law abstraction: KS distance exactly zero.
+        let flat_law = logit_core::EmpiricalLaw::from_samples(flat_finals);
+        prop_assert!(prof.law().ks_distance(&flat_law) == 0.0);
+    }
+
+    /// The batch utilities hook agrees with per-strategy utility calls on
+    /// arbitrary games (the default implementation and any override).
+    #[test]
+    fn utilities_for_matches_pointwise_utilities(seed in 0u64..10_000, profile_raw in 0usize..1000) {
+        let mut game_rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![3, 2, 2], 2.0, &mut game_rng);
+        let space = game.profile_space();
+        let mut profile = space.profile_of(profile_raw % space.size());
+        for player in 0..game.num_players() {
+            let m = game.num_strategies(player);
+            let mut out = vec![0.0; m];
+            let before = profile.clone();
+            game.utilities_for(player, &mut profile, &mut out);
+            prop_assert_eq!(&before, &profile, "profile must be restored");
+            for (s, &u) in out.iter().enumerate() {
+                let mut varied = profile.clone();
+                varied[player] = s;
+                prop_assert!((u - game.utility(player, &varied)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The streamed time series of the profile ensemble is internally
+    /// consistent: one stat per recorded time, every stat over all replicas,
+    /// and the last series entry matches the final-value law.
+    #[test]
+    fn streaming_series_is_consistent(seed in 0u64..10_000, beta in 0.0f64..2.0) {
+        let mut game_rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 2, 2], 2.0, &mut game_rng);
+        let d = LogitDynamics::new(game.clone(), beta);
+        let obs = PotentialObservable::new(game.clone());
+        let sim = Simulator::new(seed, 16);
+        let result = sim.run_profiles(&d, &[0, 0, 0], 33, 10, &obs);
+        prop_assert_eq!(&result.times, &vec![10u64, 20, 30, 33]);
+        prop_assert_eq!(result.series.len(), result.times.len());
+        for stats in &result.series {
+            prop_assert_eq!(stats.count(), 16);
+        }
+        let last = result.series.last().unwrap();
+        let law = result.law();
+        prop_assert!((last.mean() - law.mean()).abs() < 1e-12);
+        prop_assert!((last.min() - law.min()).abs() < 1e-12);
+        prop_assert!((last.max() - law.max()).abs() < 1e-12);
     }
 
     /// Monotonicity of the Gibbs measure: raising β can only move mass towards

@@ -82,7 +82,8 @@ pub fn is_dominant_strategy<G: Game>(game: &G, player: usize, strategy: usize) -
 pub fn find_dominant_profile<G: Game>(game: &G) -> Option<Vec<usize>> {
     let mut profile = Vec::with_capacity(game.num_players());
     for player in 0..game.num_players() {
-        let s = (0..game.num_strategies(player)).find(|&s| is_dominant_strategy(game, player, s))?;
+        let s =
+            (0..game.num_strategies(player)).find(|&s| is_dominant_strategy(game, player, s))?;
         profile.push(s);
     }
     Some(profile)
@@ -127,7 +128,11 @@ pub fn social_welfare<G: Game>(game: &G, profile: &[usize]) -> f64 {
 /// The best-response profile-improvement step: returns a profile obtained from
 /// `profile` by letting `player` switch to (the smallest of) her best responses,
 /// together with whether this strictly improved her utility.
-pub fn best_response_step<G: Game>(game: &G, player: usize, profile: &[usize]) -> (Vec<usize>, bool) {
+pub fn best_response_step<G: Game>(
+    game: &G,
+    player: usize,
+    profile: &[usize],
+) -> (Vec<usize>, bool) {
     let responses = best_responses(game, player, profile);
     let target = responses[0];
     let mut next = profile.to_vec();

@@ -12,22 +12,42 @@
 //! cost convention.
 
 use crate::game::{Game, PotentialGame};
+use std::sync::OnceLock;
 
 /// A congestion game in explicit form.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CongestionGame {
     num_resources: usize,
     /// `delays[r][k-1]` is the delay of resource `r` when `k` players use it.
     delays: Vec<Vec<f64>>,
     /// `strategies[i][s]` is the set of resources (as indices) of strategy `s` of player `i`.
     strategies: Vec<Vec<Vec<usize>>>,
+    /// Lazily computed `adjacency[i]`: the sorted players `j != i` that can
+    /// share a resource with `i` under some strategy pair — the interaction
+    /// neighbourhood backing the `LocalGame` impl. Derived from `strategies`;
+    /// computed on first use because it is Θ(Σ_r |users(r)|²) and dense games
+    /// (e.g. load balancing at large `n`) never need it to simulate.
+    adjacency: OnceLock<Vec<Vec<usize>>>,
+}
+
+/// Equality is over the game data (`delays`, `strategies`); the lazily cached
+/// adjacency is derived from them and deliberately excluded.
+impl PartialEq for CongestionGame {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_resources == other.num_resources
+            && self.delays == other.delays
+            && self.strategies == other.strategies
+    }
 }
 
 impl CongestionGame {
     /// Creates a congestion game.
     ///
     /// * `delays[r]` must have one entry per possible load (i.e. at least `n` entries).
-    /// * Every player needs at least one strategy; resource indices must be in range.
+    /// * Every player needs at least one strategy; resource indices must be in
+    ///   range, and a strategy is a *set* of resources — duplicates within one
+    ///   strategy are rejected (the cost and potential formulas both count a
+    ///   resource once).
     pub fn new(delays: Vec<Vec<f64>>, strategies: Vec<Vec<Vec<usize>>>) -> Self {
         let num_resources = delays.len();
         let n = strategies.len();
@@ -38,19 +58,64 @@ impl CongestionGame {
                 "resource {r} needs a delay value for every load up to n={n}"
             );
         }
+        // `seen[r]` holds the tag of the last strategy that listed `r`; a
+        // repeat within one strategy means a duplicate resource.
+        let mut seen = vec![usize::MAX; num_resources];
+        let mut tag = 0usize;
         for (i, strats) in strategies.iter().enumerate() {
             assert!(!strats.is_empty(), "player {i} needs at least one strategy");
-            for strat in strats {
+            for (s, strat) in strats.iter().enumerate() {
                 for &r in strat {
-                    assert!(r < num_resources, "player {i} references resource {r} out of range");
+                    assert!(
+                        r < num_resources,
+                        "player {i} references resource {r} out of range"
+                    );
+                    assert!(
+                        seen[r] != tag,
+                        "player {i} strategy {s} lists resource {r} twice (strategies are resource sets)"
+                    );
+                    seen[r] = tag;
                 }
+                tag += 1;
             }
         }
         Self {
             num_resources,
             delays,
             strategies,
+            adjacency: OnceLock::new(),
         }
+    }
+
+    /// Builds the interaction adjacency: players are adjacent when some
+    /// resource appears in a strategy of each.
+    fn build_adjacency(&self) -> Vec<Vec<usize>> {
+        let n = self.strategies.len();
+        let mut users_of: Vec<Vec<usize>> = vec![Vec::new(); self.num_resources];
+        for (i, strats) in self.strategies.iter().enumerate() {
+            for strat in strats {
+                for &r in strat {
+                    if users_of[r].last() != Some(&i) {
+                        users_of[r].push(i);
+                    }
+                }
+            }
+        }
+        let mut adjacency: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); n];
+        for users in &users_of {
+            for &i in users {
+                for &j in users {
+                    if i != j {
+                        adjacency[i].insert(j);
+                    }
+                }
+            }
+        }
+        adjacency
+            .into_iter()
+            .map(|set| set.into_iter().collect())
+            .collect()
     }
 
     /// A symmetric singleton congestion game ("load balancing"): `n` players each
@@ -59,9 +124,7 @@ impl CongestionGame {
         let delays = (0..m)
             .map(|_| (1..=n).map(|k| slope * k as f64).collect())
             .collect();
-        let strategies = (0..n)
-            .map(|_| (0..m).map(|r| vec![r]).collect())
-            .collect();
+        let strategies = (0..n).map(|_| (0..m).map(|r| vec![r]).collect()).collect();
         Self::new(delays, strategies)
     }
 
@@ -79,6 +142,16 @@ impl CongestionGame {
             }
         }
         load
+    }
+
+    /// The players that can share a resource with `player` (her interaction
+    /// neighbourhood; see the `LocalGame` impl in [`crate::local`]).
+    ///
+    /// The full adjacency is computed on first call and cached; games that
+    /// only simulate (which needs `utilities_for`, not neighbourhoods) never
+    /// pay for it.
+    pub fn interaction_neighbors(&self, player: usize) -> &[usize] {
+        &self.adjacency.get_or_init(|| self.build_adjacency())[player]
     }
 
     /// Cost (total delay) incurred by `player` in `profile`.
@@ -102,6 +175,22 @@ impl Game for CongestionGame {
 
     fn utility(&self, player: usize, profile: &[usize]) -> f64 {
         -self.cost(player, profile)
+    }
+
+    fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.strategies[player].len());
+        // Compute the loads once with `player` removed, then price every
+        // candidate strategy against them: O(n + Σ_s |strategy s|) instead of
+        // the default's O(m · n).
+        let mut load = self.loads(profile);
+        for &r in &self.strategies[player][profile[player]] {
+            load[r] -= 1;
+        }
+        for (slot, strat) in out.iter_mut().zip(&self.strategies[player]) {
+            // Joining resource r raises its load to load[r] + 1, whose delay
+            // lives at index load[r].
+            *slot = -strat.iter().map(|&r| self.delays[r][load[r]]).sum::<f64>();
+        }
     }
 }
 
@@ -140,7 +229,11 @@ mod tests {
         assert!(verify_exact_potential(&g, 1e-12));
 
         // An asymmetric game with multi-resource strategies.
-        let delays = vec![vec![1.0, 3.0, 6.0], vec![2.0, 2.5, 3.0], vec![0.5, 4.0, 9.0]];
+        let delays = vec![
+            vec![1.0, 3.0, 6.0],
+            vec![2.0, 2.5, 3.0],
+            vec![0.5, 4.0, 9.0],
+        ];
         let strategies = vec![
             vec![vec![0], vec![1, 2]],
             vec![vec![0, 1], vec![2]],
@@ -182,5 +275,48 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_resource_rejected() {
         let _ = CongestionGame::new(vec![vec![1.0, 2.0]], vec![vec![vec![1]], vec![vec![0]]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_resource_within_a_strategy_rejected() {
+        // [0, 0] would make `utilities_for` and `utility` disagree on the
+        // marginal load, so it is rejected up front.
+        let _ = CongestionGame::new(
+            vec![vec![1.0, 2.0], vec![1.0, 2.0]],
+            vec![vec![vec![0, 0], vec![1]], vec![vec![1]]],
+        );
+    }
+
+    #[test]
+    fn same_resource_in_different_strategies_is_fine() {
+        let g = CongestionGame::new(
+            vec![vec![1.0, 2.0], vec![1.0, 2.0]],
+            vec![vec![vec![0], vec![0, 1]], vec![vec![1]]],
+        );
+        assert_eq!(g.num_players(), 2);
+        assert_eq!(g.interaction_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn dense_game_construction_is_cheap_without_neighbourhood_queries() {
+        // Every player shares machines with every other: the O(n^2) adjacency
+        // must not be built unless asked for. 50k players construct instantly
+        // and simulate through utilities_for; only neighbours would be dense.
+        let n = 50_000;
+        let g = CongestionGame::load_balancing(n, 2, 1.0);
+        let mut profile = vec![0usize; n];
+        let mut out = [0.0, 0.0];
+        g.utilities_for(0, &mut profile, &mut out);
+        assert_eq!(out[0], -(n as f64));
+        assert_eq!(out[1], -1.0);
+    }
+
+    #[test]
+    fn equality_ignores_the_adjacency_cache() {
+        let a = CongestionGame::load_balancing(3, 2, 1.0);
+        let b = CongestionGame::load_balancing(3, 2, 1.0);
+        let _ = a.interaction_neighbors(0); // warm a's cache, not b's
+        assert_eq!(a, b);
     }
 }

@@ -89,7 +89,10 @@ pub struct BonusDominantGame {
 impl BonusDominantGame {
     /// Creates the game; `bonus` must be positive so strategy `0` is strictly dominant.
     pub fn new(n: usize, m: usize, bonus: f64) -> Self {
-        assert!(n >= 1 && m >= 2, "need at least one player and two strategies");
+        assert!(
+            n >= 1 && m >= 2,
+            "need at least one player and two strategies"
+        );
         assert!(bonus > 0.0, "the dominant-strategy bonus must be positive");
         Self { n, m, bonus }
     }

@@ -17,6 +17,27 @@ pub trait Game {
     /// Utility (payoff) of `player` in `profile`.
     fn utility(&self, player: usize, profile: &[usize]) -> f64;
 
+    /// Batch evaluation: writes `u_i(s, x_{-i})` for every strategy `s` of
+    /// `player` into `out` (`out.len()` must equal `num_strategies(player)`).
+    ///
+    /// This is the hot hook of the simulation engine: the softmax logits of
+    /// the logit update (eq. 2) need the utilities of *all* of a player's
+    /// strategies with the opponents fixed, and computing them through
+    /// repeated [`Game::utility`] calls forces either a cloned profile per
+    /// call or `m` temporary mutations. The default implementation mutates
+    /// `profile[player]` in place and restores it, so it allocates nothing;
+    /// concrete games override it when they can share work across strategies
+    /// (e.g. counting neighbour strategies once for all `s`).
+    fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.num_strategies(player));
+        let saved = profile[player];
+        for (s, slot) in out.iter_mut().enumerate() {
+            profile[player] = s;
+            *slot = self.utility(player, profile);
+        }
+        profile[player] = saved;
+    }
+
     /// The profile space `S = S₁ × ⋯ × Sₙ` of the game.
     fn profile_space(&self) -> ProfileSpace {
         ProfileSpace::new(
@@ -124,6 +145,9 @@ impl<G: Game + ?Sized> Game for &G {
     }
     fn utility(&self, player: usize, profile: &[usize]) -> f64 {
         (**self).utility(player, profile)
+    }
+    fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        (**self).utilities_for(player, profile, out)
     }
 }
 

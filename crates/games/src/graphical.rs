@@ -27,7 +27,10 @@ impl GraphicalCoordinationGame {
     /// # Panics
     /// Panics when the graph has no vertices (a game needs at least one player).
     pub fn new(graph: Graph, base: CoordinationGame) -> Self {
-        assert!(graph.num_vertices() > 0, "the social graph needs at least one player");
+        assert!(
+            graph.num_vertices() > 0,
+            "the social graph needs at least one player"
+        );
         Self { graph, base }
     }
 
@@ -78,6 +81,18 @@ impl Game for GraphicalCoordinationGame {
             .iter()
             .map(|&j| self.base.payoff(profile[player], profile[j]))
             .sum()
+    }
+
+    fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), 2);
+        // One pass over the neighbourhood serves both strategies: only the
+        // counts of neighbours on each side matter.
+        let neighbors = self.graph.neighbors(player);
+        let ones: usize = neighbors.iter().map(|&j| profile[j]).sum();
+        let zeros = (neighbors.len() - ones) as f64;
+        let ones = ones as f64;
+        out[0] = zeros * self.base.payoff(0, 0) + ones * self.base.payoff(0, 1);
+        out[1] = zeros * self.base.payoff(1, 0) + ones * self.base.payoff(1, 1);
     }
 }
 

@@ -97,6 +97,19 @@ impl Game for IsingGame {
             .sum();
         self.coupling * si * neighbour_sum + self.field * si
     }
+
+    fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), 2);
+        // The neighbour spin sum is shared by both candidate spins.
+        let neighbour_sum: f64 = self
+            .graph
+            .neighbors(player)
+            .iter()
+            .map(|&j| Self::spin(profile[j]))
+            .sum();
+        out[0] = -(self.coupling * neighbour_sum + self.field);
+        out[1] = self.coupling * neighbour_sum + self.field;
+    }
 }
 
 impl PotentialGame for IsingGame {

@@ -30,7 +30,10 @@
 //!
 //! [`analysis`] provides best responses, pure Nash equilibria, dominant-strategy
 //! detection and exact-potential verification; [`profile`] provides the
-//! mixed-radix profile space shared with the Markov-chain layer.
+//! mixed-radix profile space shared with the Markov-chain layer; [`local`]
+//! provides the [`local::LocalGame`] locality contract (bounded interaction
+//! neighbourhoods) that the large-`n` in-place simulation engine in
+//! `logit-core` builds on.
 
 pub mod analysis;
 pub mod congestion;
@@ -39,6 +42,7 @@ pub mod dominant;
 pub mod game;
 pub mod graphical;
 pub mod ising;
+pub mod local;
 pub mod matrix_game;
 pub mod profile;
 pub mod table;
@@ -54,6 +58,7 @@ pub use dominant::AllZeroDominantGame;
 pub use game::{Game, PotentialGame};
 pub use graphical::GraphicalCoordinationGame;
 pub use ising::IsingGame;
+pub use local::LocalGame;
 pub use matrix_game::TwoPlayerGame;
 pub use profile::ProfileSpace;
 pub use table::{TableGame, TablePotentialGame};

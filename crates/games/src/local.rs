@@ -1,0 +1,173 @@
+//! Locality structure of games: the [`LocalGame`] trait.
+//!
+//! In every game the paper simulates at scale, a player's utility depends
+//! only on her own strategy and the strategies of a small *neighbourhood* —
+//! graph neighbours for graphical coordination and Ising games, players
+//! sharing a resource for congestion games. The flat-index simulation engine
+//! cannot exploit this (decoding a flat state index is `O(n)` and the index
+//! itself overflows `usize` beyond ~60 binary players); the in-place profile
+//! engine in `logit-core` can: one logit update of a [`LocalGame`] costs
+//! `O(|S_i| + deg(i))` work, independent of both `n` and `|S|`.
+//!
+//! The contract: `utility(i, x)` and `utilities_for(i, x, out)` read only
+//! `x[i]` and `x[j]` for `j ∈ neighbors_of(i)`. The proptest suite checks
+//! this by perturbing strategies outside the neighbourhood.
+
+use crate::congestion::CongestionGame;
+use crate::game::Game;
+use crate::graphical::GraphicalCoordinationGame;
+use crate::ising::IsingGame;
+
+/// A game whose utilities have bounded-neighbourhood locality.
+pub trait LocalGame: Game {
+    /// The players (other than `player`) whose strategies can affect
+    /// `player`'s utility.
+    fn neighbors_of(&self, player: usize) -> &[usize];
+
+    /// Size of `player`'s neighbourhood.
+    fn degree(&self, player: usize) -> usize {
+        self.neighbors_of(player).len()
+    }
+
+    /// Largest neighbourhood size over all players (used to size scratch
+    /// buffers and bound per-step cost).
+    fn max_degree(&self) -> usize {
+        (0..self.num_players())
+            .map(|i| self.degree(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Upper bound on the cost of one logit update of any player:
+    /// `max_i (|S_i| + deg(i))`.
+    fn step_cost_bound(&self) -> usize {
+        (0..self.num_players())
+            .map(|i| self.num_strategies(i) + self.degree(i))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<G: LocalGame + ?Sized> LocalGame for &G {
+    fn neighbors_of(&self, player: usize) -> &[usize] {
+        (**self).neighbors_of(player)
+    }
+}
+
+impl LocalGame for GraphicalCoordinationGame {
+    fn neighbors_of(&self, player: usize) -> &[usize] {
+        self.graph().neighbors(player)
+    }
+}
+
+impl LocalGame for IsingGame {
+    fn neighbors_of(&self, player: usize) -> &[usize] {
+        self.graph().neighbors(player)
+    }
+}
+
+impl LocalGame for CongestionGame {
+    fn neighbors_of(&self, player: usize) -> &[usize] {
+        self.interaction_neighbors(player)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordination::CoordinationGame;
+    use logit_graphs::GraphBuilder;
+
+    /// Changing a strategy outside `neighbors_of(i)` must not change
+    /// `utility(i, ·)` — the defining property of the trait.
+    fn check_locality<G: LocalGame>(game: &G) {
+        let n = game.num_players();
+        let mut profile = vec![0usize; n];
+        for player in 0..n {
+            let local: std::collections::BTreeSet<usize> =
+                game.neighbors_of(player).iter().copied().collect();
+            assert!(
+                !local.contains(&player),
+                "a player is not her own neighbour"
+            );
+            let base = game.utility(player, &profile);
+            for other in 0..n {
+                if other == player || local.contains(&other) {
+                    continue;
+                }
+                for s in 0..game.num_strategies(other) {
+                    let saved = profile[other];
+                    profile[other] = s;
+                    assert_eq!(
+                        game.utility(player, &profile),
+                        base,
+                        "utility of {player} changed when non-neighbour {other} moved"
+                    );
+                    profile[other] = saved;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graphical_and_ising_neighbourhoods_are_graph_neighbours() {
+        let graph = GraphBuilder::ring(6);
+        let coord = GraphicalCoordinationGame::new(graph.clone(), CoordinationGame::symmetric(1.0));
+        let ising = IsingGame::zero_field(graph.clone(), 0.5);
+        for v in 0..6 {
+            assert_eq!(coord.neighbors_of(v), graph.neighbors(v));
+            assert_eq!(ising.neighbors_of(v), graph.neighbors(v));
+        }
+        assert_eq!(coord.max_degree(), 2);
+        assert_eq!(coord.step_cost_bound(), 4);
+        check_locality(&coord);
+        check_locality(&ising);
+    }
+
+    #[test]
+    fn star_degrees() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::star(5),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        // The hub interacts with everyone, the leaves only with the hub.
+        let degrees: Vec<usize> = (0..5).map(|v| game.degree(v)).collect();
+        assert_eq!(degrees.iter().max(), Some(&4));
+        assert_eq!(game.max_degree(), 4);
+        check_locality(&game);
+    }
+
+    #[test]
+    fn congestion_neighbourhood_is_resource_sharing() {
+        // Players 0 and 1 can share machine 0; player 2 is isolated on machine 1.
+        let delays = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]];
+        let strategies = vec![vec![vec![0]], vec![vec![0]], vec![vec![1]]];
+        let game = CongestionGame::new(delays, strategies);
+        assert_eq!(game.neighbors_of(0), &[1]);
+        assert_eq!(game.neighbors_of(1), &[0]);
+        assert_eq!(game.neighbors_of(2), &[] as &[usize]);
+        check_locality(&game);
+    }
+
+    #[test]
+    fn load_balancing_is_fully_coupled() {
+        let game = CongestionGame::load_balancing(4, 2, 1.0);
+        for i in 0..4 {
+            assert_eq!(
+                game.degree(i),
+                3,
+                "every player shares machines with all others"
+            );
+        }
+        check_locality(&game);
+    }
+
+    #[test]
+    fn reference_delegation() {
+        let game =
+            GraphicalCoordinationGame::new(GraphBuilder::path(4), CoordinationGame::symmetric(1.0));
+        let r = &game;
+        assert_eq!(r.neighbors_of(1), game.neighbors_of(1));
+        assert_eq!(r.max_degree(), 2);
+    }
+}

@@ -106,7 +106,12 @@ mod tests {
 
     #[test]
     fn payoff_lookup() {
-        let g = TwoPlayerGame::new(2, 3, vec![1., 2., 3., 4., 5., 6.], vec![6., 5., 4., 3., 2., 1.]);
+        let g = TwoPlayerGame::new(
+            2,
+            3,
+            vec![1., 2., 3., 4., 5., 6.],
+            vec![6., 5., 4., 3., 2., 1.],
+        );
         assert_eq!(g.num_strategies(0), 2);
         assert_eq!(g.num_strategies(1), 3);
         assert_eq!(g.utility(0, &[1, 2]), 6.0);

@@ -83,7 +83,10 @@ impl ProfileSpace {
         debug_assert_eq!(profile.len(), self.sizes.len(), "profile length mismatch");
         let mut idx = 0usize;
         for (i, (&x, &stride)) in profile.iter().zip(&self.strides).enumerate() {
-            debug_assert!(x < self.sizes[i], "strategy {x} out of range for player {i}");
+            debug_assert!(
+                x < self.sizes[i],
+                "strategy {x} out of range for player {i}"
+            );
             idx += x * stride;
         }
         idx

@@ -63,7 +63,11 @@ impl TableGame {
     pub fn random<R: Rng + ?Sized>(sizes: Vec<usize>, rng: &mut R) -> Self {
         let space = ProfileSpace::new(sizes);
         let utilities = (0..space.num_players())
-            .map(|_| (0..space.size()).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .map(|_| {
+                (0..space.size())
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect()
+            })
             .collect();
         Self { space, utilities }
     }
@@ -104,7 +108,11 @@ impl TablePotentialGame {
     /// # Panics
     /// Panics when the table size does not match the profile space.
     pub fn new(space: ProfileSpace, potential: Vec<f64>) -> Self {
-        assert_eq!(potential.len(), space.size(), "potential table size mismatch");
+        assert_eq!(
+            potential.len(),
+            space.size(),
+            "potential table size mismatch"
+        );
         assert!(
             potential.iter().all(|p| p.is_finite()),
             "potential values must be finite"
@@ -128,7 +136,9 @@ impl TablePotentialGame {
     /// A random potential game: potential values i.i.d. uniform on `[0, scale]`.
     pub fn random<R: Rng + ?Sized>(sizes: Vec<usize>, scale: f64, rng: &mut R) -> Self {
         let space = ProfileSpace::new(sizes);
-        let potential = (0..space.size()).map(|_| rng.gen_range(0.0..scale)).collect();
+        let potential = (0..space.size())
+            .map(|_| rng.gen_range(0.0..scale))
+            .collect();
         Self::new(space, potential)
     }
 

@@ -54,8 +54,8 @@ pub fn cutwidth_of_ordering(g: &Graph, ordering: &VertexOrdering) -> usize {
     }
     let mut max = 0isize;
     let mut cur = 0isize;
-    for k in 1..n {
-        cur += crossing[k];
+    for &delta in crossing.iter().take(n).skip(1) {
+        cur += delta;
         max = max.max(cur);
     }
     max as usize
@@ -150,7 +150,11 @@ pub fn cutwidth_exact(g: &Graph) -> CutwidthResult {
 /// minimises the resulting running cut, breaking ties towards vertices with more
 /// already-placed neighbours) from several random starts, then improves it with
 /// adjacent-position swaps until no swap helps.
-pub fn cutwidth_heuristic<R: Rng + ?Sized>(g: &Graph, rng: &mut R, restarts: usize) -> CutwidthResult {
+pub fn cutwidth_heuristic<R: Rng + ?Sized>(
+    g: &Graph,
+    rng: &mut R,
+    restarts: usize,
+) -> CutwidthResult {
     let n = g.num_vertices();
     if n == 0 {
         return CutwidthResult {
@@ -281,8 +285,14 @@ mod tests {
 
     #[test]
     fn exact_matches_closed_forms() {
-        assert_eq!(cutwidth_exact(&GraphBuilder::path(7)).cutwidth, closed_forms::path(7));
-        assert_eq!(cutwidth_exact(&GraphBuilder::ring(7)).cutwidth, closed_forms::ring(7));
+        assert_eq!(
+            cutwidth_exact(&GraphBuilder::path(7)).cutwidth,
+            closed_forms::path(7)
+        );
+        assert_eq!(
+            cutwidth_exact(&GraphBuilder::ring(7)).cutwidth,
+            closed_forms::ring(7)
+        );
         for n in 2..8 {
             assert_eq!(
                 cutwidth_exact(&GraphBuilder::clique(n)).cutwidth,

@@ -225,7 +225,7 @@ mod tests {
         let set = vec![true, true, false, false];
         assert_eq!(g.cut_size(&set), 2);
         // Whole graph on one side: no crossing edges.
-        assert_eq!(g.cut_size(&vec![true; 4]), 0);
+        assert_eq!(g.cut_size(&[true; 4]), 0);
     }
 
     #[test]

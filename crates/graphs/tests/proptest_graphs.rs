@@ -1,9 +1,9 @@
 //! Property-based tests for the graph substrate.
 
-use logit_graphs::{
-    cutwidth_exact, cutwidth_heuristic, cutwidth_of_ordering, GraphBuilder, Graph, VertexOrdering,
-};
 use logit_graphs::traversal::{bfs_distances, connected_components, is_connected};
+use logit_graphs::{
+    cutwidth_exact, cutwidth_heuristic, cutwidth_of_ordering, Graph, GraphBuilder, VertexOrdering,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -65,8 +65,7 @@ impl CsrBuilder {
 
     /// Finalises the builder into a [`CsrMatrix`].
     pub fn build(mut self) -> CsrMatrix {
-        self.triplets
-            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.triplets.sort_by_key(|a| (a.0, a.1));
         let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.nrows];
         for (r, c, v) in self.triplets {
             match rows[r].last_mut() {
@@ -252,7 +251,10 @@ mod tests {
 
     #[test]
     fn from_rows_merges_duplicates_and_sorts() {
-        let s = CsrMatrix::from_rows(3, vec![vec![(2, 1.0), (0, 0.5), (2, 0.5)], vec![], vec![(1, 2.0)]]);
+        let s = CsrMatrix::from_rows(
+            3,
+            vec![vec![(2, 1.0), (0, 0.5), (2, 0.5)], vec![], vec![(1, 2.0)]],
+        );
         assert_eq!(s.get(0, 2), 1.5);
         assert_eq!(s.get(0, 0), 0.5);
         assert_eq!(s.get(1, 1), 0.0);

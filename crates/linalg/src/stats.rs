@@ -98,7 +98,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "linear_fit: x values are all identical");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         slope,
         intercept,
@@ -276,7 +280,14 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 3.0 * x - 2.0 + if x as u64 % 2 == 0 { 0.1 } else { -0.1 })
+            .map(|&x| {
+                3.0 * x - 2.0
+                    + if (x as u64).is_multiple_of(2) {
+                        0.1
+                    } else {
+                        -0.1
+                    }
+            })
             .collect();
         let f = linear_fit(&xs, &ys);
         assert!((f.slope - 3.0).abs() < 0.01);

@@ -29,8 +29,8 @@ pub fn bottleneck_ratio(chain: &MarkovChain, pi: &Vector, r: &[usize]) -> f64 {
     assert!(mass > 0.0, "bottleneck set has zero stationary mass");
     let mut flow = 0.0;
     for &x in r {
-        for y in 0..n {
-            if !in_r[y] {
+        for (y, &inside) in in_r.iter().enumerate() {
+            if !inside {
                 flow += chain.edge_measure(pi, x, y);
             }
         }
@@ -122,7 +122,9 @@ mod tests {
     fn lower_bound_is_actually_below_mixing_time() {
         let chain = two_state(0.02, 0.05);
         let pi = stationary_distribution(&chain);
-        let t_mix = mixing_time_quarter(&chain, &pi, 1 << 30).unwrap().mixing_time as f64;
+        let t_mix = mixing_time_quarter(&chain, &pi, 1 << 30)
+            .unwrap()
+            .mixing_time as f64;
         // π(0) = 5/7 > 1/2, so use R = {1}.
         let lb = bottleneck_lower_bound(&chain, &pi, &[1], 0.25);
         assert!(lb <= t_mix + 1.0, "lower bound {lb} vs mixing time {t_mix}");
@@ -155,7 +157,10 @@ mod tests {
         let mut sorted = set.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1]);
-        assert!(ratio < 0.01, "the weak link should yield a tiny ratio, got {ratio}");
+        assert!(
+            ratio < 0.01,
+            "the weak link should yield a tiny ratio, got {ratio}"
+        );
     }
 
     #[test]

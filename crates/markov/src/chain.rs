@@ -69,9 +69,9 @@ impl MarkovChain {
         let mut stack = vec![start];
         seen[start] = true;
         while let Some(x) = stack.pop() {
-            for y in 0..n {
-                if !seen[y] && self.p[(x, y)] > 0.0 {
-                    seen[y] = true;
+            for (y, seen_y) in seen.iter_mut().enumerate() {
+                if !*seen_y && self.p[(x, y)] > 0.0 {
+                    *seen_y = true;
                     stack.push(y);
                 }
             }
@@ -85,9 +85,9 @@ impl MarkovChain {
         let mut stack = vec![start];
         seen[start] = true;
         while let Some(x) = stack.pop() {
-            for y in 0..n {
-                if !seen[y] && self.p[(y, x)] > 0.0 {
-                    seen[y] = true;
+            for (y, seen_y) in seen.iter_mut().enumerate() {
+                if !*seen_y && self.p[(y, x)] > 0.0 {
+                    *seen_y = true;
                     stack.push(y);
                 }
             }

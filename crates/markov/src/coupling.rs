@@ -81,10 +81,7 @@ pub fn coupling_mixing_upper_bound(
     assert!(!times.is_empty());
     assert!((0.0..1.0).contains(&quantile_level) || quantile_level == 1.0);
     let censored = times.iter().filter(|t| t.is_none()).count();
-    let mut values: Vec<u64> = times
-        .iter()
-        .map(|t| t.unwrap_or(max_steps + 1))
-        .collect();
+    let mut values: Vec<u64> = times.iter().map(|t| t.unwrap_or(max_steps + 1)).collect();
     values.sort_unstable();
     let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
     let idx = ((values.len() as f64 - 1.0) * quantile_level).ceil() as usize;

@@ -51,9 +51,8 @@ pub fn expected_hitting_times(chain: &MarkovChain, targets: &[usize]) -> Vector 
         }
     }
     let b = Vector::filled(k, 1.0);
-    let lu = LuDecomposition::new(&a).expect(
-        "hitting-time system is singular: some state cannot reach the target set",
-    );
+    let lu = LuDecomposition::new(&a)
+        .expect("hitting-time system is singular: some state cannot reach the target set");
     let h_free = lu.solve(&b);
     let mut h = Vector::zeros(n);
     for x in 0..n {

@@ -109,7 +109,11 @@ pub fn mixing_time(
 }
 
 /// Convenience wrapper with the standard `ε = 1/4`.
-pub fn mixing_time_quarter(chain: &MarkovChain, pi: &Vector, max_time: u64) -> Option<MixingTimeResult> {
+pub fn mixing_time_quarter(
+    chain: &MarkovChain,
+    pi: &Vector,
+    max_time: u64,
+) -> Option<MixingTimeResult> {
     mixing_time(chain, pi, crate::MIXING_EPSILON, max_time)
 }
 

@@ -150,7 +150,9 @@ mod tests {
         let chain = two_state(0.1, 0.05);
         let pi = stationary_distribution(&chain);
         let s = spectral_analysis(&chain, &pi);
-        let t_mix = mixing_time_quarter(&chain, &pi, 1 << 30).unwrap().mixing_time as f64;
+        let t_mix = mixing_time_quarter(&chain, &pi, 1 << 30)
+            .unwrap()
+            .mixing_time as f64;
         let lower = s.mixing_time_lower_bound(0.25);
         let upper = s.mixing_time_upper_bound(0.25, pi.min());
         assert!(

@@ -30,13 +30,16 @@ pub fn stationary_distribution(chain: &MarkovChain) -> Vector {
     }
     let mut b = Vector::zeros(n);
     b[n - 1] = 1.0;
-    let lu = LuDecomposition::new(&a)
-        .expect("stationary system is singular; is the chain irreducible?");
+    let lu =
+        LuDecomposition::new(&a).expect("stationary system is singular; is the chain irreducible?");
     let mut pi = lu.solve(&b);
     // Numerical cleanup: clamp tiny negatives and renormalise.
     for i in 0..n {
         if pi[i] < 0.0 {
-            assert!(pi[i] > -1e-9, "stationary solve produced a significantly negative mass");
+            assert!(
+                pi[i] > -1e-9,
+                "stationary solve produced a significantly negative mass"
+            );
             pi[i] = 0.0;
         }
     }

@@ -21,11 +21,7 @@ pub fn total_variation(mu: &Vector, nu: &Vector) -> f64 {
 /// `Vector`s when the caller already has rows of a matrix).
 pub fn total_variation_slices(mu: &[f64], nu: &[f64]) -> f64 {
     assert_eq!(mu.len(), nu.len(), "total_variation: length mismatch");
-    0.5 * mu
-        .iter()
-        .zip(nu)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
+    0.5 * mu.iter().zip(nu).map(|(a, b)| (a - b).abs()).sum::<f64>()
 }
 
 #[cfg(test)]
@@ -59,7 +55,9 @@ mod tests {
         let b = Vector::from_slice(&[0.1, 0.6, 0.3]);
         let c = Vector::from_slice(&[0.3, 0.3, 0.4]);
         assert_eq!(total_variation(&a, &b), total_variation(&b, &a));
-        assert!(total_variation(&a, &c) <= total_variation(&a, &b) + total_variation(&b, &c) + 1e-12);
+        assert!(
+            total_variation(&a, &c) <= total_variation(&a, &b) + total_variation(&b, &c) + 1e-12
+        );
     }
 
     #[test]

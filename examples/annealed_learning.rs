@@ -77,7 +77,10 @@ fn main() {
     report("logarithmic ln(t+2)/zeta (Hajek)", &hajek);
 
     println!();
-    println!("global potential minimum = {:.2} (the risk-dominant all-zero consensus)", ramp.global_minimum);
+    println!(
+        "global potential minimum = {:.2} (the risk-dominant all-zero consensus)",
+        ramp.global_minimum
+    );
     println!();
     println!("Stationary welfare as a function of beta (reference [4]'s measure):");
     for beta in [0.25, 0.5, 1.0, 2.0, 4.0] {

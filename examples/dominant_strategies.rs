@@ -16,8 +16,8 @@
 //! * the well potential game of Theorem 3.5 — no dominant strategy, and the
 //!   mixing time grows without bound in β.
 
-use logit_dynamics::prelude::*;
 use logit_dynamics::games::dominant::BonusDominantGame;
+use logit_dynamics::prelude::*;
 
 fn main() {
     let n = 3;
@@ -38,7 +38,10 @@ fn main() {
         let t_worst = exact_mixing_time(&worst_case, beta, epsilon, 1 << 34).mixing_time;
         let t_bonus = exact_mixing_time(&bonus, beta, epsilon, 1 << 34).mixing_time;
         let t_well = exact_mixing_time(&well, beta, epsilon, 1 << 34).mixing_time;
-        let show = |t: Option<u64>| t.map(|v| v.to_string()).unwrap_or_else(|| "> budget".into());
+        let show = |t: Option<u64>| {
+            t.map(|v| v.to_string())
+                .unwrap_or_else(|| "> budget".into())
+        };
         println!(
             "{:>6.1} {:>22} {:>22} {:>22}",
             beta,

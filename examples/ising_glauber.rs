@@ -37,10 +37,8 @@ fn main() {
 
     // 1. Glauber == logit on the coordination-game translation.
     let ising_ring = IsingGame::zero_field(GraphBuilder::ring(n), j);
-    let coord_ring = GraphicalCoordinationGame::new(
-        GraphBuilder::ring(n),
-        CoordinationGame::symmetric(2.0 * j),
-    );
+    let coord_ring =
+        GraphicalCoordinationGame::new(GraphBuilder::ring(n), CoordinationGame::symmetric(2.0 * j));
     let beta_check = 0.8;
     let gap_ising = spectral_mixing_bounds(&ising_ring, beta_check).spectral_gap;
     let gap_coord = spectral_mixing_bounds(&coord_ring, beta_check).spectral_gap;

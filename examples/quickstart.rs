@@ -14,15 +14,16 @@ fn main() {
     let n = 5;
     let delta = 1.0;
     // No risk-dominant equilibrium: δ0 = δ1 = δ (the Ising-like case of §5.3).
-    let game = GraphicalCoordinationGame::new(
-        GraphBuilder::ring(n),
-        CoordinationGame::symmetric(delta),
-    );
+    let game =
+        GraphicalCoordinationGame::new(GraphBuilder::ring(n), CoordinationGame::symmetric(delta));
     let delta_phi = game.max_global_variation();
     let epsilon = 0.25;
 
     println!("Logit dynamics on a {n}-player ring coordination game (delta = {delta})");
-    println!("state space: {} profiles, delta_phi = {delta_phi}", game.num_profiles());
+    println!(
+        "state space: {} profiles, delta_phi = {delta_phi}",
+        game.num_profiles()
+    );
     println!();
     println!(
         "{:>6} {:>12} {:>14} {:>16} {:>16}",

@@ -30,7 +30,10 @@ fn adoption_report(name: &str, game: &GraphicalCoordinationGame, betas: &[f64]) 
     let incumbent = space.index_of(&vec![0usize; n]);
     let adopted = space.index_of(&vec![1usize; n]);
 
-    println!("--- {name} ({n} players, {} edges) ---", game.graph().num_edges());
+    println!(
+        "--- {name} ({n} players, {} edges) ---",
+        game.graph().num_edges()
+    );
     println!(
         "{:>6} {:>18} {:>18} {:>14}",
         "beta", "pi(all adopt)", "E[hit all-adopt]", "t_mix(1/4)"

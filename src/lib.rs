@@ -47,12 +47,13 @@ pub mod prelude {
     };
     pub use logit_core::bounds;
     pub use logit_core::{
-        exact_mixing_time, gibbs_distribution, zeta, BarrierResult, CouplingKind, LogitDynamics,
-        MixingMeasurement, Simulator,
+        exact_mixing_time, gibbs_distribution, zeta, BarrierResult, CouplingKind, EmpiricalLaw,
+        LogitDynamics, MixingMeasurement, NamedObservable, ProfileEnsembleResult,
+        ProfileObservable, Scratch, Simulator, StepEvent,
     };
     pub use logit_games::{
         AllZeroDominantGame, CongestionGame, CoordinationGame, Game, GraphicalCoordinationGame,
-        IsingGame, PotentialGame, ProfileSpace, TableGame, TablePotentialGame, WellGame,
+        IsingGame, LocalGame, PotentialGame, ProfileSpace, TableGame, TablePotentialGame, WellGame,
     };
     pub use logit_graphs::{cutwidth_exact, Graph, GraphBuilder};
     pub use logit_markov::{

@@ -23,7 +23,14 @@ fn ramp_escapes_the_clique_trap_quench_does_not() {
     let steps = 2_000u64;
     let replicas = 100;
 
-    let quench = anneal_minimize(&game, ConstantSchedule::new(3.0), start, steps, replicas, 11);
+    let quench = anneal_minimize(
+        &game,
+        ConstantSchedule::new(3.0),
+        start,
+        steps,
+        replicas,
+        11,
+    );
     let ramp = anneal_minimize(
         &game,
         LinearRamp::new(0.1, 3.0, steps / 2),
@@ -58,7 +65,7 @@ fn logarithmic_schedule_tuned_to_zeta_succeeds() {
     let barrier = zeta(&game).zeta;
     assert!(barrier > 0.0);
     let space = game.profile_space();
-    let start = space.index_of(&vec![1usize; 4]);
+    let start = space.index_of(&[1usize; 4]);
     let outcome = anneal_minimize(
         &game,
         LogarithmicSchedule::new(barrier),
@@ -84,12 +91,18 @@ fn stationary_welfare_increases_to_the_optimum() {
     let mut previous = f64::NEG_INFINITY;
     for beta in [0.0, 0.5, 1.0, 2.0, 4.0] {
         let w = expected_social_welfare(&game, beta);
-        assert!(w >= previous - 1e-9, "welfare should not decrease with beta");
+        assert!(
+            w >= previous - 1e-9,
+            "welfare should not decrease with beta"
+        );
         assert!(w <= opt + 1e-9);
         previous = w;
     }
     assert!((limit_welfare_at_infinite_beta(&game) - opt).abs() < 1e-9);
-    assert!(opt - previous < 0.05 * opt, "at beta = 4 the welfare is essentially optimal");
+    assert!(
+        opt - previous < 0.05 * opt,
+        "at beta = 4 the welfare is essentially optimal"
+    );
 }
 
 /// The annealed dynamics with a constant schedule is statistically

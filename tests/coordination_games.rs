@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: Section 5 (graphical coordination games).
 
 use logit_dynamics::core::bounds;
-use logit_dynamics::core::{exact_mixing_time, CouplingKind, LogitDynamics};
 use logit_dynamics::core::coupling::coupling_time_estimate;
+use logit_dynamics::core::{exact_mixing_time, CouplingKind, LogitDynamics};
 use logit_dynamics::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -127,10 +127,8 @@ fn ring_coupling_estimate_upper_bounds_exact_mixing() {
     let n = 5;
     let delta = 1.0;
     let beta = 1.0;
-    let game = GraphicalCoordinationGame::new(
-        GraphBuilder::ring(n),
-        CoordinationGame::symmetric(delta),
-    );
+    let game =
+        GraphicalCoordinationGame::new(GraphBuilder::ring(n), CoordinationGame::symmetric(delta));
     let exact = exact_mixing_time(&game, beta, EPS, BUDGET)
         .mixing_time
         .expect("within budget");
@@ -169,11 +167,15 @@ fn ring_coupling_estimate_upper_bounds_exact_mixing() {
 #[test]
 fn gibbs_concentrates_on_risk_dominant_consensus() {
     let base = CoordinationGame::from_deltas(2.0, 1.0);
-    for graph in [GraphBuilder::ring(5), GraphBuilder::clique(5), GraphBuilder::star(5)] {
+    for graph in [
+        GraphBuilder::ring(5),
+        GraphBuilder::clique(5),
+        GraphBuilder::star(5),
+    ] {
         let game = GraphicalCoordinationGame::new(graph, base);
         let space = game.profile_space();
         let pi = logit_dynamics::core::gibbs_distribution(&game, 10.0);
-        let zero = space.index_of(&vec![0usize; 5]);
+        let zero = space.index_of(&[0usize; 5]);
         assert!(
             pi[zero] > 0.99,
             "risk-dominant consensus should dominate the Gibbs measure"

@@ -84,7 +84,10 @@ fn theorem_4_3_lower_bound_at_large_beta() {
         let pi = logit_dynamics::core::gibbs_distribution(&game, beta);
         let space = game.profile_space();
         let zero = space.index_of(&vec![0usize; n]);
-        assert!(pi[zero] > 0.4, "dominant profile should carry large stationary mass");
+        assert!(
+            pi[zero] > 0.4,
+            "dominant profile should carry large stationary mass"
+        );
     }
 }
 

@@ -38,7 +38,10 @@ fn ensemble_law_matches_exact_mixing_time_scale() {
     let sim = Simulator::new(2024, 20_000);
     let tv_early = sim.tv_distance_after(&dynamics, worst_start, 1, &pi);
     let tv_at_mix = sim.tv_distance_after(&dynamics, worst_start, 4 * exact, &pi);
-    assert!(tv_early > 0.4, "one step should be far from stationarity, tv = {tv_early}");
+    assert!(
+        tv_early > 0.4,
+        "one step should be far from stationarity, tv = {tv_early}"
+    );
     assert!(
         tv_at_mix < 0.1,
         "a few mixing times should be near stationarity, tv = {tv_at_mix}"
@@ -61,8 +64,8 @@ fn empirical_tv_tracks_exact_distance_curve() {
     for t in [2u64, 8, 32, 128] {
         let exact_d = distance_to_stationarity(&chain, &pi, t); // worst-case over starts
         let empirical = sim.tv_distance_after(&dynamics, start, t, &pi); // one start
-        // The empirical distance from one start can be at most the worst case
-        // plus sampling noise.
+                                                                         // The empirical distance from one start can be at most the worst case
+                                                                         // plus sampling noise.
         assert!(
             empirical <= exact_d + 0.05,
             "t={t}: empirical {empirical} should not exceed worst-case {exact_d} + noise"
@@ -75,22 +78,18 @@ fn empirical_tv_tracks_exact_distance_curve() {
 #[test]
 fn coupling_estimates_upper_bound_exact_mixing() {
     let mut rng = StdRng::seed_from_u64(77);
-    let game = GraphicalCoordinationGame::new(
-        GraphBuilder::ring(5),
-        CoordinationGame::symmetric(1.0),
-    );
+    let game =
+        GraphicalCoordinationGame::new(GraphBuilder::ring(5), CoordinationGame::symmetric(1.0));
     for beta in [0.3, 0.8] {
         let exact = exact_mixing_time(&game, beta, 0.25, 1 << 30)
             .mixing_time
             .unwrap();
         let dynamics = LogitDynamics::new(game.clone(), beta);
         let space = dynamics.space();
-        let a = space.index_of(&vec![0usize; 5]);
-        let b = space.index_of(&vec![1usize; 5]);
+        let a = space.index_of(&[0usize; 5]);
+        let b = space.index_of(&[1usize; 5]);
         for kind in [CouplingKind::Maximal, CouplingKind::SharedUniform] {
-            let est = coupling_time_estimate(
-                &dynamics, &mut rng, a, b, kind, 300, 500_000, 0.25,
-            );
+            let est = coupling_time_estimate(&dynamics, &mut rng, a, b, kind, 300, 500_000, 0.25);
             assert_eq!(est.censored, 0, "coupling should succeed at beta {beta}");
             assert!(
                 (est.quantile_time as f64) >= 0.3 * exact as f64,
@@ -155,7 +154,10 @@ fn expected_potential_interpolates_and_matches_simulation() {
     assert!((e0 - uniform_avg).abs() < 1e-9);
     assert!(e_mid < e0 && e_high < e_mid);
     assert!(e_high >= min_phi - 1e-9);
-    assert!((e_high - min_phi).abs() < 0.2, "high beta should be near the minimum");
+    assert!(
+        (e_high - min_phi).abs() < 0.2,
+        "high beta should be near the minimum"
+    );
 
     // Simulation agreement at beta = 1.
     let beta = 1.0;

@@ -116,10 +116,8 @@ fn theorem_3_5_lower_bound_and_growth_rate() {
 #[test]
 fn theorem_3_6_small_beta_fast_mixing() {
     for n in 3..=5 {
-        let game = GraphicalCoordinationGame::new(
-            GraphBuilder::ring(n),
-            CoordinationGame::symmetric(1.0),
-        );
+        let game =
+            GraphicalCoordinationGame::new(GraphBuilder::ring(n), CoordinationGame::symmetric(1.0));
         let dloc = game.max_local_variation();
         let c = 0.5;
         let beta = c / (n as f64 * dloc);
@@ -148,7 +146,10 @@ fn theorems_3_8_and_3_9_zeta_growth() {
     let barrier = zeta(&game);
     let dphi = game.max_global_variation();
     assert!(barrier.zeta > 0.0);
-    assert!(barrier.zeta < dphi, "zeta should be strictly below delta_phi here");
+    assert!(
+        barrier.zeta < dphi,
+        "zeta should be strictly below delta_phi here"
+    );
 
     let betas = [2.0, 2.5, 3.0, 3.5];
     let mut logs = Vec::new();
@@ -157,7 +158,10 @@ fn theorems_3_8_and_3_9_zeta_growth() {
             .mixing_time
             .expect("within budget") as f64;
         let upper = bounds::theorem_3_8_mixing_upper(n, 2, beta, barrier.zeta, dphi, EPS);
-        assert!(t <= upper, "measured {t} exceeds the Theorem 3.8 bound {upper}");
+        assert!(
+            t <= upper,
+            "measured {t} exceeds the Theorem 3.8 bound {upper}"
+        );
         logs.push(t.ln());
     }
     let fit = logit_dynamics::linalg::stats::linear_fit(&betas, &logs);
@@ -181,8 +185,7 @@ fn relaxation_time_driven_by_lambda_2() {
             assert!(meas.lambda_min >= -1e-8);
             // spectral gap = 1 - λ₂ and relaxation = 1/(1-λ*) must coincide.
             assert!(
-                (meas.relaxation_time - 1.0 / meas.spectral_gap).abs()
-                    / meas.relaxation_time
+                (meas.relaxation_time - 1.0 / meas.spectral_gap).abs() / meas.relaxation_time
                     < 1e-6,
                 "relaxation time should be 1/(1-lambda_2)"
             );

@@ -1,0 +1,205 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The workspace uses exactly one parallel shape — `into_par_iter()` /
+//! `par_iter()` followed by `map` and `collect()` — so this crate implements
+//! that shape with `std::thread::scope` and an atomic work counter. The
+//! parallelism is real (one worker per available core, work-stealing via a
+//! shared index), the API is a drop-in subset, and results are returned in
+//! input order, so callers observe the same determinism guarantees as with
+//! upstream rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An eagerly materialised "parallel iterator": the items to process.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with a pending `map`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Types convertible into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references iterate in parallel (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (executed in parallel at `collect` time).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Collection targets for a parallel map.
+pub trait FromParallelIterator<U> {
+    /// Builds the collection from the (input-ordered) mapped values.
+    fn from_ordered_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallelIterator<U> for Vec<U> {
+    fn from_ordered_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    /// Runs the map across all available cores and collects the results in
+    /// input order.
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_ordered_vec(parallel_map(self.items, &self.f))
+    }
+
+    /// Sum of the mapped values.
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// The engine: applies `f` to every item on `min(cores, len)` scoped threads.
+fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited before finishing its item")
+        })
+        .collect()
+}
+
+/// The commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let doubled: Vec<f64> = data.par_iter().map(|&x| 2.0 * x).collect();
+        assert_eq!(doubled[255], 510.0);
+        // `data` still usable afterwards.
+        assert_eq!(data.len(), 256);
+    }
+
+    #[test]
+    fn heavy_closures_actually_run() {
+        let out: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                (0..10_000).fold(i, |acc, _| {
+                    acc.wrapping_mul(6364136223846793005).wrapping_add(1)
+                })
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+    }
+}
