@@ -1,29 +1,45 @@
-//! The time-inhomogeneous (annealed) logit dynamics.
+//! The time-inhomogeneous (annealed) revision dynamics.
 //!
-//! Identical to the paper's dynamics except that the inverse noise used at step
-//! `t` is `schedule.beta_at(t)` instead of a constant. With a constant schedule
-//! this reduces exactly to `logit_core::LogitDynamics` (and the tests check
-//! that).
+//! [`AnnealedDynamics`] is a time-varying-β wrapper over *any*
+//! [`UpdateRule`]: identical to the fixed-β engine except that the inverse
+//! noise used at step `t` is `schedule.beta_at(t)` instead of a constant.
+//! With a constant schedule and the [`Logit`] rule this reduces exactly to
+//! `logit_core::LogitDynamics` (and the tests check that);
+//! [`AnnealedLogitDynamics`] is the backward-compatible logit alias.
 
 use crate::schedule::BetaSchedule;
+use logit_core::rules::{Logit, UpdateRule};
 use logit_games::{Game, ProfileSpace};
 use rand::Rng;
 
-/// The annealed logit dynamics for a game `G` under a β schedule `S`.
+/// The annealed revision dynamics for a game `G` under a β schedule `S` and
+/// an update rule `U`.
 #[derive(Debug, Clone)]
-pub struct AnnealedLogitDynamics<G: Game, S: BetaSchedule> {
+pub struct AnnealedDynamics<G: Game, S: BetaSchedule, U: UpdateRule = Logit> {
     game: G,
     schedule: S,
+    rule: U,
     space: ProfileSpace,
 }
 
-impl<G: Game, S: BetaSchedule> AnnealedLogitDynamics<G, S> {
-    /// Creates the annealed dynamics.
+/// The paper-adjacent special case: annealed **logit** dynamics.
+pub type AnnealedLogitDynamics<G, S> = AnnealedDynamics<G, S, Logit>;
+
+impl<G: Game, S: BetaSchedule, U: UpdateRule + Default> AnnealedDynamics<G, S, U> {
+    /// Creates the annealed dynamics with the rule's default parameters.
     pub fn new(game: G, schedule: S) -> Self {
+        Self::with_rule(game, schedule, U::default())
+    }
+}
+
+impl<G: Game, S: BetaSchedule, U: UpdateRule> AnnealedDynamics<G, S, U> {
+    /// Creates the annealed dynamics with an explicit update rule.
+    pub fn with_rule(game: G, schedule: S, rule: U) -> Self {
         let space = game.profile_space();
         Self {
             game,
             schedule,
+            rule,
             space,
         }
     }
@@ -38,6 +54,11 @@ impl<G: Game, S: BetaSchedule> AnnealedLogitDynamics<G, S> {
         &self.schedule
     }
 
+    /// The update rule.
+    pub fn rule(&self) -> &U {
+        &self.rule
+    }
+
     /// The profile space.
     pub fn space(&self) -> &ProfileSpace {
         &self.space
@@ -49,22 +70,17 @@ impl<G: Game, S: BetaSchedule> AnnealedLogitDynamics<G, S> {
     }
 
     /// The update distribution `σ_i(· | x)` of `player` at step `t` (i.e. with
-    /// inverse noise `β_t`).
+    /// inverse noise `β_t`), computed through the game's `utilities_for`
+    /// batch hook and the update rule.
     pub fn update_distribution(&self, t: u64, player: usize, profile: &[usize]) -> Vec<f64> {
         let beta = self.schedule.beta_at(t);
         let m = self.game.num_strategies(player);
         let mut work = profile.to_vec();
-        let mut logits = Vec::with_capacity(m);
-        for s in 0..m {
-            work[player] = s;
-            logits.push(beta * self.game.utility(player, &work));
-        }
-        let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut probs: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
-        let total: f64 = probs.iter().sum();
-        for p in &mut probs {
-            *p /= total;
-        }
+        let mut utils = vec![0.0; m];
+        self.game.utilities_for(player, &mut work, &mut utils);
+        let mut probs = Vec::with_capacity(m);
+        self.rule
+            .fill_probs(beta, profile[player], &utils, &mut probs);
         probs
     }
 
@@ -107,7 +123,8 @@ impl<G: Game, S: BetaSchedule> AnnealedLogitDynamics<G, S> {
 mod tests {
     use super::*;
     use crate::schedule::{ConstantSchedule, LinearRamp};
-    use logit_core::LogitDynamics;
+    use logit_core::rules::MetropolisLogit;
+    use logit_core::{DynamicsEngine, LogitDynamics};
     use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
     use logit_graphs::GraphBuilder;
     use rand::rngs::StdRng;
@@ -136,6 +153,30 @@ mod tests {
     }
 
     #[test]
+    fn constant_schedule_matches_fixed_beta_metropolis() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let beta = 0.9;
+        let fixed = DynamicsEngine::with_rule(game.clone(), MetropolisLogit, beta);
+        let annealed =
+            AnnealedDynamics::with_rule(game, ConstantSchedule::new(beta), MetropolisLogit);
+        let space = fixed.space();
+        for idx in [0usize, 5, 9, 15] {
+            let profile = space.profile_of(idx);
+            for player in 0..4 {
+                let a = fixed.update_distribution(player, &profile);
+                let b = annealed.update_distribution(7, player, &profile);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+        }
+        assert_eq!(annealed.rule(), &MetropolisLogit);
+    }
+
+    #[test]
     fn ramp_changes_the_update_distribution_over_time() {
         let game = WellGame::plateau(4, 2.0);
         let annealed = AnnealedLogitDynamics::new(game, LinearRamp::new(0.0, 5.0, 100));
@@ -158,6 +199,19 @@ mod tests {
         for w in traj.windows(2) {
             assert!(annealed.space().hamming_distance(w[0], w[1]) <= 1);
             assert!(w[1] < annealed.num_states());
+        }
+    }
+
+    #[test]
+    fn annealed_metropolis_simulates_and_stays_local() {
+        let game = WellGame::plateau(4, 1.5);
+        let annealed =
+            AnnealedDynamics::with_rule(game, LinearRamp::new(0.0, 3.0, 80), MetropolisLogit);
+        let mut rng = StdRng::seed_from_u64(9);
+        let traj = annealed.simulate(0, 200, &mut rng);
+        assert_eq!(traj.len(), 201);
+        for w in traj.windows(2) {
+            assert!(annealed.space().hamming_distance(w[0], w[1]) <= 1);
         }
     }
 

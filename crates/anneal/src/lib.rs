@@ -7,10 +7,12 @@
 //! 1. *"Another interesting variant of the logit dynamics is the one in which
 //!    the value of β is not fixed, but varies according to some learning
 //!    process."* — the [`schedule`] and [`annealed`] modules implement exactly
-//!    this: β schedules (constant, linear ramp, geometric, logarithmic) and the
-//!    time-inhomogeneous logit dynamics driven by them, together with an
-//!    annealing-based potential minimiser ([`optimize`]) that can be compared
-//!    against fixed-β runs and best-response dynamics.
+//!    this: β schedules (constant, linear ramp, geometric, logarithmic) and
+//!    the time-inhomogeneous dynamics driven by them. The annealed engine is
+//!    a time-varying-β wrapper over *any* `logit_core` update rule (logit,
+//!    Metropolis — i.e. classical simulated annealing — or noisy best
+//!    response), together with an annealing-based potential minimiser
+//!    ([`optimize`]) that can be compared across rules and schedules.
 //! 2. The companion line of work (reference [4] of the paper) studies the
 //!    *stationary expected social welfare* of the logit dynamics — [`welfare`]
 //!    computes it exactly from the Gibbs measure and by simulation, along with
@@ -24,8 +26,8 @@ pub mod optimize;
 pub mod schedule;
 pub mod welfare;
 
-pub use annealed::AnnealedLogitDynamics;
-pub use optimize::{anneal_minimize, AnnealingOutcome};
+pub use annealed::{AnnealedDynamics, AnnealedLogitDynamics};
+pub use optimize::{anneal_minimize, anneal_minimize_with_rule, AnnealingOutcome};
 pub use schedule::{
     BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule,
 };

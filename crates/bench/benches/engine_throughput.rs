@@ -8,7 +8,9 @@
 //! orders of magnitude.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use logit_core::{LogitDynamics, Scratch};
+use logit_core::rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
+use logit_core::schedules::AllLogit;
+use logit_core::{DynamicsEngine, LogitDynamics, Scratch};
 use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame};
 use logit_graphs::GraphBuilder;
 use rand::rngs::StdRng;
@@ -86,10 +88,72 @@ fn bench_legacy_alloc_step(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rules_profile_engine(c: &mut Criterion) {
+    // The pluggable-rule seam must be free: every rule is a monomorphised
+    // generic inside the same in-place engine, so per-rule cost differences
+    // reflect the rule's arithmetic, not dispatch overhead.
+    fn bench_rule<U: UpdateRule>(group: &mut criterion::BenchmarkGroup<'_>, rule: U, n: usize) {
+        let dynamics = DynamicsEngine::with_rule(
+            GraphicalCoordinationGame::new(
+                GraphBuilder::ring(n),
+                CoordinationGame::from_deltas(1.0, 2.0),
+            ),
+            rule,
+            1.5,
+        );
+        let name = dynamics.rule().name();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{name}/n={n}")),
+            &dynamics,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut scratch = Scratch::for_game(d.game());
+                let mut profile = vec![0usize; d.game().num_players()];
+                b.iter(|| d.step_profile(&mut profile, &mut scratch, &mut rng))
+            },
+        );
+    }
+    let mut group = c.benchmark_group("rule_profile_step");
+    for n in [1_000usize, 100_000] {
+        bench_rule(&mut group, Logit, n);
+        bench_rule(&mut group, MetropolisLogit, n);
+        bench_rule(&mut group, NoisyBestResponse::new(0.1), n);
+    }
+    group.finish();
+}
+
+fn bench_all_logit_block(c: &mut Criterion) {
+    // One all-logit tick = n player updates against the frozen profile.
+    let mut group = c.benchmark_group("all_logit_block_tick");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let dynamics = ring_dynamics(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &dynamics,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut scratch = Scratch::for_game(d.game());
+                let mut profile = vec![0usize; d.game().num_players()];
+                let mut t = 0u64;
+                b.iter(|| {
+                    let moved =
+                        d.step_scheduled(&AllLogit, t, &mut profile, &mut scratch, &mut rng);
+                    t += 1;
+                    moved
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flat_engine,
     bench_profile_engine,
+    bench_rules_profile_engine,
+    bench_all_logit_block,
     bench_legacy_alloc_step
 );
 criterion_main!(benches);

@@ -1,32 +1,38 @@
 //! Engine-throughput baseline: steps/sec of the flat-index engine vs the
-//! in-place profile engine on ring coordination games, emitted as JSON
-//! (the committed `BENCH_step_throughput.json` is this binary's output).
+//! in-place profile engine on ring coordination games, one row-set per
+//! update rule, emitted as JSON (the committed `BENCH_step_throughput.json`
+//! is this binary's output).
 //!
 //! The flat engine needs the profile space to fit a `usize`, which caps it at
 //! 63 binary players; beyond that its column is `null`. The in-place engine
-//! is measured up to n = 100000.
+//! is measured up to n = 100000. Every `UpdateRule` runs through the same
+//! generic `DynamicsEngine`, so the per-rule rows track whether the
+//! pluggable-rule seam costs throughput (it must not: the rule is a
+//! monomorphised generic, not a dynamic dispatch).
 
-use logit_core::{LogitDynamics, Scratch};
-use logit_games::{CoordinationGame, GraphicalCoordinationGame};
+use logit_core::rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
+use logit_core::{DynamicsEngine, Scratch};
+use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame};
 use logit_graphs::GraphBuilder;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Binary-profile rings stop fitting a flat `usize` index past this size.
 const FLAT_LIMIT: usize = 63;
 
-fn ring_dynamics(n: usize) -> LogitDynamics<GraphicalCoordinationGame> {
-    LogitDynamics::new(
+fn ring_dynamics<U: UpdateRule>(n: usize, rule: U) -> DynamicsEngine<GraphicalCoordinationGame, U> {
+    DynamicsEngine::with_rule(
         GraphicalCoordinationGame::new(
             GraphBuilder::ring(n),
             CoordinationGame::from_deltas(1.0, 2.0),
         ),
+        rule,
         1.5,
     )
 }
 
-fn flat_steps_per_sec(n: usize, steps: u64) -> f64 {
-    let dynamics = ring_dynamics(n);
+fn flat_steps_per_sec<U: UpdateRule>(n: usize, rule: U, steps: u64) -> f64 {
+    let dynamics = ring_dynamics(n, rule);
     let mut rng = StdRng::seed_from_u64(1);
     let mut scratch = Scratch::for_game(dynamics.game());
     let mut state = 0usize;
@@ -38,8 +44,8 @@ fn flat_steps_per_sec(n: usize, steps: u64) -> f64 {
     steps as f64 / clock.elapsed().as_secs_f64()
 }
 
-fn profile_steps_per_sec(n: usize, steps: u64) -> f64 {
-    let dynamics = ring_dynamics(n);
+fn profile_steps_per_sec<U: UpdateRule>(n: usize, rule: U, steps: u64) -> f64 {
+    let dynamics = ring_dynamics(n, rule);
     let mut rng = StdRng::seed_from_u64(1);
     let mut scratch = Scratch::for_game(dynamics.game());
     let mut profile = vec![0usize; n];
@@ -51,27 +57,113 @@ fn profile_steps_per_sec(n: usize, steps: u64) -> f64 {
     steps as f64 / clock.elapsed().as_secs_f64()
 }
 
+/// The verbatim pre-refactor logit hot path (inline softmax, inverse-CDF
+/// sampling, reused buffers), measured in the same process so the committed
+/// baseline certifies on the emitting host that the pluggable-rule seam is
+/// free — absolute steps/sec vary across hosts, the engine/legacy ratio must
+/// not.
+///
+/// A sibling reference copy lives in `crates/core/tests/proptest_core.rs`
+/// (`legacy_step_profile`): that one pins *bit-identical trajectories*, this
+/// one pins *throughput*; keep both in sync with the historical hot path.
+fn legacy_logit_steps_per_sec(n: usize, steps: u64) -> f64 {
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(n),
+        CoordinationGame::from_deltas(1.0, 2.0),
+    );
+    let beta = 1.5;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut utils: Vec<f64> = Vec::with_capacity(2);
+    let mut probs: Vec<f64> = Vec::with_capacity(2);
+    let mut profile = vec![0usize; n];
+    let clock = std::time::Instant::now();
+    for _ in 0..steps {
+        let player = rng.gen_range(0..n);
+        let m = game.num_strategies(player);
+        utils.clear();
+        utils.resize(m, 0.0);
+        game.utilities_for(player, &mut profile, &mut utils);
+        let max = utils
+            .iter()
+            .map(|&u| beta * u)
+            .fold(f64::NEG_INFINITY, f64::max);
+        probs.clear();
+        probs.extend(utils.iter().map(|&u| (beta * u - max).exp()));
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = probs.len() - 1;
+        for (s, &p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                chosen = s;
+                break;
+            }
+        }
+        profile[player] = chosen;
+    }
+    std::hint::black_box(&profile);
+    steps as f64 / clock.elapsed().as_secs_f64()
+}
+
+fn rule_rows<U: UpdateRule>(rule: U, sizes: &[usize], steps: u64) -> String {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let flat = if n <= FLAT_LIMIT {
+            format!("{:.0}", flat_steps_per_sec(n, rule.clone(), steps))
+        } else {
+            "null".to_string()
+        };
+        let profile = profile_steps_per_sec(n, rule.clone(), steps);
+        rows.push(format!(
+            "        {{\"n\": {n}, \"flat_steps_per_sec\": {flat}, \"profile_steps_per_sec\": {profile:.0}}}"
+        ));
+        eprintln!(
+            "{:>19} n = {n:>6}: flat = {flat:>12}, profile = {profile:.3e} steps/sec",
+            rule.name()
+        );
+    }
+    format!(
+        "    {{\n      \"rule\": \"{}\",\n      \"rows\": [\n{}\n      ]\n    }}",
+        rule.name(),
+        rows.join(",\n")
+    )
+}
+
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let steps: u64 = if fast { 200_000 } else { 2_000_000 };
     let sizes = [16usize, 48, 1_000, 10_000, 100_000];
 
-    let mut rows = Vec::new();
-    for &n in &sizes {
-        let flat = if n <= FLAT_LIMIT {
-            format!("{:.0}", flat_steps_per_sec(n, steps))
-        } else {
-            "null".to_string()
-        };
-        let profile = profile_steps_per_sec(n, steps);
-        rows.push(format!(
-            "    {{\"n\": {n}, \"flat_steps_per_sec\": {flat}, \"profile_steps_per_sec\": {profile:.0}}}"
-        ));
-        eprintln!("n = {n:>6}: flat = {flat:>12}, profile = {profile:.3e} steps/sec");
-    }
+    let rule_sets = [
+        rule_rows(Logit, &sizes, steps),
+        rule_rows(MetropolisLogit, &sizes, steps),
+        rule_rows(NoisyBestResponse::new(0.1), &sizes, steps),
+    ];
+
+    // Same-host parity certificate: generic engine vs the verbatim
+    // pre-refactor loop at a representative size. Absolute throughput varies
+    // with the host; this ratio is the invariant the baseline pins. Three
+    // interleaved rounds, median ratio, to damp scheduler noise.
+    let parity_n = 1_000;
+    let mut ratios: Vec<(f64, f64, f64)> = (0..3)
+        .map(|_| {
+            let legacy = legacy_logit_steps_per_sec(parity_n, steps);
+            let engine = profile_steps_per_sec(parity_n, Logit, steps);
+            (engine / legacy, legacy, engine)
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios"));
+    let (ratio, legacy, engine) = ratios[1];
+    eprintln!(
+        "parity (n = {parity_n}, median of 3): legacy = {legacy:.3e}, engine = {engine:.3e}, ratio = {ratio:.3}"
+    );
 
     println!(
-        "{{\n  \"benchmark\": \"logit step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"rows\": [\n{}\n  ]\n}}",
-        rows.join(",\n")
+        "{{\n  \"benchmark\": \"revision-dynamics step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"legacy_parity\": {{\n    \"what\": \"generic engine (Logit rule) vs verbatim pre-refactor inline loop, same host, same process, n = {parity_n}, median of 3 interleaved rounds\",\n    \"legacy_steps_per_sec\": {legacy:.0},\n    \"engine_steps_per_sec\": {engine:.0},\n    \"engine_over_legacy\": {ratio:.3}\n  }},\n  \"rules\": [\n{}\n  ]\n}}",
+        rule_sets.join(",\n")
     );
 }

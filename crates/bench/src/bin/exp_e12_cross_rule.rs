@@ -1,0 +1,7 @@
+//! E12 — cross-rule revision dynamics: logit vs Metropolis vs noisy best
+//! response vs the parallel all-logit block schedule, through both the exact
+//! flat-index chains and the in-place profile engine.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("{}", logit_bench::experiments::e12_cross_rule(fast));
+}

@@ -1,11 +1,13 @@
-//! The experiment suite E1–E11.
+//! The experiment suite E1–E12.
 //!
 //! Each experiment regenerates one quantitative claim of the paper (see
 //! `DESIGN.md` §3 for the index and `EXPERIMENTS.md` for the recorded outputs);
 //! E11 exercises the large-`n` in-place simulation engine beyond the reach of
-//! any exact analysis. Every function takes a `fast` flag: `true` shrinks the
-//! parameter grid so the whole suite can run inside the test suite; `false` is
-//! the full grid used to produce `EXPERIMENTS.md`.
+//! any exact analysis; E12 compares the pluggable revision rules (logit,
+//! Metropolis, noisy best response) and the parallel all-logit schedule.
+//! Every function takes a `fast` flag: `true` shrinks the parameter grid so
+//! the whole suite can run inside the test suite; `false` is the full grid
+//! used to produce `EXPERIMENTS.md`.
 
 use crate::table::{f1, f3, show_time, Table};
 use logit_core::bounds;
@@ -497,6 +499,178 @@ pub fn e11_large_ring(fast: bool) -> String {
     )
 }
 
+/// E12 — cross-rule revision dynamics: mixing and metastability proxies of
+/// the pluggable update rules (logit, Metropolis, noisy best response) and
+/// the parallel all-logit block schedule on ring and clique coordination
+/// games, through *both* engines (exact flat-index chains and the in-place
+/// profile engine).
+pub fn e12_cross_rule(fast: bool) -> String {
+    use logit_core::observables::StrategyFraction;
+    use logit_core::rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
+    use logit_core::schedules::AllLogit;
+    use logit_core::DynamicsEngine;
+    use logit_markov::{mixing_time, spectral_analysis, stationary_distribution};
+
+    let n = if fast { 4 } else { 5 };
+    let betas: &[f64] = if fast { &[0.5, 1.5] } else { &[0.5, 1.0, 2.0] };
+
+    // Part 1 — exact flat-index engine: per-rule mixing time, relaxation time
+    // and stationary mass of the risk-dominant consensus on ring vs clique.
+    let mut exact = Table::new(vec![
+        "graph",
+        "rule/schedule",
+        "beta",
+        "t_mix",
+        "t_rel",
+        "pi(risk-dom consensus)",
+    ]);
+    let graphs = [
+        ("ring", GraphBuilder::ring(n)),
+        ("clique", GraphBuilder::clique(n)),
+    ];
+    for (gname, graph) in &graphs {
+        let game =
+            GraphicalCoordinationGame::new(graph.clone(), CoordinationGame::from_deltas(2.0, 1.0));
+        let space = game.profile_space();
+        let consensus = space.index_of(&vec![0usize; n]);
+        for &beta in betas {
+            let mut push_rule = |label: &str, mix: Option<u64>, t_rel: f64, pi0: f64| {
+                exact.push_row(vec![
+                    gname.to_string(),
+                    label.to_string(),
+                    f3(beta),
+                    show_time(mix),
+                    f3(t_rel),
+                    format!("{pi0:.4}"),
+                ]);
+            };
+            // One exact chain build + one stationary solve per cell; t_mix,
+            // t_rel and the consensus mass all derive from the same pair.
+            fn measure_rule<U: UpdateRule>(
+                game: &GraphicalCoordinationGame,
+                rule: U,
+                beta: f64,
+                consensus: usize,
+            ) -> (Option<u64>, f64, f64) {
+                let chain = DynamicsEngine::with_rule(game.clone(), rule, beta).transition_chain();
+                let pi = stationary_distribution(&chain);
+                let mix = mixing_time(&chain, &pi, EPS, BUDGET).map(|r| r.mixing_time);
+                let t_rel = if chain.is_reversible(&pi, 1e-7) {
+                    spectral_analysis(&chain, &pi).relaxation_time
+                } else {
+                    f64::NAN
+                };
+                (mix, t_rel, pi[consensus])
+            }
+            let (mix, t_rel, pi0) = measure_rule(&game, Logit, beta, consensus);
+            push_rule("logit", mix, t_rel, pi0);
+            let (mix, t_rel, pi0) = measure_rule(&game, MetropolisLogit, beta, consensus);
+            push_rule("metropolis", mix, t_rel, pi0);
+            let (mix, t_rel, pi0) =
+                measure_rule(&game, NoisyBestResponse::new(0.1), beta, consensus);
+            push_rule("nbr(0.10)", mix, t_rel, pi0);
+
+            // The all-logit block schedule as its own exact chain (one block
+            // step = n player updates).
+            let d = LogitDynamics::new(game.clone(), beta);
+            let chain = d.transition_chain_all_logit();
+            let pi = stationary_distribution(&chain);
+            let mix = mixing_time(&chain, &pi, EPS, BUDGET).map(|r| r.mixing_time);
+            exact.push_row(vec![
+                gname.to_string(),
+                "all-logit (block)".to_string(),
+                f3(beta),
+                show_time(mix),
+                "NA".to_string(),
+                format!("{:.4}", pi[consensus]),
+            ]);
+        }
+    }
+
+    // Part 2 — in-place profile engine: metastability proxy. Start every
+    // replica in the *wrong* consensus at high beta and record the fraction
+    // of players that escaped to the risk-dominant strategy by the horizon —
+    // the per-rule analogue of the transient panel, at sizes no flat index
+    // can reach on the clique-free topology.
+    let (ring_n, clique_n) = if fast { (16, 8) } else { (40, 12) };
+    let beta = 2.0;
+    let steps: u64 = if fast { 6_000 } else { 40_000 };
+    let replicas = if fast { 16 } else { 32 };
+    let mut sim_table = Table::new(vec![
+        "graph",
+        "n",
+        "rule/schedule",
+        "updates",
+        "escaped fraction (mean)",
+        "q10..q90",
+    ]);
+    for (gname, graph, players) in [
+        ("ring", GraphBuilder::ring(ring_n), ring_n),
+        ("clique", GraphBuilder::clique(clique_n), clique_n),
+    ] {
+        let game = GraphicalCoordinationGame::new(graph, CoordinationGame::from_deltas(2.0, 1.0));
+        let start = vec![1usize; players];
+        let obs = StrategyFraction::new(0, "risk-dominant fraction");
+        let sim = Simulator::new(0xE12, replicas);
+        let mut push_sim = |label: &str, updates: u64, law: logit_core::EmpiricalLaw| {
+            sim_table.push_row(vec![
+                gname.to_string(),
+                players.to_string(),
+                label.to_string(),
+                updates.to_string(),
+                f3(law.mean()),
+                format!("{}..{}", f3(law.quantile(0.1)), f3(law.quantile(0.9))),
+            ]);
+        };
+        fn run_rule<U: UpdateRule>(
+            sim: &Simulator,
+            game: &GraphicalCoordinationGame,
+            rule: U,
+            beta: f64,
+            start: &[usize],
+            steps: u64,
+            obs: &StrategyFraction,
+        ) -> logit_core::EmpiricalLaw {
+            let d = DynamicsEngine::with_rule(game.clone(), rule, beta);
+            sim.run_profiles(&d, start, steps, steps, obs).law()
+        }
+        let law = run_rule(&sim, &game, Logit, beta, &start, steps, &obs);
+        push_sim("logit", steps, law);
+        let law = run_rule(&sim, &game, MetropolisLogit, beta, &start, steps, &obs);
+        push_sim("metropolis", steps, law);
+        let law = run_rule(
+            &sim,
+            &game,
+            NoisyBestResponse::new(0.1),
+            beta,
+            &start,
+            steps,
+            &obs,
+        );
+        push_sim("nbr(0.10)", steps, law);
+        // All-logit: one tick = n updates, so match the update budget.
+        let ticks = (steps / players as u64).max(1);
+        let d = LogitDynamics::new(game.clone(), beta);
+        let law = sim
+            .run_profiles_scheduled(&d, &AllLogit, &start, ticks, ticks, &obs)
+            .law();
+        push_sim("all-logit (block)", ticks * players as u64, law);
+    }
+
+    format!(
+        "E12 — cross-rule revision dynamics, coordination games (delta0=2, delta1=1)\n\n\
+         Exact flat-index engine (n={n} per topology): per-rule chains under uniform selection,\n\
+         plus the parallel all-logit block chain.\n\n{}\n\
+         In-place profile engine at beta={beta}: replicas start in the wrong consensus; the table\n\
+         reports the fraction of players on the risk-dominant strategy at the horizon.\n\n{}\n\
+         PASS iff every rule/schedule produces rows through both engines, logit and metropolis\n\
+         report finite t_rel (reversible chains), and the clique escape fraction stays below the\n\
+         ring's for the reversible rules (the paper's ring-vs-clique metastability contrast).\n",
+        exact.render(),
+        sim_table.render()
+    )
+}
+
 /// Gibbs-measure sanity panel printed alongside the suite: stationary mass of
 /// the consensus profiles on ring vs clique as β grows (the "who wins" picture).
 pub fn stationary_panel(fast: bool) -> String {
@@ -593,6 +767,7 @@ pub fn all_reports(fast: bool) -> Vec<(&'static str, String)> {
         ("E9", e9_clique(fast)),
         ("E10", e10_ring(fast)),
         ("E11", e11_large_ring(fast)),
+        ("E12", e12_cross_rule(fast)),
         ("Stationary", stationary_panel(fast)),
         ("Transient", transient_panel(fast)),
     ]
@@ -652,6 +827,29 @@ mod tests {
                 "an experiment exceeded its budget:\n{report}"
             );
         }
+    }
+
+    #[test]
+    fn e12_fast_report_covers_every_rule_through_both_engines() {
+        let report = e12_cross_rule(true);
+        // Labels are matched with a leading space (table cells are padded) so
+        // the bare-rule rows are counted separately from "all-logit (block)".
+        for label in [
+            " logit ",
+            " metropolis ",
+            " nbr(0.10) ",
+            "all-logit (block)",
+        ] {
+            // Each rule/schedule appears in both the exact and the simulated
+            // table: twice per topology in part 1, once per topology in part 2.
+            assert!(
+                report.matches(label).count() >= 4,
+                "{label:?} missing from the cross-rule report"
+            );
+        }
+        assert!(report.contains("ring"));
+        assert!(report.contains("clique"));
+        assert!(!report.contains("> budget"), "an exact chain did not mix");
     }
 
     #[test]

@@ -18,15 +18,16 @@
 //! `logit-markov::coupling` machinery to estimate mixing times by simulation for
 //! games whose state space is too large for the exact computation.
 
-use crate::dynamics::LogitDynamics;
+use crate::dynamics::DynamicsEngine;
+use crate::rules::UpdateRule;
 use logit_games::Game;
 use logit_markov::{coupling_mixing_upper_bound, simulate_coupling, CouplingEstimate};
 use rand::Rng;
 
 /// One step of the maximal per-coordinate coupling. Takes and returns flat
 /// profile indices.
-pub fn maximal_coupling_step<G: Game, R: Rng + ?Sized>(
-    dynamics: &LogitDynamics<G>,
+pub fn maximal_coupling_step<G: Game, U: UpdateRule, R: Rng + ?Sized>(
+    dynamics: &DynamicsEngine<G, U>,
     rng: &mut R,
     x: usize,
     y: usize,
@@ -80,8 +81,8 @@ pub fn maximal_coupling_step<G: Game, R: Rng + ?Sized>(
 }
 
 /// One step of the shared-uniform (inverse CDF) coupling.
-pub fn shared_uniform_coupling_step<G: Game, R: Rng + ?Sized>(
-    dynamics: &LogitDynamics<G>,
+pub fn shared_uniform_coupling_step<G: Game, U: UpdateRule, R: Rng + ?Sized>(
+    dynamics: &DynamicsEngine<G, U>,
     rng: &mut R,
     x: usize,
     y: usize,
@@ -121,8 +122,8 @@ pub enum CouplingKind {
 /// (Theorem 2.1: `d(t) ≤ P(τ_couple > t)`), targeting the quantile
 /// `1 − ε` so the returned `quantile_time` estimates `t_mix(ε)`.
 #[allow(clippy::too_many_arguments)]
-pub fn coupling_time_estimate<G: Game, R: Rng + ?Sized>(
-    dynamics: &LogitDynamics<G>,
+pub fn coupling_time_estimate<G: Game, U: UpdateRule, R: Rng + ?Sized>(
+    dynamics: &DynamicsEngine<G, U>,
     rng: &mut R,
     x0: usize,
     y0: usize,
@@ -141,6 +142,7 @@ pub fn coupling_time_estimate<G: Game, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamics::LogitDynamics;
     use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
     use logit_graphs::GraphBuilder;
     use rand::rngs::StdRng;

@@ -1,20 +1,39 @@
-//! The logit dynamics update rule and its Markov chain.
+//! The revision-dynamics engine: pluggable update rules, selection schedules
+//! and the induced Markov chains.
 //!
-//! Two simulation engines share the eq.-(2) update:
+//! [`DynamicsEngine<G, U>`] drives a noisy revision process on a strategic
+//! game `G` under an [`UpdateRule`] `U` — the logit/Glauber softmax of
+//! eq. (2) ([`Logit`], the paper's dynamics and the default), the Metropolis
+//! kernel with the same Gibbs stationary distribution
+//! ([`MetropolisLogit`](crate::rules::MetropolisLogit)), or noisy best
+//! response ([`NoisyBestResponse`](crate::rules::NoisyBestResponse)).
+//! [`LogitDynamics`] is a backward-compatible alias for the logit instance.
 //!
-//! * the **in-place profile engine** ([`LogitDynamics::step_profile`]):
+//! Two simulation engines share every rule:
+//!
+//! * the **in-place profile engine** ([`DynamicsEngine::step_profile`]):
 //!   mutates a strategy profile directly using reusable [`Scratch`] buffers,
 //!   never touches the flat state index, and therefore scales to games whose
 //!   profile space does not even fit in a `usize` (e.g. rings with `n = 10⁶`
 //!   players). One step costs `O(|S_i| + cost(utilities_for))` — for
 //!   `LocalGame`s that is `O(|S_i| + deg(i))`, independent of `n` and `|S|`;
-//! * the **flat-index engine** ([`LogitDynamics::step`] /
-//!   [`LogitDynamics::step_indexed`]): a thin wrapper that decodes the index,
-//!   delegates to the profile engine and re-encodes. It consumes the RNG
-//!   stream identically, so both engines produce the same trajectory from the
-//!   same seed; it exists for the exact analyses, which index distributions
-//!   by flat state.
+//! * the **flat-index engine** ([`DynamicsEngine::step`] /
+//!   [`DynamicsEngine::step_indexed`]): a thin wrapper that decodes the
+//!   index, delegates to the profile engine and re-encodes. It consumes the
+//!   RNG stream identically, so both engines produce the same trajectory from
+//!   the same seed; it exists for the exact analyses, which index
+//!   distributions by flat state.
+//!
+//! Orthogonally to the rule, a [`SelectionSchedule`] decides *who* revises at
+//! each tick ([`DynamicsEngine::step_scheduled`]): one uniform player (the
+//! paper's chain), a systematic sweep, or the parallel all-logit block update
+//! in which every player revises against the frozen pre-tick profile. The
+//! exact counterparts are [`DynamicsEngine::transition_matrix`] (uniform
+//! selection, any rule), [`DynamicsEngine::transition_matrix_all_logit`] and
+//! [`DynamicsEngine::transition_matrix_sweep_round`].
 
+use crate::rules::{Logit, UpdateRule};
+use crate::schedules::SelectionSchedule;
 use logit_games::{Game, PotentialGame, ProfileSpace};
 use logit_linalg::{CsrMatrix, Matrix};
 use logit_markov::MarkovChain;
@@ -30,10 +49,14 @@ use std::sync::OnceLock;
 pub struct Scratch {
     /// Utilities `u_i(s, x_{-i})`, one per strategy of the updating player.
     utils: Vec<f64>,
-    /// The softmax probabilities of eq. (2) over those strategies.
+    /// The update-rule probabilities over those strategies.
     probs: Vec<f64>,
     /// Decoded profile buffer used by the flat-index wrapper.
     profile: Vec<usize>,
+    /// Players selected by the current schedule tick.
+    players: Vec<usize>,
+    /// Strategies staged by a parallel block update before they are applied.
+    staged: Vec<usize>,
 }
 
 impl Scratch {
@@ -42,19 +65,25 @@ impl Scratch {
         Self::default()
     }
 
-    /// Scratch pre-sized for `game` (avoids even the first-use allocations).
+    /// Scratch pre-sized for `game`: avoids even the first-use allocations on
+    /// the single-player step paths. The schedule buffers (`players`,
+    /// `staged`) are sized for single-player ticks; a parallel block schedule
+    /// grows them to `n` on its first tick and they are recycled thereafter.
     pub fn for_game<G: Game>(game: &G) -> Self {
         let m = game.max_strategies();
+        let n = game.num_players();
         Self {
             utils: Vec::with_capacity(m),
             probs: Vec::with_capacity(m),
-            profile: Vec::with_capacity(game.num_players()),
+            profile: Vec::with_capacity(n),
+            players: Vec::with_capacity(1),
+            staged: Vec::new(),
         }
     }
 
     /// The update distribution computed by the most recent
-    /// [`LogitDynamics::update_distribution_into`] /
-    /// [`LogitDynamics::step_profile`] call.
+    /// [`DynamicsEngine::update_distribution_into`] /
+    /// [`DynamicsEngine::step_profile`] call.
     pub fn probs(&self) -> &[f64] {
         &self.probs
     }
@@ -78,32 +107,52 @@ impl StepEvent {
     }
 }
 
-/// The logit dynamics `M_β(G)` for a strategic game `G` with inverse noise `β`.
+/// A noisy revision process on a strategic game `G`: an [`UpdateRule`] `U`
+/// at inverse noise `β`, plus the machinery to simulate it (both engines) and
+/// to build its exact Markov chains under the selection schedules.
 ///
-/// The struct borrows nothing: it owns the game (games are cheap to clone or are
-/// themselves small descriptors). The profile space is materialised lazily —
-/// only the flat-index paths need it, and for large-`n` games it cannot even
-/// be represented (`|S|` overflows `usize`), while the profile engine runs
-/// fine without it.
+/// The struct borrows nothing: it owns the game (games are cheap to clone or
+/// are themselves small descriptors). The profile space is materialised
+/// lazily — only the flat-index paths need it, and for large-`n` games it
+/// cannot even be represented (`|S|` overflows `usize`), while the profile
+/// engine runs fine without it.
 #[derive(Debug, Clone)]
-pub struct LogitDynamics<G: Game> {
+pub struct DynamicsEngine<G: Game, U: UpdateRule = Logit> {
     game: G,
+    rule: U,
     beta: f64,
     space: OnceLock<ProfileSpace>,
 }
 
-impl<G: Game> LogitDynamics<G> {
-    /// Creates the dynamics with inverse noise `β ≥ 0`.
+/// The logit dynamics `M_β(G)` of the paper — the [`Logit`] instance of the
+/// generic engine, kept as a thin backward-compatible alias.
+pub type LogitDynamics<G> = DynamicsEngine<G, Logit>;
+
+impl<G: Game, U: UpdateRule + Default> DynamicsEngine<G, U> {
+    /// Creates the dynamics with the rule's default parameters and inverse
+    /// noise `β ≥ 0`.
     ///
     /// # Panics
     /// Panics when `β` is negative or not finite.
     pub fn new(game: G, beta: f64) -> Self {
+        Self::with_rule(game, U::default(), beta)
+    }
+}
+
+impl<G: Game, U: UpdateRule> DynamicsEngine<G, U> {
+    /// Creates the dynamics with an explicit update rule and inverse noise
+    /// `β ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics when `β` is negative or not finite.
+    pub fn with_rule(game: G, rule: U, beta: f64) -> Self {
         assert!(
             beta >= 0.0 && beta.is_finite(),
             "beta must be finite and non-negative"
         );
         Self {
             game,
+            rule,
             beta,
             space: OnceLock::new(),
         }
@@ -117,6 +166,11 @@ impl<G: Game> LogitDynamics<G> {
     /// The underlying game.
     pub fn game(&self) -> &G {
         &self.game
+    }
+
+    /// The update rule.
+    pub fn rule(&self) -> &U {
+        &self.rule
     }
 
     /// The profile space of the game (materialised on first use).
@@ -137,7 +191,8 @@ impl<G: Game> LogitDynamics<G> {
     }
 
     /// The update distribution `σ_i(· | x)` of player `i` at profile `x`
-    /// (eq. 2), returned as a probability vector over the player's strategies.
+    /// under the engine's rule, returned as a probability vector over the
+    /// player's strategies.
     ///
     /// Allocating convenience wrapper around
     /// [`Self::update_distribution_into`]; hot paths should use the latter
@@ -150,12 +205,12 @@ impl<G: Game> LogitDynamics<G> {
     }
 
     /// Computes `σ_i(· | x)` into `scratch.probs` without allocating (after
-    /// the buffers' first growth).
+    /// the buffers' first growth): the game's `utilities_for` batch hook
+    /// fills `scratch.utils`, and the update rule turns the utilities into
+    /// probabilities.
     ///
     /// `profile` is borrowed mutably so strategies can be varied in place by
     /// the game's `utilities_for` hook; it is restored before returning.
-    /// Numerically stable via the usual log-sum-exp shift, so large `β·u`
-    /// values do not overflow.
     pub fn update_distribution_into(
         &self,
         player: usize,
@@ -166,20 +221,12 @@ impl<G: Game> LogitDynamics<G> {
         scratch.utils.clear();
         scratch.utils.resize(m, 0.0);
         self.game.utilities_for(player, profile, &mut scratch.utils);
-
-        let max = scratch
-            .utils
-            .iter()
-            .map(|&u| self.beta * u)
-            .fold(f64::NEG_INFINITY, f64::max);
-        scratch.probs.clear();
-        scratch
-            .probs
-            .extend(scratch.utils.iter().map(|&u| (self.beta * u - max).exp()));
-        let total: f64 = scratch.probs.iter().sum();
-        for p in &mut scratch.probs {
-            *p /= total;
-        }
+        self.rule.fill_probs(
+            self.beta,
+            profile[player],
+            &scratch.utils,
+            &mut scratch.probs,
+        );
     }
 
     /// Probability that player `i`, selected for update at profile `x`, picks
@@ -188,9 +235,10 @@ impl<G: Game> LogitDynamics<G> {
         self.update_distribution(player, profile)[strategy]
     }
 
-    /// One in-place step of the dynamics: selects a player uniformly at
-    /// random, resamples her strategy from `σ_i(· | x)` (eq. 2) and writes it
-    /// directly into `profile`. Returns what happened as a [`StepEvent`].
+    /// One in-place step of the dynamics under the paper's uniform
+    /// single-player selection: selects a player uniformly at random,
+    /// resamples her strategy from `σ_i(· | x)` and writes it directly into
+    /// `profile`. Returns what happened as a [`StepEvent`].
     ///
     /// This is the large-`n` engine: it never builds the flat profile space,
     /// allocates nothing (with a warmed-up `scratch`), and its per-step cost
@@ -219,6 +267,60 @@ impl<G: Game> LogitDynamics<G> {
         }
     }
 
+    /// One in-place tick under an arbitrary [`SelectionSchedule`]: the
+    /// schedule names the revising players, sequential schedules apply their
+    /// updates one at a time, and parallel schedules (all-logit) sample every
+    /// update against the frozen pre-tick profile before applying the whole
+    /// block. Returns the number of players whose strategy changed.
+    ///
+    /// With [`UniformSingle`](crate::schedules::UniformSingle) this consumes
+    /// the RNG stream identically to [`Self::step_profile`], so the two paths
+    /// walk the same trajectory from the same seed.
+    pub fn step_scheduled<S: SelectionSchedule, R: Rng + ?Sized>(
+        &self,
+        schedule: &S,
+        t: u64,
+        profile: &mut [usize],
+        scratch: &mut Scratch,
+        rng: &mut R,
+    ) -> usize {
+        let n = self.game.num_players();
+        debug_assert_eq!(
+            profile.len(),
+            n,
+            "profile length must equal the player count"
+        );
+        let mut players = std::mem::take(&mut scratch.players);
+        schedule.select_players(t, n, rng, &mut players);
+        let mut moved = 0;
+        if schedule.parallel() {
+            let mut staged = std::mem::take(&mut scratch.staged);
+            staged.clear();
+            for &player in &players {
+                self.update_distribution_into(player, profile, scratch);
+                staged.push(sample_index(&scratch.probs, rng));
+            }
+            for (&player, &strategy) in players.iter().zip(&staged) {
+                if profile[player] != strategy {
+                    moved += 1;
+                }
+                profile[player] = strategy;
+            }
+            scratch.staged = staged;
+        } else {
+            for &player in &players {
+                self.update_distribution_into(player, profile, scratch);
+                let strategy = sample_index(&scratch.probs, rng);
+                if profile[player] != strategy {
+                    moved += 1;
+                }
+                profile[player] = strategy;
+            }
+        }
+        scratch.players = players;
+        moved
+    }
+
     /// One step of the flat-index chain using reusable scratch buffers:
     /// decodes `state`, delegates to [`Self::step_profile`] and re-encodes in
     /// `O(1)` via the single changed coordinate.
@@ -240,6 +342,27 @@ impl<G: Game> LogitDynamics<G> {
         space.with_strategy(state, event.player, event.new_strategy)
     }
 
+    /// The flat-index counterpart of [`Self::step_scheduled`]: decodes
+    /// `state`, runs one schedule tick on the profile and re-encodes (in
+    /// `O(n)` — a tick may change many coordinates).
+    pub fn step_indexed_scheduled<S: SelectionSchedule, R: Rng + ?Sized>(
+        &self,
+        schedule: &S,
+        t: u64,
+        state: usize,
+        scratch: &mut Scratch,
+        rng: &mut R,
+    ) -> usize {
+        let space = self.space();
+        let mut profile = std::mem::take(&mut scratch.profile);
+        profile.resize(self.game.num_players(), 0);
+        space.write_profile(state, &mut profile);
+        self.step_scheduled(schedule, t, &mut profile, scratch, rng);
+        let next = space.index_of(&profile);
+        scratch.profile = profile;
+        next
+    }
+
     /// One step of the dynamics from the profile with flat index `state`.
     /// Returns the new flat index.
     ///
@@ -251,7 +374,8 @@ impl<G: Game> LogitDynamics<G> {
         self.step_indexed(state, &mut scratch, rng)
     }
 
-    /// The full transition matrix (eq. 3) as a dense validated Markov chain.
+    /// The full transition matrix under uniform single-player selection
+    /// (eq. 3 for the logit rule) as a dense validated Markov chain.
     ///
     /// The matrix has `|S|²` entries; intended for the exact analyses
     /// (`|S| ≲ 4096`).
@@ -259,7 +383,9 @@ impl<G: Game> LogitDynamics<G> {
         MarkovChain::new(self.transition_matrix())
     }
 
-    /// The dense transition matrix of eq. (3) without the validation wrapper.
+    /// The dense transition matrix under uniform single-player selection
+    /// without the validation wrapper. Works for every update rule: entry
+    /// `(x, x[i → s])` accumulates `σ_i(s | x)/n`.
     pub fn transition_matrix(&self) -> Matrix {
         let space = self.space();
         let size = space.size();
@@ -307,11 +433,93 @@ impl<G: Game> LogitDynamics<G> {
         }
         CsrMatrix::from_rows(size, rows)
     }
+
+    /// The single-player revision kernel `P_i(x, x[i → s]) = σ_i(s | x)`:
+    /// only player `i` moves, with probability given by the update rule.
+    /// The systematic sweep is the ordered product of these kernels.
+    pub fn player_kernel(&self, player: usize) -> Matrix {
+        let space = self.space();
+        let size = space.size();
+        let mut p = Matrix::zeros(size, size);
+        let mut scratch = Scratch::for_game(&self.game);
+        let mut profile = vec![0usize; self.game.num_players()];
+        for x in 0..size {
+            space.write_profile(x, &mut profile);
+            self.update_distribution_into(player, &mut profile, &mut scratch);
+            for (s, &pr) in scratch.probs().iter().enumerate() {
+                let y = space.with_strategy(x, player, s);
+                p[(x, y)] += pr;
+            }
+        }
+        p
+    }
+
+    /// The transition matrix of one full systematic sweep (players revising
+    /// in order `0, 1, …, n−1`): the ordered kernel product
+    /// `P_0 · P_1 ⋯ P_{n−1}`. One sweep-round step equals `n` player updates.
+    pub fn transition_matrix_sweep_round(&self) -> Matrix {
+        let n = self.game.num_players();
+        let mut p = self.player_kernel(0);
+        for player in 1..n {
+            p = p.matmul(&self.player_kernel(player));
+        }
+        p
+    }
+
+    /// The sweep-round matrix as a validated Markov chain.
+    pub fn transition_chain_sweep_round(&self) -> MarkovChain {
+        MarkovChain::new(self.transition_matrix_sweep_round())
+    }
+
+    /// The transition matrix of the parallel **all-logit** block schedule:
+    /// every player revises simultaneously against the frozen profile, so
+    /// `P(x, y) = Π_i σ_i(y_i | x)`. Dense — every entry can be non-zero —
+    /// and in general *not* reversible even for potential games, which is
+    /// precisely what the all-logit line of work studies.
+    pub fn transition_matrix_all_logit(&self) -> Matrix {
+        let space = self.space();
+        let size = space.size();
+        let n = self.game.num_players();
+        let mut p = Matrix::zeros(size, size);
+        let mut scratch = Scratch::for_game(&self.game);
+        let mut profile = vec![0usize; n];
+        let mut per_player: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for x in 0..size {
+            space.write_profile(x, &mut profile);
+            for (player, probs) in per_player.iter_mut().enumerate() {
+                self.update_distribution_into(player, &mut profile, &mut scratch);
+                probs.clear();
+                probs.extend_from_slice(scratch.probs());
+            }
+            for y in 0..size {
+                let mut prob = 1.0;
+                for (i, probs) in per_player.iter().enumerate() {
+                    prob *= probs[space.strategy_of(y, i)];
+                    if prob == 0.0 {
+                        break;
+                    }
+                }
+                p[(x, y)] = prob;
+            }
+        }
+        p
+    }
+
+    /// The all-logit block-update matrix as a validated Markov chain. One
+    /// block step equals `n` player updates.
+    pub fn transition_chain_all_logit(&self) -> MarkovChain {
+        MarkovChain::new(self.transition_matrix_all_logit())
+    }
 }
 
-impl<G: PotentialGame> LogitDynamics<G> {
-    /// The Gibbs stationary distribution `π(x) ∝ e^{-βΦ(x)}` of the chain
-    /// (eq. 4, cost convention). Only potential games have this closed form.
+impl<G: PotentialGame, U: UpdateRule> DynamicsEngine<G, U> {
+    /// The Gibbs distribution `π(x) ∝ e^{-βΦ(x)}` of the game (eq. 4, cost
+    /// convention). It is the stationary distribution of the
+    /// uniform-selection chain for the reversible rules ([`Logit`] and
+    /// [`MetropolisLogit`](crate::rules::MetropolisLogit)); rules without
+    /// detailed balance (noisy best response) and the all-logit schedule have
+    /// different stationary laws — obtain those by a linear solve on the
+    /// exact chain.
     pub fn gibbs(&self) -> logit_linalg::Vector {
         crate::gibbs::gibbs_distribution(&self.game, self.beta)
     }
@@ -327,12 +535,20 @@ pub(crate) fn sample_index<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize
             return i;
         }
     }
-    probs.len() - 1
+    // Fallthrough: `u` landed in the rounding gap above the accumulated sum.
+    // Metropolis and best-response rules assign exact zeros, so fall back to
+    // the last *positive*-probability entry — never to an impossible move.
+    probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .unwrap_or(probs.len() - 1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::{MetropolisLogit, NoisyBestResponse};
+    use crate::schedules::{AllLogit, SystematicSweep, UniformSingle};
     use logit_games::{CoordinationGame, GraphicalCoordinationGame, TablePotentialGame, WellGame};
     use logit_graphs::GraphBuilder;
     use logit_markov::{stationary_distribution, total_variation};
@@ -441,6 +657,139 @@ mod tests {
     }
 
     #[test]
+    fn metropolis_shares_the_gibbs_stationary_distribution() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::path(3),
+            CoordinationGame::from_deltas(1.5, 1.0),
+        );
+        let d = DynamicsEngine::with_rule(game, MetropolisLogit, 0.8);
+        let chain = d.transition_chain();
+        assert!(chain.is_ergodic());
+        let pi_gibbs = d.gibbs();
+        assert!(total_variation(&stationary_distribution(&chain), &pi_gibbs) < 1e-9);
+        assert!(chain.is_reversible(&pi_gibbs, 1e-9));
+    }
+
+    #[test]
+    fn noisy_best_response_chain_is_ergodic_but_not_gibbs() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::path(3),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let d = DynamicsEngine::with_rule(game, NoisyBestResponse::new(0.2), 1.0);
+        let chain = d.transition_chain();
+        assert!(chain.is_ergodic());
+        let pi = stationary_distribution(&chain);
+        // Its stationary law is a genuinely different object from Gibbs.
+        assert!(total_variation(&pi, &d.gibbs()) > 1e-3);
+    }
+
+    #[test]
+    fn all_logit_matrix_is_the_product_of_marginals() {
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let d = LogitDynamics::new(game, 0.9);
+        let p = d.transition_matrix_all_logit();
+        assert!(p.is_row_stochastic(1e-9));
+        let space = d.space();
+        for x in 0..4 {
+            let profile = space.profile_of(x);
+            let p0 = d.update_distribution(0, &profile);
+            let p1 = d.update_distribution(1, &profile);
+            for y in 0..4 {
+                let expect = p0[space.strategy_of(y, 0)] * p1[space.strategy_of(y, 1)];
+                assert!((p[(x, y)] - expect).abs() < 1e-12);
+            }
+        }
+        // The block chain is a valid ergodic chain in its own right.
+        assert!(d.transition_chain_all_logit().is_ergodic());
+    }
+
+    #[test]
+    fn sweep_round_matrix_is_the_ordered_kernel_product() {
+        let game = TablePotentialGame::random(vec![2, 2], 2.0, &mut StdRng::seed_from_u64(3));
+        let d = LogitDynamics::new(game, 1.1);
+        let product = d.player_kernel(0).matmul(&d.player_kernel(1));
+        let sweep = d.transition_matrix_sweep_round();
+        assert!(sweep.max_abs_diff(&product) < 1e-12);
+        assert!(sweep.is_row_stochastic(1e-9));
+        assert!(d.transition_chain_sweep_round().is_ergodic());
+    }
+
+    #[test]
+    fn scheduled_uniform_single_matches_step_profile_exactly() {
+        let game = TablePotentialGame::random(vec![2, 3, 2], 2.0, &mut StdRng::seed_from_u64(9));
+        let d = DynamicsEngine::with_rule(game, MetropolisLogit, 1.2);
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let mut scratch_a = Scratch::for_game(d.game());
+        let mut scratch_b = Scratch::for_game(d.game());
+        let mut prof_a = vec![0usize, 2, 1];
+        let mut prof_b = prof_a.clone();
+        for t in 0..200 {
+            d.step_profile(&mut prof_a, &mut scratch_a, &mut rng_a);
+            d.step_scheduled(&UniformSingle, t, &mut prof_b, &mut scratch_b, &mut rng_b);
+            assert_eq!(prof_a, prof_b, "schedule path diverged at t = {t}");
+        }
+    }
+
+    #[test]
+    fn systematic_sweep_visits_players_in_order() {
+        let game = WellGame::plateau(4, 1.0);
+        let d = LogitDynamics::new(game, 0.7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut scratch = Scratch::for_game(d.game());
+        let mut profile = vec![0usize; 4];
+        for t in 0..12u64 {
+            let before = profile.clone();
+            d.step_scheduled(&SystematicSweep, t, &mut profile, &mut scratch, &mut rng);
+            let expected_player = (t % 4) as usize;
+            for (i, (&a, &b)) in before.iter().zip(&profile).enumerate() {
+                if i != expected_player {
+                    assert_eq!(a, b, "sweep tick {t} touched player {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_logit_block_samples_against_the_frozen_profile() {
+        // Two-player coordination at huge beta from the mismatched profile:
+        // each player's best response to the *frozen* profile is the other's
+        // current strategy, so a parallel block update swaps both and the
+        // pair keeps oscillating — the signature all-logit behaviour a
+        // sequential schedule cannot produce.
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let d = LogitDynamics::new(game, 60.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut scratch = Scratch::for_game(d.game());
+        let mut profile = vec![0usize, 1];
+        let moved = d.step_scheduled(&AllLogit, 0, &mut profile, &mut scratch, &mut rng);
+        assert_eq!(profile, vec![1, 0], "both players swap simultaneously");
+        assert_eq!(moved, 2);
+        let moved = d.step_scheduled(&AllLogit, 1, &mut profile, &mut scratch, &mut rng);
+        assert_eq!(profile, vec![0, 1], "and swap back");
+        assert_eq!(moved, 2);
+    }
+
+    #[test]
+    fn scheduled_flat_and_profile_paths_agree() {
+        let game = TablePotentialGame::random(vec![2, 2, 3], 2.0, &mut StdRng::seed_from_u64(6));
+        let d = LogitDynamics::new(game, 0.9);
+        let space = d.space().clone();
+        let mut rng_flat = StdRng::seed_from_u64(12);
+        let mut rng_prof = StdRng::seed_from_u64(12);
+        let mut scratch_flat = Scratch::for_game(d.game());
+        let mut scratch_prof = Scratch::for_game(d.game());
+        let mut state = space.index_of(&[1, 0, 2]);
+        let mut profile = vec![1usize, 0, 2];
+        for t in 0..60 {
+            state = d.step_indexed_scheduled(&AllLogit, t, state, &mut scratch_flat, &mut rng_flat);
+            d.step_scheduled(&AllLogit, t, &mut profile, &mut scratch_prof, &mut rng_prof);
+            assert_eq!(space.index_of(&profile), state, "engines diverged");
+        }
+    }
+
+    #[test]
     fn step_simulation_stays_in_range_and_moves_one_coordinate() {
         let game = WellGame::plateau(5, 2.0);
         let d = LogitDynamics::new(game, 1.0);
@@ -518,17 +867,24 @@ mod tests {
     #[test]
     fn profile_engine_runs_where_the_flat_index_cannot_exist() {
         // 2^1000 profiles: the flat index overflows usize, but the in-place
-        // engine neither builds nor needs the profile space.
+        // engine neither builds nor needs the profile space. Every rule runs
+        // through the same engine.
         let game = GraphicalCoordinationGame::new(
             GraphBuilder::ring(1000),
             CoordinationGame::from_deltas(2.0, 1.0),
         );
-        let d = LogitDynamics::new(game, 1.5);
+        let d = LogitDynamics::new(game.clone(), 1.5);
         let mut rng = StdRng::seed_from_u64(5);
         let mut scratch = Scratch::for_game(d.game());
         let mut profile = vec![0usize; 1000];
         for _ in 0..5000 {
             d.step_profile(&mut profile, &mut scratch, &mut rng);
+        }
+        assert!(profile.iter().all(|&s| s < 2));
+
+        let m = DynamicsEngine::with_rule(game, MetropolisLogit, 1.5);
+        for _ in 0..5000 {
+            m.step_profile(&mut profile, &mut scratch, &mut rng);
         }
         assert!(profile.iter().all(|&s| s < 2));
     }

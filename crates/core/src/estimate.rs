@@ -14,8 +14,9 @@
 //!   first. Used by the Section 4 experiments on games with dominant strategies
 //!   that are not potential games.
 
-use crate::dynamics::LogitDynamics;
+use crate::dynamics::{DynamicsEngine, LogitDynamics};
 use crate::gibbs;
+use crate::rules::{Logit, UpdateRule};
 use logit_games::{Game, PotentialGame};
 use logit_markov::{
     mixing_time, spectral_analysis, stationary_distribution, MarkovChain, SpectralSummary,
@@ -70,7 +71,26 @@ pub fn exact_mixing_time_general<G: Game>(
     epsilon: f64,
     max_time: u64,
 ) -> MixingMeasurement {
-    let dynamics = LogitDynamics::new(game, beta);
+    exact_mixing_time_with_rule(game, Logit, beta, epsilon, max_time)
+}
+
+/// Exact mixing-time measurement for an arbitrary [`UpdateRule`] under
+/// uniform single-player selection.
+///
+/// The stationary distribution is obtained by a linear solve, so this also
+/// serves rules without detailed balance (noisy best response) and
+/// non-potential games; for the reversible rules on potential games it
+/// agrees with [`exact_mixing_time`]. Spectral quantities are reported as
+/// `NaN` when the chain is not reversible with respect to its stationary
+/// distribution.
+pub fn exact_mixing_time_with_rule<G: Game, U: UpdateRule>(
+    game: &G,
+    rule: U,
+    beta: f64,
+    epsilon: f64,
+    max_time: u64,
+) -> MixingMeasurement {
+    let dynamics = DynamicsEngine::with_rule(game, rule, beta);
     let chain = dynamics.transition_chain();
     let pi = stationary_distribution(&chain);
     if chain.is_reversible(&pi, 1e-7) && pi.min() > 0.0 {
@@ -194,6 +214,27 @@ mod tests {
         let m = exact_mixing_time_general(&game, 1.0, 0.25, 1 << 20);
         assert!(m.mixing_time.is_some());
         assert_eq!(m.num_states, 4);
+    }
+
+    #[test]
+    fn metropolis_measurement_is_reversible_and_mixes() {
+        let game = WellGame::plateau(4, 2.0);
+        let m =
+            exact_mixing_time_with_rule(&game, crate::rules::MetropolisLogit, 1.0, 0.25, 1 << 30);
+        assert!(m.mixing_time.is_some());
+        // Metropolis is reversible w.r.t. Gibbs, so the spectral sandwich is
+        // filled in rather than NaN.
+        assert!(m.relaxation_time.is_finite());
+        assert!(m.relaxation_time >= 1.0);
+    }
+
+    #[test]
+    fn noisy_best_response_measurement_works_without_reversibility() {
+        let game = WellGame::plateau(3, 1.0);
+        let rule = crate::rules::NoisyBestResponse::new(0.3);
+        let m = exact_mixing_time_with_rule(&game, rule, 1.0, 0.25, 1 << 20);
+        assert!(m.mixing_time.is_some());
+        assert_eq!(m.num_states, 8);
     }
 
     #[test]

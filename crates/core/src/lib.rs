@@ -16,8 +16,12 @@
 //!
 //! The crate provides:
 //!
-//! * [`dynamics::LogitDynamics`] — the update rule, explicit chain construction
-//!   (dense and sparse) and single-step simulation,
+//! * [`dynamics::DynamicsEngine`] — the generic revision-dynamics engine:
+//!   pluggable update rules ([`rules`]: logit/Glauber, Metropolis, noisy best
+//!   response) and selection schedules ([`schedules`]: uniform single-player,
+//!   systematic sweep, parallel all-logit blocks), explicit chain
+//!   construction (dense, sparse, per-schedule) and single-step simulation —
+//!   with [`dynamics::LogitDynamics`] kept as the paper's logit instance,
 //! * [`gibbs`] — numerically stable Gibbs measures and partition functions,
 //! * [`simulate`] — trajectory simulation, parallel replica ensembles and
 //!   empirical-distribution estimation (rayon-based),
@@ -39,20 +43,29 @@ pub mod dynamics;
 pub mod estimate;
 pub mod gibbs;
 pub mod observables;
+pub mod rules;
+pub mod schedules;
 pub mod simulate;
 pub mod sweep;
 
 pub use barrier::{zeta, zeta_brute_force, BarrierResult};
 pub use coupling::{coupling_time_estimate, CouplingKind};
-pub use dynamics::{LogitDynamics, Scratch, StepEvent};
-pub use estimate::{exact_mixing_time, spectral_mixing_bounds, MixingMeasurement};
+pub use dynamics::{DynamicsEngine, LogitDynamics, Scratch, StepEvent};
+pub use estimate::{
+    exact_mixing_time, exact_mixing_time_with_rule, spectral_mixing_bounds, MixingMeasurement,
+};
 pub use gibbs::{gibbs_distribution, log_partition_function};
 pub use observables::{
     ensemble_time_series, HammingToProfile, NamedObservable, Observable, PotentialObservable,
     ProfileObservable, TimeSeries,
 };
+pub use rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
+pub use schedules::{AllLogit, SelectionSchedule, SystematicSweep, UniformSingle};
 pub use simulate::{
-    simulate_profile_trajectory, simulate_trajectory, EmpiricalLaw, EnsembleResult,
+    simulate_profile_trajectory, simulate_trajectory, EmpiricalLaw, EmptyLawError, EnsembleResult,
     ProfileEnsembleResult, Simulator,
 };
-pub use sweep::{beta_profile_sweep, beta_sweep, BetaSweepRow, ProfileSweepRow};
+pub use sweep::{
+    beta_profile_sweep, beta_profile_sweep_with_rule, beta_sweep, beta_sweep_with_rule,
+    BetaSweepRow, ProfileSweepRow,
+};

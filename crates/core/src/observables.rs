@@ -8,7 +8,8 @@
 //! strategy), time series averaged over ensembles of replicas, and CSV export
 //! for plotting.
 
-use crate::dynamics::LogitDynamics;
+use crate::dynamics::DynamicsEngine;
+use crate::rules::UpdateRule;
 use logit_games::{Game, PotentialGame, ProfileSpace};
 use logit_linalg::stats::RunningStats;
 use rand::SeedableRng;
@@ -231,8 +232,8 @@ impl TimeSeries {
 /// dynamics, sampling it at the given `record_times` (which must be increasing).
 ///
 /// Replicas run in parallel with reproducible per-replica RNG streams.
-pub fn ensemble_time_series<G, O>(
-    dynamics: &LogitDynamics<G>,
+pub fn ensemble_time_series<G, U, O>(
+    dynamics: &DynamicsEngine<G, U>,
     observable: &O,
     start: usize,
     record_times: &[u64],
@@ -241,6 +242,7 @@ pub fn ensemble_time_series<G, O>(
 ) -> TimeSeries
 where
     G: Game + Sync,
+    U: UpdateRule,
     O: Observable + Sync,
 {
     assert!(!record_times.is_empty(), "need at least one recording time");
@@ -289,6 +291,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamics::LogitDynamics;
     use crate::gibbs::expected_potential;
     use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
     use logit_graphs::GraphBuilder;

@@ -1,4 +1,5 @@
-//! Trajectory and ensemble simulation of the logit dynamics.
+//! Trajectory and ensemble simulation of the revision dynamics — generic
+//! over the update rule, with the paper's logit dynamics as the default.
 //!
 //! The exact analyses cap out around a few thousand profiles; beyond that the
 //! behaviour of the dynamics is studied by simulation. This module provides
@@ -17,8 +18,10 @@
 //! * empirical-distribution and observable tracking used by the experiments to
 //!   compare the simulated law of `X_t` against the Gibbs measure.
 
-use crate::dynamics::{LogitDynamics, Scratch};
+use crate::dynamics::{DynamicsEngine, Scratch};
 use crate::observables::ProfileObservable;
+use crate::rules::UpdateRule;
+use crate::schedules::SelectionSchedule;
 use logit_games::Game;
 use logit_linalg::stats::RunningStats;
 use logit_linalg::Vector;
@@ -30,8 +33,8 @@ use rayon::prelude::*;
 /// Simulates a single trajectory of `steps` transitions starting from the flat
 /// state index `start`, returning every visited state (including the start, so
 /// the result has `steps + 1` entries).
-pub fn simulate_trajectory<G: Game, R: Rng + ?Sized>(
-    dynamics: &LogitDynamics<G>,
+pub fn simulate_trajectory<G: Game, U: UpdateRule, R: Rng + ?Sized>(
+    dynamics: &DynamicsEngine<G, U>,
     start: usize,
     steps: u64,
     rng: &mut R,
@@ -52,8 +55,8 @@ pub fn simulate_trajectory<G: Game, R: Rng + ?Sized>(
 /// after every step. The large-`n` analogue of [`simulate_trajectory`]: no
 /// flat indices, no per-step allocation, and the trajectory is not stored —
 /// it is streamed through the callback.
-pub fn simulate_profile_trajectory<G: Game, R: Rng + ?Sized>(
-    dynamics: &LogitDynamics<G>,
+pub fn simulate_profile_trajectory<G: Game, U: UpdateRule, R: Rng + ?Sized>(
+    dynamics: &DynamicsEngine<G, U>,
     profile: &mut [usize],
     steps: u64,
     rng: &mut R,
@@ -99,12 +102,45 @@ pub struct EmpiricalLaw {
     sorted: Vec<f64>,
 }
 
+/// Error returned by [`EmpiricalLaw::try_from_samples`] when no samples are
+/// provided: an empirical law over zero replicas has no well-defined mean,
+/// quantiles or CDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyLawError;
+
+impl std::fmt::Display for EmptyLawError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "an empirical law needs at least one sample (zero replicas were provided)"
+        )
+    }
+}
+
+impl std::error::Error for EmptyLawError {}
+
 impl EmpiricalLaw {
     /// Builds the law from observable samples (one per replica).
-    pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "need at least one sample");
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty (use [`Self::try_from_samples`] for a
+    /// recoverable error) or when any sample is NaN.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Self::try_from_samples(samples).expect("EmpiricalLaw::from_samples")
+    }
+
+    /// Fallible counterpart of [`Self::from_samples`]: returns
+    /// [`EmptyLawError`] instead of panicking when `samples` is empty.
+    ///
+    /// # Panics
+    /// Still panics when a sample is NaN — a NaN observable is a bug in the
+    /// observable, not a recoverable runtime condition.
+    pub fn try_from_samples(mut samples: Vec<f64>) -> Result<Self, EmptyLawError> {
+        if samples.is_empty() {
+            return Err(EmptyLawError);
+        }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN observable sample"));
-        Self { sorted: samples }
+        Ok(Self { sorted: samples })
     }
 
     /// Number of samples.
@@ -132,7 +168,15 @@ impl EmpiricalLaw {
         *self.sorted.last().expect("law is non-empty")
     }
 
-    /// Empirical `q`-quantile (`0 ≤ q ≤ 1`), by the nearest-rank rule.
+    /// Empirical `q`-quantile (`0 ≤ q ≤ 1`), by the nearest-rank rule:
+    /// the sample of rank `max(1, ⌈q·len⌉)`.
+    ///
+    /// Boundary behaviour (tested): `q = 0` returns the smallest sample
+    /// ([`Self::min`]), `q = 1` returns the largest ([`Self::max`]), and a
+    /// single-sample law returns its one sample for every `q`.
+    ///
+    /// # Panics
+    /// Panics when `q` lies outside `[0, 1]` or is NaN.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile order must be in [0, 1]");
         let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
@@ -263,15 +307,16 @@ impl Simulator {
     /// The observable is evaluated on the *flat index*; use
     /// `dynamics.space().profile_of(idx)` inside the closure when the profile
     /// itself is needed.
-    pub fn run<G, F>(
+    pub fn run<G, U, F>(
         &self,
-        dynamics: &LogitDynamics<G>,
+        dynamics: &DynamicsEngine<G, U>,
         start: usize,
         steps: u64,
         observable: F,
     ) -> EnsembleResult
     where
         G: Game + Sync,
+        U: UpdateRule,
         F: Fn(usize) -> f64 + Sync,
     {
         assert!(start < dynamics.num_states(), "start state out of range");
@@ -317,9 +362,9 @@ impl Simulator {
     /// players run fine. Replica streams use the same seed derivation as
     /// [`Self::run`], so on small games the two engines agree replica by
     /// replica.
-    pub fn run_profiles<G, O>(
+    pub fn run_profiles<G, U, O>(
         &self,
-        dynamics: &LogitDynamics<G>,
+        dynamics: &DynamicsEngine<G, U>,
         start: &[usize],
         steps: u64,
         sample_every: u64,
@@ -327,6 +372,61 @@ impl Simulator {
     ) -> ProfileEnsembleResult
     where
         G: Game + Sync,
+        U: UpdateRule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_inner::<G, U, crate::schedules::UniformSingle, O>(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            None,
+        )
+    }
+
+    /// [`Self::run_profiles`] under an arbitrary
+    /// [`SelectionSchedule`](crate::schedules::SelectionSchedule): each step
+    /// is one schedule *tick* (a single player for the sequential schedules,
+    /// a whole block of `n` updates for the parallel all-logit schedule).
+    pub fn run_profiles_scheduled<G, U, S, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        schedule: &S,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_inner(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            Some(schedule),
+        )
+    }
+
+    fn run_profiles_inner<G, U, S, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+        schedule: Option<&S>,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
         O: ProfileObservable + Sync,
     {
         validate_start_profile(dynamics.game(), start);
@@ -350,7 +450,16 @@ impl Simulator {
                 let mut t = 0u64;
                 for &target in &times {
                     while t < target {
-                        dynamics.step_profile(&mut profile, &mut scratch, &mut rng);
+                        match schedule {
+                            // The default uniform single-player path keeps the
+                            // dedicated (and bit-compatible) fast path.
+                            None => {
+                                dynamics.step_profile(&mut profile, &mut scratch, &mut rng);
+                            }
+                            Some(s) => {
+                                dynamics.step_scheduled(s, t, &mut profile, &mut scratch, &mut rng);
+                            }
+                        }
                         t += 1;
                     }
                     values.push(observable.evaluate_profile(&profile));
@@ -384,9 +493,9 @@ impl Simulator {
     /// Convenience: runs the ensemble and reports the total variation distance of
     /// the empirical final-state distribution to `reference` (e.g. the Gibbs
     /// measure), without needing an observable.
-    pub fn tv_distance_after<G: Game + Sync>(
+    pub fn tv_distance_after<G: Game + Sync, U: UpdateRule>(
         &self,
-        dynamics: &LogitDynamics<G>,
+        dynamics: &DynamicsEngine<G, U>,
         start: usize,
         steps: u64,
         reference: &Vector,
@@ -402,9 +511,9 @@ impl Simulator {
     /// This is a *statistical estimate* of the mixing time (it under-resolves TV
     /// distances below the sampling noise `~sqrt(|S|/replicas)`), used only where
     /// exact computation is infeasible.
-    pub fn estimate_mixing_by_doubling<G: Game + Sync>(
+    pub fn estimate_mixing_by_doubling<G: Game + Sync, U: UpdateRule>(
         &self,
-        dynamics: &LogitDynamics<G>,
+        dynamics: &DynamicsEngine<G, U>,
         start: usize,
         reference: &Vector,
         target_tv: f64,
@@ -427,6 +536,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamics::LogitDynamics;
     use crate::gibbs::gibbs_distribution;
     use logit_games::{CoordinationGame, GraphicalCoordinationGame, PotentialGame, WellGame};
     use logit_graphs::GraphBuilder;
@@ -598,6 +708,103 @@ mod tests {
         assert_eq!(law.ks_distance(&same), 0.0);
         let shifted = EmpiricalLaw::from_samples(vec![11.0, 12.0, 13.0, 14.0]);
         assert_eq!(law.ks_distance(&shifted), 1.0);
+    }
+
+    #[test]
+    fn empirical_law_quantile_boundaries() {
+        let law = EmpiricalLaw::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+        // q = 0 is the smallest sample, q = 1 the largest (nearest-rank rule).
+        assert_eq!(law.quantile(0.0), law.min());
+        assert_eq!(law.quantile(0.0), 1.0);
+        assert_eq!(law.quantile(1.0), law.max());
+        assert_eq!(law.quantile(1.0), 4.0);
+        // A single-sample law returns its one sample for every q.
+        let single = EmpiricalLaw::from_samples(vec![7.5]);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(single.quantile(q), 7.5);
+        }
+        assert_eq!(single.min(), 7.5);
+        assert_eq!(single.max(), 7.5);
+        assert_eq!(single.mean(), 7.5);
+    }
+
+    #[test]
+    fn empty_samples_are_a_recoverable_error() {
+        let err = EmpiricalLaw::try_from_samples(Vec::new()).unwrap_err();
+        assert_eq!(err, EmptyLawError);
+        assert!(err.to_string().contains("at least one sample"));
+        assert!(EmpiricalLaw::try_from_samples(vec![1.0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "EmpiricalLaw::from_samples")]
+    fn empty_samples_panic_through_the_infallible_constructor() {
+        let _ = EmpiricalLaw::from_samples(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile order")]
+    fn out_of_range_quantile_rejected() {
+        let law = EmpiricalLaw::from_samples(vec![1.0, 2.0]);
+        let _ = law.quantile(1.5);
+    }
+
+    #[test]
+    fn scheduled_ensemble_with_uniform_single_matches_the_default_path() {
+        use crate::observables::PotentialObservable;
+        use crate::schedules::UniformSingle;
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(4),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let d = LogitDynamics::new(game.clone(), 0.9);
+        let sim = Simulator::new(21, 32);
+        let obs = PotentialObservable::new(game);
+        let default = sim.run_profiles(&d, &[0, 0, 0, 0], 50, 10, &obs);
+        let scheduled = sim.run_profiles_scheduled(&d, &UniformSingle, &[0, 0, 0, 0], 50, 10, &obs);
+        assert_eq!(default.final_values, scheduled.final_values);
+        assert_eq!(default.times, scheduled.times);
+    }
+
+    #[test]
+    fn all_logit_ensemble_runs_at_large_n() {
+        use crate::observables::StrategyFraction;
+        use crate::schedules::AllLogit;
+        // 300 binary players, parallel block updates: one tick = 300 player
+        // updates, far beyond any flat index.
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(300),
+            CoordinationGame::from_deltas(3.0, 1.0),
+        );
+        let d = LogitDynamics::new(game, 2.0);
+        let sim = Simulator::new(13, 6);
+        let obs = StrategyFraction::new(0, "zeros");
+        let result = sim.run_profiles_scheduled(&d, &AllLogit, &vec![1usize; 300], 200, 50, &obs);
+        assert_eq!(result.final_values.len(), 6);
+        // Strategy 0 is risk dominant; 200 block ticks = 60000 updates should
+        // flip a clear majority.
+        assert!(
+            result.law().mean() > 0.5,
+            "zeros fraction = {}",
+            result.law().mean()
+        );
+    }
+
+    #[test]
+    fn metropolis_ensemble_approaches_gibbs() {
+        use crate::rules::MetropolisLogit;
+        use crate::DynamicsEngine;
+        let game =
+            GraphicalCoordinationGame::new(GraphBuilder::ring(3), CoordinationGame::symmetric(1.0));
+        let beta = 0.7;
+        let d = DynamicsEngine::with_rule(game.clone(), MetropolisLogit, beta);
+        let pi = gibbs_distribution(&game, beta);
+        let sim = Simulator::new(42, 4000);
+        let tv = sim.tv_distance_after(&d, 0, 600, &pi);
+        assert!(
+            tv < 0.08,
+            "Metropolis ensemble law should approach Gibbs, tv = {tv}"
+        );
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! independent exact computation — which is where the multi-core speedup of the
 //! harness comes from.
 
-use crate::estimate::{exact_mixing_time, MixingMeasurement};
+use crate::estimate::{exact_mixing_time, exact_mixing_time_with_rule, MixingMeasurement};
 use crate::observables::ProfileObservable;
+use crate::rules::{Logit, UpdateRule};
 use crate::simulate::{EmpiricalLaw, Simulator};
-use crate::LogitDynamics;
+use crate::DynamicsEngine;
 use logit_games::{Game, PotentialGame};
 use rayon::prelude::*;
 
@@ -40,6 +41,32 @@ where
         .map(|&beta| BetaSweepRow {
             beta,
             measurement: exact_mixing_time(game, beta, epsilon, max_time),
+            delta_phi,
+        })
+        .collect()
+}
+
+/// [`beta_sweep`] under an arbitrary [`UpdateRule`]: exact per-β mixing
+/// measurements of the rule's uniform-selection chain (stationary law by
+/// linear solve, so non-reversible rules work too), in parallel over the β
+/// grid.
+pub fn beta_sweep_with_rule<G, U>(
+    game: &G,
+    rule: &U,
+    betas: &[f64],
+    epsilon: f64,
+    max_time: u64,
+) -> Vec<BetaSweepRow>
+where
+    G: PotentialGame + Sync,
+    U: UpdateRule,
+{
+    let delta_phi = game.max_global_variation();
+    betas
+        .par_iter()
+        .map(|&beta| BetaSweepRow {
+            beta,
+            measurement: exact_mixing_time_with_rule(game, rule.clone(), beta, epsilon, max_time),
             delta_phi,
         })
         .collect()
@@ -120,11 +147,44 @@ where
     G: Game + Clone + Sync,
     O: ProfileObservable + Sync,
 {
+    beta_profile_sweep_with_rule(
+        game,
+        &Logit,
+        betas,
+        start,
+        steps,
+        sample_every,
+        replicas,
+        seed,
+        observable,
+    )
+}
+
+/// [`beta_profile_sweep`] under an arbitrary [`UpdateRule`]: the same
+/// in-place replica ensembles, stepping the given rule instead of the logit
+/// softmax.
+#[allow(clippy::too_many_arguments)]
+pub fn beta_profile_sweep_with_rule<G, U, O>(
+    game: &G,
+    rule: &U,
+    betas: &[f64],
+    start: &[usize],
+    steps: u64,
+    sample_every: u64,
+    replicas: usize,
+    seed: u64,
+    observable: &O,
+) -> Vec<ProfileSweepRow>
+where
+    G: Game + Clone + Sync,
+    U: UpdateRule,
+    O: ProfileObservable + Sync,
+{
     let sim = Simulator::new(seed, replicas);
     betas
         .iter()
         .map(|&beta| {
-            let dynamics = LogitDynamics::new(game.clone(), beta);
+            let dynamics = DynamicsEngine::with_rule(game.clone(), rule.clone(), beta);
             let result = sim.run_profiles(&dynamics, start, steps, sample_every, observable);
             let stats = result.final_stats();
             ProfileSweepRow {
@@ -208,6 +268,50 @@ mod tests {
         // At beta = 0 updates are coin flips: the adopter fraction hovers
         // around one half.
         assert!((rows[0].mean - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn rule_generic_exact_sweep_measures_every_rule() {
+        use crate::rules::{MetropolisLogit, NoisyBestResponse};
+        let game = WellGame::plateau(3, 1.5);
+        let betas = [0.5, 1.0];
+        let metro = beta_sweep_with_rule(&game, &MetropolisLogit, &betas, 0.25, 1 << 24);
+        assert_eq!(metro.len(), 2);
+        assert!(metro.iter().all(|r| r.measurement.mixing_time.is_some()));
+        let nbr = beta_sweep_with_rule(&game, &NoisyBestResponse::new(0.2), &betas, 0.25, 1 << 24);
+        assert!(nbr.iter().all(|r| r.measurement.mixing_time.is_some()));
+    }
+
+    #[test]
+    fn rule_generic_profile_sweep_runs_metropolis() {
+        use crate::observables::StrategyFraction;
+        use crate::rules::MetropolisLogit;
+        use logit_games::{CoordinationGame, GraphicalCoordinationGame};
+        use logit_graphs::GraphBuilder;
+
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(30),
+            CoordinationGame::from_deltas(1.0, 3.0),
+        );
+        let obs = StrategyFraction::new(1, "adopters");
+        let rows = beta_profile_sweep_with_rule(
+            &game,
+            &MetropolisLogit,
+            &[0.0, 2.5],
+            &vec![0usize; 30],
+            4000,
+            1000,
+            40,
+            5,
+            &obs,
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].mean > rows[0].mean + 0.1,
+            "rationality should raise adoption under Metropolis too: {} vs {}",
+            rows[1].mean,
+            rows[0].mean
+        );
     }
 
     #[test]

@@ -1,12 +1,53 @@
 //! Property-based tests for the logit dynamics itself.
 
 use logit_core::observables::PotentialObservable;
-use logit_core::{gibbs_distribution, zeta, zeta_brute_force, LogitDynamics, Scratch, Simulator};
+use logit_core::rules::{MetropolisLogit, UpdateRule};
+use logit_core::{
+    gibbs_distribution, zeta, zeta_brute_force, DynamicsEngine, LogitDynamics, Scratch, Simulator,
+};
 use logit_games::{Game, PotentialGame, TablePotentialGame};
 use logit_markov::{stationary_distribution, total_variation};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// A verbatim copy of the pre-refactor `LogitDynamics::step_profile` hot
+/// path (softmax via log-sum-exp, inverse-CDF sampling), used to pin the
+/// refactored engine to the exact trajectories the old engine produced.
+///
+/// A sibling reference copy lives in `crates/bench/src/bin/bench_engines.rs`
+/// (`legacy_logit_steps_per_sec`): that one pins *throughput parity*, this
+/// one pins *bit-identical trajectories*; keep both in sync with the
+/// historical hot path.
+fn legacy_step_profile<G: Game, R: Rng + ?Sized>(
+    game: &G,
+    beta: f64,
+    profile: &mut [usize],
+    rng: &mut R,
+) {
+    let n = game.num_players();
+    let player = rng.gen_range(0..n);
+    let m = game.num_strategies(player);
+    let mut utils = vec![0.0; m];
+    game.utilities_for(player, profile, &mut utils);
+    let max = utils
+        .iter()
+        .map(|&u| beta * u)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let probs: Vec<f64> = utils.iter().map(|&u| (beta * u - max).exp()).collect();
+    let total: f64 = probs.iter().sum();
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut chosen = m - 1;
+    for (s, &p) in probs.iter().enumerate() {
+        acc += p / total;
+        if u < acc {
+            chosen = s;
+            break;
+        }
+    }
+    profile[player] = chosen;
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -188,6 +229,79 @@ proptest! {
         prop_assert!((last.mean() - law.mean()).abs() < 1e-12);
         prop_assert!((last.min() - law.min()).abs() < 1e-12);
         prop_assert!((last.max() - law.max()).abs() < 1e-12);
+    }
+
+    /// Detailed balance, satellite check: on small random potential games the
+    /// `Logit` and `MetropolisLogit` uniform-selection chains both have
+    /// stationary distribution equal to `gibbs()` — verified exactly on the
+    /// sparse transition matrix, entrywise (`π_x P_{xy} = π_y P_{yx}`) and as
+    /// a fixed point (`π P = π`).
+    #[test]
+    fn logit_and_metropolis_satisfy_detailed_balance_wrt_gibbs(
+        seed in 0u64..10_000,
+        beta in 0.0f64..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 3, 2], 2.0, &mut rng);
+        let pi = gibbs_distribution(&game, beta);
+
+        fn check<G, U>(d: &DynamicsEngine<G, U>, pi: &logit_linalg::Vector) -> Result<(), TestCaseError>
+        where
+            G: PotentialGame,
+            U: UpdateRule,
+        {
+            let sparse = d.transition_sparse();
+            prop_assert!(sparse.is_row_stochastic(1e-9));
+            let p = sparse.to_dense();
+            let size = p.nrows();
+            // Entrywise detailed balance w.r.t. the Gibbs measure...
+            for x in 0..size {
+                for y in 0..size {
+                    prop_assert!(
+                        (pi[x] * p[(x, y)] - pi[y] * p[(y, x)]).abs() < 1e-9,
+                        "detailed balance fails at ({x}, {y})"
+                    );
+                }
+            }
+            // ...hence Gibbs is a fixed point of the chain.
+            let pi_next = sparse.vecmat(pi);
+            prop_assert!(total_variation(&pi_next, pi) < 1e-9);
+            Ok(())
+        }
+
+        check(&LogitDynamics::new(game.clone(), beta), &pi)?;
+        check(&DynamicsEngine::with_rule(game, MetropolisLogit, beta), &pi)?;
+    }
+
+    /// Backward-compatibility pin, satellite check: the `Logit` rule's
+    /// trajectories through the refactored generic engine are bit-identical
+    /// to the pre-refactor engine (verbatim reference implementation above)
+    /// from the same seed — same player draws, same strategy draws, step by
+    /// step, on any random potential game and any β.
+    #[test]
+    fn logit_rule_is_bit_identical_to_the_pre_refactor_engine(
+        seed in 0u64..10_000,
+        beta in 0.0f64..5.0,
+        start_raw in 0usize..1000,
+    ) {
+        let mut game_rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 3, 2], 3.0, &mut game_rng);
+        let d = LogitDynamics::new(game.clone(), beta);
+        let space = game.profile_space();
+        let start = space.profile_of(start_raw % space.size());
+
+        let mut rng_new = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut rng_old = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut scratch = Scratch::for_game(&game);
+        let mut prof_new = start.clone();
+        let mut prof_old = start;
+        for t in 0..150 {
+            d.step_profile(&mut prof_new, &mut scratch, &mut rng_new);
+            legacy_step_profile(&game, beta, &mut prof_old, &mut rng_old);
+            prop_assert_eq!(&prof_new, &prof_old, "diverged from legacy engine at step {}", t);
+        }
+        // And the RNG streams are in the same position afterwards.
+        prop_assert_eq!(rng_new.gen::<u64>(), rng_old.gen::<u64>());
     }
 
     /// Monotonicity of the Gibbs measure: raising β can only move mass towards

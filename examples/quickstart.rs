@@ -67,4 +67,29 @@ fn main() {
         result.observable_stats.mean(),
         -(game.graph().num_edges() as f64) * delta
     );
+
+    // Swapping the update rule is one constructor away: the Metropolis chain
+    // shares the Gibbs stationary distribution but mixes through a different
+    // kernel, and noisy best response replaces beta-noise with epsilon-mutation.
+    println!();
+    println!("same game, other revision rules (exact mixing time at beta = {beta}):");
+    let metro = exact_mixing_time_with_rule(&game, MetropolisLogit, beta, epsilon, 1 << 34);
+    let nbr =
+        exact_mixing_time_with_rule(&game, NoisyBestResponse::new(0.1), beta, epsilon, 1 << 34);
+    for (name, m) in [("metropolis", metro), ("nbr(0.10)", nbr)] {
+        println!(
+            "  {name:>10}: t_mix = {}",
+            m.mixing_time
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "> budget".into())
+        );
+    }
+
+    // The parallel all-logit block schedule is its own exact chain.
+    let all_logit_chain = dynamics.transition_chain_all_logit();
+    println!(
+        "  all-logit block chain: ergodic = {} ({} states, one block = {n} updates)",
+        all_logit_chain.is_ergodic(),
+        all_logit_chain.num_states()
+    );
 }

@@ -42,14 +42,17 @@ pub use logit_markov as markov;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use logit_anneal::{
-        anneal_minimize, expected_social_welfare, AnnealedLogitDynamics, BetaSchedule,
-        ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule,
+        anneal_minimize, anneal_minimize_with_rule, expected_social_welfare, AnnealedDynamics,
+        AnnealedLogitDynamics, BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp,
+        LogarithmicSchedule,
     };
     pub use logit_core::bounds;
     pub use logit_core::{
-        exact_mixing_time, gibbs_distribution, zeta, BarrierResult, CouplingKind, EmpiricalLaw,
-        LogitDynamics, MixingMeasurement, NamedObservable, ProfileEnsembleResult,
-        ProfileObservable, Scratch, Simulator, StepEvent,
+        exact_mixing_time, exact_mixing_time_with_rule, gibbs_distribution, zeta, AllLogit,
+        BarrierResult, CouplingKind, DynamicsEngine, EmpiricalLaw, Logit, LogitDynamics,
+        MetropolisLogit, MixingMeasurement, NamedObservable, NoisyBestResponse,
+        ProfileEnsembleResult, ProfileObservable, Scratch, SelectionSchedule, Simulator, StepEvent,
+        SystematicSweep, UniformSingle, UpdateRule,
     };
     pub use logit_games::{
         AllZeroDominantGame, CongestionGame, CoordinationGame, Game, GraphicalCoordinationGame,
@@ -72,5 +75,22 @@ mod tests {
         assert_eq!(d.num_states(), 4);
         let chain = d.transition_chain();
         assert!(chain.is_ergodic());
+    }
+
+    #[test]
+    fn facade_exposes_the_rule_and_schedule_layer() {
+        let game = CoordinationGame::from_deltas(2.0, 1.0);
+        let d = DynamicsEngine::with_rule(game, MetropolisLogit, 1.0);
+        assert!(d.transition_chain().is_ergodic());
+        assert!(d.transition_chain_all_logit().is_ergodic());
+        assert_eq!(d.rule().name(), "metropolis");
+        let m = exact_mixing_time_with_rule(
+            &CoordinationGame::from_deltas(2.0, 1.0),
+            NoisyBestResponse::new(0.2),
+            1.0,
+            0.25,
+            1 << 20,
+        );
+        assert!(m.mixing_time.is_some());
     }
 }
