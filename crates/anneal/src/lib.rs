@@ -27,8 +27,10 @@ pub mod schedule;
 pub mod welfare;
 
 pub use annealed::{AnnealedDynamics, AnnealedLogitDynamics};
-pub use optimize::{anneal_minimize, anneal_minimize_with_rule, AnnealingOutcome};
+pub use optimize::{
+    anneal_minimize, anneal_minimize_with_rule, tempering_minimize, AnnealingOutcome,
+};
 pub use schedule::{
-    BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule,
+    BetaLadder, BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule,
 };
 pub use welfare::{expected_social_welfare, optimal_social_welfare, welfare_ratio};

@@ -83,13 +83,10 @@ where
     let space = game.profile_space();
     assert!(start < space.size(), "start state out of range");
 
-    // Global minimum by enumeration (these are the exactly-analysable games).
+    // Global minimum via the game's hook (closed form where it has one,
+    // enumeration otherwise — these are the exactly-analysable games).
     let mut buf = vec![0usize; game.num_players()];
-    let mut global_minimum = f64::INFINITY;
-    for idx in space.indices() {
-        space.write_profile(idx, &mut buf);
-        global_minimum = global_minimum.min(game.potential(&buf));
-    }
+    let global_minimum = game.min_potential();
 
     let finals: Vec<usize> = (0..replicas)
         .into_par_iter()
@@ -136,10 +133,95 @@ where
     }
 }
 
+/// Replica-exchange as a potential minimiser — the tempering counterpart of
+/// [`anneal_minimize`], sharing its [`AnnealingOutcome`] report so the two
+/// strategies compare row for row.
+///
+/// Runs `ensembles` independent `logit_core::TemperingEnsemble`s over the
+/// given [`BetaLadder`](crate::schedule::BetaLadder) for `rounds` rounds of
+/// `sweep_ticks` ticks each (uniform single-player selection), and scores the
+/// **cold** replica's final profile of every ensemble. Where annealing visits
+/// the temperature ladder *in time* (and can freeze in a local minimum once β
+/// has grown), tempering keeps every temperature alive and lets barrier
+/// crossings made by the hot rungs propagate to the cold one through swaps —
+/// on well-style potentials this is the difference between `e^{βΔΦ}` and
+/// polynomial escape (experiment E13).
+///
+/// `AnnealingOutcome::steps` reports total engine ticks per ensemble
+/// (`rounds · sweep_ticks · K`), so step budgets are comparable with
+/// [`anneal_minimize`]'s single-chain `steps`.
+#[allow(clippy::too_many_arguments)]
+pub fn tempering_minimize<G, U>(
+    game: &G,
+    rule: U,
+    ladder: &crate::schedule::BetaLadder,
+    start: usize,
+    rounds: u64,
+    sweep_ticks: u64,
+    ensembles: usize,
+    seed: u64,
+) -> AnnealingOutcome
+where
+    G: PotentialGame + Send + Sync + Clone,
+    U: logit_core::rules::UpdateRule,
+{
+    use logit_core::schedules::UniformSingle;
+    use logit_core::TemperingEnsemble;
+    use rayon::prelude::*;
+
+    assert!(ensembles > 0, "need at least one ensemble");
+    let space = game.profile_space();
+    assert!(start < space.size(), "start state out of range");
+    let start_profile = space.profile_of(start);
+    let global_minimum = game.min_potential();
+
+    let ensemble = TemperingEnsemble::new(game.clone(), rule, ladder.betas());
+    let finals: Vec<Vec<usize>> = (0..ensembles)
+        .into_par_iter()
+        .map(|e| {
+            let mut state = ensemble.init_state(
+                &start_profile,
+                seed ^ (e as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            );
+            for _ in 0..rounds {
+                ensemble.round(&UniformSingle, &mut state, sweep_ticks);
+            }
+            state.cold_profile().to_vec()
+        })
+        .collect();
+
+    let tol = 1e-9;
+    let mut best_profile = finals[0].clone();
+    let mut best_potential = f64::INFINITY;
+    let mut successes = 0usize;
+    let mut total_potential = 0.0;
+    for profile in &finals {
+        let phi = game.potential(profile);
+        total_potential += phi;
+        if phi < best_potential {
+            best_potential = phi;
+            best_profile = profile.clone();
+        }
+        if (phi - global_minimum).abs() <= tol {
+            successes += 1;
+        }
+    }
+
+    AnnealingOutcome {
+        replicas: ensembles,
+        steps: rounds * sweep_ticks * ladder.len() as u64,
+        best_profile,
+        best_potential,
+        global_minimum,
+        success_rate: successes as f64 / ensembles as f64,
+        mean_final_potential: total_potential / ensembles as f64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::{ConstantSchedule, GeometricSchedule, LinearRamp};
+    use crate::schedule::{BetaLadder, ConstantSchedule, GeometricSchedule, LinearRamp};
     use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame, WellGame};
     use logit_graphs::GraphBuilder;
 
@@ -244,5 +326,61 @@ mod tests {
     fn zero_replicas_rejected() {
         let game = WellGame::plateau(3, 1.0);
         let _ = anneal_minimize(&game, ConstantSchedule::new(1.0), 0, 10, 0, 1);
+    }
+
+    #[test]
+    fn tempering_minimize_finds_the_risk_dominant_consensus() {
+        use logit_core::rules::Logit;
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(5),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let space = game.profile_space();
+        let start = space.index_of(&[1, 1, 1, 1, 1]);
+        let ladder = BetaLadder::geometric(0.3, 4.0, 4);
+        let outcome = tempering_minimize(&game, Logit, &ladder, start, 60, 5, 32, 9);
+        assert!(outcome.found_global_minimum(1e-9));
+        assert_eq!(outcome.best_profile, vec![0, 0, 0, 0, 0]);
+        assert_eq!(outcome.replicas, 32);
+        assert_eq!(outcome.steps, 60 * 5 * 4);
+        assert!(
+            outcome.success_rate > 0.7,
+            "most cold replicas should land in the minimiser (got {})",
+            outcome.success_rate
+        );
+    }
+
+    #[test]
+    fn tempering_report_is_comparable_with_annealing() {
+        // Same game, same start (on the ridge), comparable step budgets: both
+        // minimisers fill the shared AnnealingOutcome report.
+        use logit_core::rules::MetropolisLogit;
+        let game = WellGame::new(6, 4.0, 2.0);
+        let space = game.profile_space();
+        let start = space.index_of(&[1, 1, 0, 0, 0, 0]);
+        let ladder = BetaLadder::geometric(0.2, 3.0, 4);
+        let tempered = tempering_minimize(&game, MetropolisLogit, &ladder, start, 40, 4, 24, 11);
+        let annealed = anneal_minimize_with_rule(
+            &game,
+            MetropolisLogit,
+            LinearRamp::new(0.0, 3.0, 300),
+            start,
+            tempered.steps,
+            24,
+            11,
+        );
+        assert!(tempered.found_global_minimum(1e-9));
+        assert!(annealed.found_global_minimum(1e-9));
+        assert_eq!(tempered.global_minimum, annealed.global_minimum);
+        assert!(tempered.mean_final_potential <= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ensemble")]
+    fn zero_tempering_ensembles_rejected() {
+        use logit_core::rules::Logit;
+        let game = WellGame::plateau(3, 1.0);
+        let ladder = BetaLadder::geometric(0.5, 1.0, 2);
+        let _ = tempering_minimize(&game, Logit, &ladder, 0, 5, 2, 0, 1);
     }
 }

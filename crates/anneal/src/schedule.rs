@@ -1,4 +1,4 @@
-//! Inverse-noise (β) schedules.
+//! Inverse-noise (β) schedules and β-ladders.
 //!
 //! A schedule maps the step counter `t` to the inverse noise `β_t ≥ 0` used by
 //! the time-inhomogeneous logit dynamics at that step. The classic simulated-
@@ -7,6 +7,15 @@
 //! least the largest barrier — which in the language of the paper is exactly the
 //! quantity `ζ` of Section 3.4. The geometric and linear schedules are the
 //! practical choices.
+//!
+//! A [`BetaLadder`] is the *spatial* counterpart of a schedule: instead of one
+//! chain visiting many temperatures over time, a replica-exchange ensemble
+//! (`logit_core::TemperingEnsemble`) runs `K` chains at a fixed increasing
+//! ladder `β_0 < ⋯ < β_{K−1}` simultaneously and swaps their states. The
+//! geometric ladder (constant ratio between rungs) is the textbook default —
+//! the swap acceptance between adjacent rungs depends on `β_{i+1}/β_i`, so a
+//! constant ratio equalises exchange rates; the linear ladder is the standard
+//! alternative when the potential's scale varies little across temperatures.
 
 /// A (deterministic) inverse-noise schedule.
 pub trait BetaSchedule {
@@ -182,6 +191,105 @@ impl BetaSchedule for LogarithmicSchedule {
     }
 }
 
+/// A strictly increasing β-ladder for replica exchange, hot (`β_min`) to cold
+/// (`β_max`).
+///
+/// Feed [`Self::betas`] to `logit_core::TemperingEnsemble::new`. A ladder of
+/// `k = 1` collapses to the single cold temperature (the degenerate ladder a
+/// tempering ensemble treats as a plain chain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BetaLadder {
+    betas: Vec<f64>,
+}
+
+impl BetaLadder {
+    /// Geometric ladder: `k` rungs with a constant ratio between adjacent
+    /// rungs, `β_i = β_min · (β_max/β_min)^{i/(k−1)}`. The default choice —
+    /// constant rung ratios roughly equalise adjacent swap acceptance.
+    ///
+    /// # Panics
+    /// Panics unless `0 < β_min < β_max` (strict — the ensemble needs a
+    /// strictly increasing ladder), both finite, and `k ≥ 1` (with `k = 1`
+    /// requiring nothing of `β_min`; the ladder is just `[β_max]`).
+    pub fn geometric(beta_min: f64, beta_max: f64, k: usize) -> Self {
+        assert!(k >= 1, "a ladder needs at least one rung");
+        assert!(
+            beta_min.is_finite() && beta_max.is_finite(),
+            "ladder endpoints must be finite"
+        );
+        if k == 1 {
+            assert!(beta_max >= 0.0, "beta must be non-negative");
+            return Self {
+                betas: vec![beta_max],
+            };
+        }
+        assert!(
+            beta_min > 0.0,
+            "geometric ladders need a positive hot endpoint"
+        );
+        assert!(beta_min < beta_max, "the ladder must have room to increase");
+        let ratio = (beta_max / beta_min).powf(1.0 / (k - 1) as f64);
+        let mut betas: Vec<f64> = (0..k).map(|i| beta_min * ratio.powi(i as i32)).collect();
+        // Pin the endpoints exactly despite floating-point drift.
+        betas[0] = beta_min;
+        betas[k - 1] = beta_max;
+        Self { betas }
+    }
+
+    /// Linear ladder: `k` evenly spaced rungs from `β_min` to `β_max`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ β_min < β_max` (strict for `k ≥ 2` — the ensemble
+    /// needs a strictly increasing ladder), both finite, and `k ≥ 1`
+    /// (`k = 1` gives `[β_max]`).
+    pub fn linear(beta_min: f64, beta_max: f64, k: usize) -> Self {
+        assert!(k >= 1, "a ladder needs at least one rung");
+        assert!(
+            beta_min.is_finite() && beta_max.is_finite(),
+            "ladder endpoints must be finite"
+        );
+        assert!(beta_min >= 0.0, "beta must stay non-negative");
+        if k == 1 {
+            assert!(beta_max >= 0.0, "beta must stay non-negative");
+            return Self {
+                betas: vec![beta_max],
+            };
+        }
+        assert!(beta_min < beta_max, "the ladder must have room to increase");
+        let step = (beta_max - beta_min) / (k - 1) as f64;
+        let mut betas: Vec<f64> = (0..k).map(|i| beta_min + step * i as f64).collect();
+        betas[0] = beta_min;
+        betas[k - 1] = beta_max;
+        Self { betas }
+    }
+
+    /// The rungs, hot to cold (strictly increasing).
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
+    /// Number of rungs `K`.
+    pub fn len(&self) -> usize {
+        self.betas.len()
+    }
+
+    /// A ladder is never empty; this mirrors the standard container API.
+    pub fn is_empty(&self) -> bool {
+        self.betas.is_empty()
+    }
+
+    /// The hottest (smallest) β.
+    pub fn hot(&self) -> f64 {
+        self.betas[0]
+    }
+
+    /// The coldest (largest) β — the temperature whose Gibbs measure the cold
+    /// replica samples.
+    pub fn cold(&self) -> f64 {
+        *self.betas.last().expect("a ladder is never empty")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +349,65 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn shrinking_geometric_rejected() {
         let _ = GeometricSchedule::new(1.0, 0.5, 10, 2.0);
+    }
+
+    #[test]
+    fn geometric_ladder_has_constant_rung_ratio_and_exact_endpoints() {
+        let ladder = BetaLadder::geometric(0.25, 4.0, 5);
+        assert_eq!(ladder.len(), 5);
+        assert!(!ladder.is_empty());
+        assert_eq!(ladder.hot(), 0.25);
+        assert_eq!(ladder.cold(), 4.0);
+        let betas = ladder.betas();
+        assert!(betas.windows(2).all(|w| w[0] < w[1]));
+        let ratios: Vec<f64> = betas.windows(2).map(|w| w[1] / w[0]).collect();
+        for r in &ratios {
+            assert!((r - 2.0).abs() < 1e-9, "4 doublings from 0.25 to 4.0");
+        }
+    }
+
+    #[test]
+    fn linear_ladder_is_evenly_spaced() {
+        let ladder = BetaLadder::linear(0.0, 2.0, 5);
+        assert_eq!(ladder.betas(), &[0.0, 0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(ladder.hot(), 0.0);
+        assert_eq!(ladder.cold(), 2.0);
+    }
+
+    #[test]
+    fn single_rung_ladders_collapse_to_the_cold_beta() {
+        assert_eq!(BetaLadder::geometric(0.1, 3.0, 1).betas(), &[3.0]);
+        assert_eq!(BetaLadder::linear(0.1, 3.0, 1).betas(), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive hot endpoint")]
+    fn geometric_ladder_rejects_zero_hot_endpoint() {
+        let _ = BetaLadder::geometric(0.0, 2.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "room to increase")]
+    fn ladders_must_increase() {
+        let _ = BetaLadder::linear(2.0, 2.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rung")]
+    fn empty_ladder_rejected() {
+        let _ = BetaLadder::geometric(0.1, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn single_rung_linear_ladder_rejects_negative_cold_beta() {
+        let _ = BetaLadder::linear(0.0, -5.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn single_rung_geometric_ladder_rejects_negative_cold_beta() {
+        let _ = BetaLadder::geometric(0.1, -5.0, 1);
     }
 
     #[test]

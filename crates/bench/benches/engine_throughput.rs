@@ -148,12 +148,45 @@ fn bench_all_logit_block(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tempered_round(c: &mut Criterion) {
+    // One tempering round = K·n player updates plus one swap phase (K
+    // potential evaluations and K−1 Metropolis coin flips). The per-update
+    // cost must track the single profile engine: the sweep phase is the same
+    // monomorphised loop, the swap phase amortises over n ticks.
+    use logit_anneal::BetaLadder;
+    use logit_core::schedules::UniformSingle;
+    use logit_core::TemperingEnsemble;
+
+    let mut group = c.benchmark_group("tempered_round");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        for rungs in [1usize, 4] {
+            let game = GraphicalCoordinationGame::new(
+                GraphBuilder::ring(n),
+                CoordinationGame::from_deltas(1.0, 2.0),
+            );
+            let ladder = BetaLadder::geometric(0.5, 1.5, rungs);
+            let ensemble = TemperingEnsemble::new(game, Logit, ladder.betas());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("K={rungs}/n={n}")),
+                &ensemble,
+                |b, ens| {
+                    let mut state = ens.init_state(&vec![0usize; n], 1);
+                    b.iter(|| ens.round(&UniformSingle, &mut state, n as u64))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flat_engine,
     bench_profile_engine,
     bench_rules_profile_engine,
     bench_all_logit_block,
-    bench_legacy_alloc_step
+    bench_legacy_alloc_step,
+    bench_tempered_round
 );
 criterion_main!(benches);

@@ -10,8 +10,10 @@
 //! pluggable-rule seam costs throughput (it must not: the rule is a
 //! monomorphised generic, not a dynamic dispatch).
 
+use logit_anneal::BetaLadder;
 use logit_core::rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
-use logit_core::{DynamicsEngine, Scratch};
+use logit_core::schedules::UniformSingle;
+use logit_core::{DynamicsEngine, Scratch, TemperingEnsemble};
 use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame};
 use logit_graphs::GraphBuilder;
 use rand::rngs::StdRng;
@@ -109,6 +111,55 @@ fn legacy_logit_steps_per_sec(n: usize, steps: u64) -> f64 {
     steps as f64 / clock.elapsed().as_secs_f64()
 }
 
+/// Per-update throughput of the tempering ensemble: `K` replicas stepping
+/// under uniform selection with a Metropolis swap phase every `n` ticks. The
+/// sweep phase is the same monomorphised hot loop as the single engine, so
+/// per-update cost must match the profile engine up to the amortised swap
+/// overhead (K potential evaluations — O(K·n) work — every K·n updates).
+fn tempered_updates_per_sec(n: usize, rungs: usize, updates: u64) -> f64 {
+    let game = GraphicalCoordinationGame::new(
+        GraphBuilder::ring(n),
+        CoordinationGame::from_deltas(1.0, 2.0),
+    );
+    let ladder = BetaLadder::geometric(0.5, 1.5, rungs);
+    let ensemble = TemperingEnsemble::new(game, Logit, ladder.betas());
+    let mut state = ensemble.init_state(&vec![0usize; n], 1);
+    let sweep_ticks = n as u64;
+    let rounds = (updates / (sweep_ticks * rungs as u64)).max(1);
+    let clock = std::time::Instant::now();
+    for _ in 0..rounds {
+        ensemble.round(&UniformSingle, &mut state, sweep_ticks);
+    }
+    std::hint::black_box(state.cold_profile());
+    (rounds * sweep_ticks * rungs as u64) as f64 / clock.elapsed().as_secs_f64()
+}
+
+fn tempered_rows(rungs: usize, sizes: &[usize], steps: u64) -> String {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let tempered = tempered_updates_per_sec(n, rungs, steps);
+        // The apples-to-apples baseline is the K = 1 ladder: the same stack
+        // (step_scheduled loop, ChaCha replica streams) with no swaps, which
+        // the bit-identity regression test pins to the plain engine. The
+        // per-rule rows above keep the raw profile-engine numbers (StdRng, a
+        // cheaper generator), so the two baselines are not comparable to each
+        // other — the tempered invariant is this in-stack ratio.
+        let single = tempered_updates_per_sec(n, 1, steps);
+        rows.push(format!(
+            "        {{\"n\": {n}, \"tempered_updates_per_sec\": {tempered:.0}, \"single_chain_updates_per_sec\": {single:.0}, \"tempered_over_single\": {:.3}}}",
+            tempered / single
+        ));
+        eprintln!(
+            "   tempered(K={rungs}) n = {n:>6}: tempered = {tempered:.3e}, K=1 = {single:.3e}, ratio = {:.3}",
+            tempered / single
+        );
+    }
+    format!(
+        "  \"tempered\": {{\n    \"what\": \"TemperingEnsemble (Logit, K = {rungs} geometric ladder 0.5..1.5), per player-update, swap phase every n ticks, vs the K = 1 ladder through the same stack; the ratio is the orchestration-overhead invariant (swaps amortise to noise)\",\n    \"rows\": [\n{}\n    ]\n  }}",
+        rows.join(",\n")
+    )
+}
+
 fn rule_rows<U: UpdateRule>(rule: U, sizes: &[usize], steps: u64) -> String {
     let mut rows = Vec::new();
     for &n in sizes {
@@ -162,8 +213,14 @@ fn main() {
         "parity (n = {parity_n}, median of 3): legacy = {legacy:.3e}, engine = {engine:.3e}, ratio = {ratio:.3}"
     );
 
+    // Tempered-engine rows: measured at the sizes where the ensemble is the
+    // interesting tool (large-n in-place replicas; the tiny sizes only add
+    // noise). The in-process ratio against the single profile engine is the
+    // committed invariant.
+    let tempered = tempered_rows(4, &[1_000, 10_000, 100_000], steps);
+
     println!(
-        "{{\n  \"benchmark\": \"revision-dynamics step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"legacy_parity\": {{\n    \"what\": \"generic engine (Logit rule) vs verbatim pre-refactor inline loop, same host, same process, n = {parity_n}, median of 3 interleaved rounds\",\n    \"legacy_steps_per_sec\": {legacy:.0},\n    \"engine_steps_per_sec\": {engine:.0},\n    \"engine_over_legacy\": {ratio:.3}\n  }},\n  \"rules\": [\n{}\n  ]\n}}",
+        "{{\n  \"benchmark\": \"revision-dynamics step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"legacy_parity\": {{\n    \"what\": \"generic engine (Logit rule) vs verbatim pre-refactor inline loop, same host, same process, n = {parity_n}, median of 3 interleaved rounds\",\n    \"legacy_steps_per_sec\": {legacy:.0},\n    \"engine_steps_per_sec\": {engine:.0},\n    \"engine_over_legacy\": {ratio:.3}\n  }},\n{tempered},\n  \"rules\": [\n{}\n  ]\n}}",
         rule_sets.join(",\n")
     );
 }

@@ -1,0 +1,8 @@
+//! E13 — parallel tempering vs the Theorem 3.5 exponential barrier (well game).
+//!
+//! `--fast` shrinks the instance to the grid the test suite and the CI smoke
+//! step use.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("{}", logit_bench::experiments::e13_tempering(fast));
+}

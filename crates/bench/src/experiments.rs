@@ -671,6 +671,119 @@ pub fn e12_cross_rule(fast: bool) -> String {
     )
 }
 
+/// E13 — parallel tempering vs the single-chain exponential barrier: on E4's
+/// well game the single logit chain at high β needs `e^{βΔΦ(1−o(1))}` steps
+/// to reach the opposite well (Theorem 3.5); a replica-exchange ensemble
+/// across a geometric β-ladder crosses through its hot rungs and hands the
+/// crossing down by Metropolis-accepted state swaps.
+///
+/// The single-chain baseline is *exact* — the expected hitting time of the
+/// opposite well solved by LU on the flat chain, per ladder rung — so the
+/// comparison is against closed-form Markov-chain theory, not a lucky
+/// simulation. The tempered cost is measured: independent tempering
+/// ensembles run until the **cold** replica first sits in the opposite well,
+/// and every replica's ticks are charged (total engine steps = K × ticks).
+pub fn e13_tempering(fast: bool) -> String {
+    use logit_anneal::BetaLadder;
+    use logit_core::schedules::UniformSingle;
+    use logit_core::TemperingEnsemble;
+    use logit_markov::expected_hitting_times;
+    use rand::Rng;
+
+    let game = if fast {
+        WellGame::plateau(6, 2.0)
+    } else {
+        WellGame::new(8, 4.0, 2.0)
+    };
+    let n = game.num_players();
+    let dphi = game.max_global_variation();
+    let beta_cold = if fast { 6.0 } else { 4.0 };
+    let rungs = if fast { 5 } else { 6 };
+    let ladder = BetaLadder::geometric(0.3, beta_cold, rungs);
+    let trials = if fast { 24 } else { 48 };
+    let sweep_ticks = n as u64;
+    let max_rounds = 100_000u64;
+
+    // Exact per-rung baseline: expected hitting time of the opposite well
+    // from the all-zero well under the single uniform-selection logit chain.
+    let space = game.profile_space();
+    let start_idx = space.index_of(&vec![0usize; n]);
+    let targets: Vec<usize> = space
+        .indices()
+        .filter(|&idx| game.in_opposite_well(&space.profile_of(idx)))
+        .collect();
+    let mut exact_table = Table::new(vec!["beta", "exact E[T_hit] (single chain)"]);
+    let mut hit_cold = f64::NAN;
+    for &beta in ladder.betas() {
+        let chain = LogitDynamics::new(game.clone(), beta).transition_chain();
+        let h = expected_hitting_times(&chain, &targets);
+        exact_table.push_row(vec![f3(beta), format!("{:.3e}", h[start_idx])]);
+        hit_cold = h[start_idx];
+    }
+
+    // Measured tempered cost: ticks (per replica) until the cold replica
+    // first sits in the opposite well, averaged over independent ensembles.
+    let ensemble = TemperingEnsemble::new(game.clone(), logit_core::Logit, ladder.betas());
+    let mut rng = StdRng::seed_from_u64(0xE13);
+    let mut ticks_sum = 0.0f64;
+    let mut worst = 0u64;
+    let mut stats = logit_core::SwapStats::new(rungs - 1);
+    let mut timeouts = 0usize;
+    for _ in 0..trials {
+        let mut state = ensemble.init_state(&vec![0usize; n], rng.gen::<u64>());
+        match ensemble.run_until(&UniformSingle, &mut state, sweep_ticks, max_rounds, |p| {
+            game.in_opposite_well(p)
+        }) {
+            Some(ticks) => {
+                ticks_sum += ticks as f64;
+                worst = worst.max(ticks);
+            }
+            None => timeouts += 1,
+        }
+        stats.merge(state.swap_stats());
+    }
+    let hits = trials - timeouts;
+    let mean_ticks = ticks_sum / hits.max(1) as f64;
+    let total_steps = mean_ticks * rungs as f64;
+    let speedup = hit_cold / total_steps;
+
+    let mut tempered_table = Table::new(vec![
+        "trials",
+        "K",
+        "mean ticks/replica",
+        "worst",
+        "total engine steps (K x ticks)",
+        "speedup vs exact cold chain",
+    ]);
+    tempered_table.push_row(vec![
+        format!("{hits}/{trials}"),
+        rungs.to_string(),
+        f1(mean_ticks),
+        worst.to_string(),
+        f1(total_steps),
+        format!("{speedup:.1}x"),
+    ]);
+
+    let rates: Vec<String> = stats.rates().iter().map(|r| format!("{r:.2}")).collect();
+    format!(
+        "E13 — parallel tempering vs the Theorem 3.5 barrier, well game n={n}, deltaPhi={dphi}\n\n\
+         Geometric beta-ladder {:?} (hot -> cold), swaps every {sweep_ticks} ticks.\n\n\
+         Exact single-chain baseline (LU solve of E[T_hit(opposite well)] from all-zeros):\n\n{}\n\
+         Tempered ensemble (measured, cold-replica first hit):\n\n{}\n\
+         adjacent swap acceptance rates (hot -> cold): [{}]\n\
+         PASS iff every trial hits, the speedup at beta_cold = {beta_cold} is >= 10x, and every\n\
+         swap rate is bounded away from 0 (a connected ladder).\n",
+        ladder
+            .betas()
+            .iter()
+            .map(|b| (b * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>(),
+        exact_table.render(),
+        tempered_table.render(),
+        rates.join(", "),
+    )
+}
+
 /// Gibbs-measure sanity panel printed alongside the suite: stationary mass of
 /// the consensus profiles on ring vs clique as β grows (the "who wins" picture).
 pub fn stationary_panel(fast: bool) -> String {
@@ -768,6 +881,7 @@ pub fn all_reports(fast: bool) -> Vec<(&'static str, String)> {
         ("E10", e10_ring(fast)),
         ("E11", e11_large_ring(fast)),
         ("E12", e12_cross_rule(fast)),
+        ("E13", e13_tempering(fast)),
         ("Stationary", stationary_panel(fast)),
         ("Transient", transient_panel(fast)),
     ]
@@ -885,6 +999,47 @@ mod tests {
         assert!(
             mean > 0.5,
             "risk-dominant adoption should exceed one half, got {mean}"
+        );
+    }
+
+    #[test]
+    fn e13_fast_report_shows_at_least_tenfold_tempering_speedup() {
+        let report = e13_tempering(true);
+        assert!(report.contains("parallel tempering"));
+        // The acceptance criterion is enforced, not just printed: the cold
+        // replica of the tempered ensemble reaches the opposite well in >= 10x
+        // fewer total engine steps than the exact single chain at beta_cold.
+        let speedup: f64 = report
+            .lines()
+            .flat_map(|l| l.split_whitespace())
+            .find(|w| w.ends_with('x') && w.chars().next().unwrap().is_ascii_digit())
+            .expect("speedup cell present")
+            .trim_end_matches('x')
+            .parse()
+            .expect("speedup parses");
+        assert!(
+            speedup >= 10.0,
+            "tempering should beat the exponential barrier by >= 10x, got {speedup}x"
+        );
+        // Every trial hit the opposite well within the budget.
+        assert!(report.contains("24/24"), "all trials must hit:\n{report}");
+        // The ladder is connected: no swap rate collapsed to zero.
+        let rates_line = report
+            .lines()
+            .find(|l| l.starts_with("adjacent swap acceptance"))
+            .expect("swap-rate line present");
+        let rates: Vec<f64> = rates_line
+            .split('[')
+            .nth(1)
+            .unwrap()
+            .trim_end_matches(']')
+            .split(',')
+            .map(|r| r.trim().parse().expect("rate parses"))
+            .collect();
+        assert_eq!(rates.len(), 4, "K = 5 rungs give 4 adjacent pairs");
+        assert!(
+            rates.iter().all(|&r| r > 0.05),
+            "swap rates must stay bounded away from 0, got {rates:?}"
         );
     }
 

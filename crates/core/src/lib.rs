@@ -34,7 +34,12 @@
 //! * [`bounds`] — one function per theorem, returning the paper's closed-form
 //!   upper/lower bounds so experiments can print "measured vs. bound" tables,
 //! * [`sweep`] — parallel parameter sweeps (over β, n, topologies) producing the
-//!   rows of every experiment table in `EXPERIMENTS.md`.
+//!   rows of every experiment table in `EXPERIMENTS.md`,
+//! * [`tempering`] — replica exchange (parallel tempering) across a β-ladder:
+//!   `K` engines sharing one game, Metropolis-accepted adjacent state swaps on
+//!   the potential difference, swap-rate diagnostics, and the exact
+//!   product-chain constructions the test harness validates the swap kernel
+//!   against.
 
 pub mod barrier;
 pub mod bounds;
@@ -47,6 +52,7 @@ pub mod rules;
 pub mod schedules;
 pub mod simulate;
 pub mod sweep;
+pub mod tempering;
 
 pub use barrier::{zeta, zeta_brute_force, BarrierResult};
 pub use coupling::{coupling_time_estimate, CouplingKind};
@@ -63,9 +69,10 @@ pub use rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
 pub use schedules::{AllLogit, SelectionSchedule, SystematicSweep, UniformSingle};
 pub use simulate::{
     simulate_profile_trajectory, simulate_trajectory, EmpiricalLaw, EmptyLawError, EnsembleResult,
-    ProfileEnsembleResult, Simulator,
+    ProfileEnsembleResult, Simulator, TemperedEnsembleResult,
 };
 pub use sweep::{
     beta_profile_sweep, beta_profile_sweep_with_rule, beta_sweep, beta_sweep_with_rule,
     BetaSweepRow, ProfileSweepRow,
 };
+pub use tempering::{SwapStats, TemperingEnsemble, TemperingState};

@@ -85,9 +85,22 @@ fn validate_start_profile<G: Game>(game: &G, profile: &[usize]) {
 }
 
 /// The deterministic per-replica stream seed shared by every ensemble entry
-/// point, so the flat and profile engines can be compared replica-by-replica.
-fn replica_seed(seed: u64, replica: usize) -> u64 {
+/// point, so the flat and profile engines can be compared replica-by-replica
+/// (and so a `TemperingEnsemble` rung walks the same stream as the matching
+/// `Simulator` replica).
+pub(crate) fn replica_seed(seed: u64, replica: usize) -> u64 {
     seed ^ (replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The master seed of tempering ensemble `e` in [`Simulator::run_tempered`].
+///
+/// Deliberately a *different* odd multiplier than [`replica_seed`]: the rung
+/// streams of ensemble `e` are `replica_seed(ensemble_seed(seed, e), r)`, and
+/// reusing the replica constant would make that expression symmetric in
+/// `(e, r)` — ensemble 1's rung 0 would walk ensemble 0's rung 1 stream,
+/// silently correlating "independent" ensembles.
+pub(crate) fn ensemble_seed(seed: u64, ensemble: usize) -> u64 {
+    seed ^ (ensemble as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
 }
 
 /// The empirical law of a scalar observable across replicas.
@@ -279,6 +292,60 @@ impl ProfileEnsembleResult {
             ));
         }
         out
+    }
+}
+
+/// Result of a tempered ensemble run ([`Simulator::run_tempered`]): the
+/// streamed time series of one observable evaluated on the **cold** replica
+/// across independent tempering ensembles, plus the pooled swap diagnostics.
+///
+/// This is the tempering analogue of [`ProfileEnsembleResult`]: the cold
+/// replica is the one whose law targets Gibbs at `β_cold`, so its observable
+/// stream is what the experiments reduce — without any end-of-run barrier,
+/// values are recorded as the rounds unfold.
+#[derive(Debug, Clone)]
+pub struct TemperedEnsembleResult {
+    /// Number of independent tempering ensembles simulated.
+    pub ensembles: usize,
+    /// Replicas (β-rungs) per ensemble.
+    pub replicas_per_ensemble: usize,
+    /// Tempering rounds each ensemble ran.
+    pub rounds: u64,
+    /// Engine ticks per replica per round.
+    pub sweep_ticks: u64,
+    /// Name of the observable.
+    pub name: String,
+    /// Recorded times, in engine ticks per replica (round boundaries).
+    pub times: Vec<u64>,
+    /// Statistics of the cold-replica observable across ensembles at each
+    /// recorded time.
+    pub series: Vec<RunningStats>,
+    /// Cold-replica observable of every ensemble at the final round.
+    pub final_values: Vec<f64>,
+    /// Swap diagnostics pooled over all ensembles.
+    pub swap_stats: crate::tempering::SwapStats,
+}
+
+impl TemperedEnsembleResult {
+    /// Mean of the cold-replica observable across ensembles at each recorded
+    /// time.
+    pub fn means(&self) -> Vec<f64> {
+        self.series.iter().map(|s| s.mean()).collect()
+    }
+
+    /// The final-time empirical law of the cold-replica observable.
+    pub fn law(&self) -> EmpiricalLaw {
+        EmpiricalLaw::from_samples(self.final_values.clone())
+    }
+
+    /// Pooled swap acceptance rate of every adjacent ladder pair, hot to cold.
+    pub fn swap_rates(&self) -> Vec<f64> {
+        self.swap_stats.rates()
+    }
+
+    /// Total engine ticks spent per ensemble (all replicas summed).
+    pub fn engine_ticks_per_ensemble(&self) -> u64 {
+        self.rounds * self.sweep_ticks * self.replicas_per_ensemble as u64
     }
 }
 
@@ -487,6 +554,93 @@ impl Simulator {
             times,
             series,
             final_values,
+        }
+    }
+
+    /// Runs independent replica-exchange ensembles in parallel — the
+    /// tempering analogue of [`Self::run_profiles_scheduled`].
+    ///
+    /// Each of the simulator's `replicas` entries becomes one *tempering
+    /// ensemble* (a full β-ladder of `ensemble.num_replicas()` chains) with
+    /// its own deterministic stream family derived from the master seed. Every
+    /// ensemble starts all rungs from a copy of `start`, runs `rounds`
+    /// tempering rounds of `sweep_ticks` ticks each under `schedule`, and
+    /// `observable` is evaluated on the **cold** replica's profile every
+    /// `sample_every` rounds (plus at the final round) — streamed as the run
+    /// unfolds, no end-of-run barrier. Swap diagnostics are pooled across
+    /// ensembles.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_tempered<G, U, S, O>(
+        &self,
+        ensemble: &crate::tempering::TemperingEnsemble<G, U>,
+        schedule: &S,
+        start: &[usize],
+        rounds: u64,
+        sweep_ticks: u64,
+        sample_every: u64,
+        observable: &O,
+    ) -> TemperedEnsembleResult
+    where
+        G: logit_games::PotentialGame + Send + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
+        O: ProfileObservable + Sync,
+    {
+        assert!(rounds >= 1, "need at least one round");
+        assert!(sweep_ticks >= 1, "need at least one tick per round");
+        assert!(
+            sample_every >= 1,
+            "sampling period must be at least 1 round"
+        );
+
+        let mut sample_rounds: Vec<u64> = (1..=rounds / sample_every)
+            .map(|k| k * sample_every)
+            .collect();
+        if sample_rounds.last() != Some(&rounds) {
+            sample_rounds.push(rounds);
+        }
+
+        let per_ensemble: Vec<(Vec<f64>, crate::tempering::SwapStats)> = (0..self.replicas)
+            .into_par_iter()
+            .map(|e| {
+                let mut state = ensemble.init_state(start, ensemble_seed(self.seed, e));
+                let mut values = Vec::with_capacity(sample_rounds.len());
+                let mut r = 0u64;
+                for &target in &sample_rounds {
+                    while r < target {
+                        ensemble.round(schedule, &mut state, sweep_ticks);
+                        r += 1;
+                    }
+                    values.push(observable.evaluate_profile(state.cold_profile()));
+                }
+                (values, state.swap_stats().clone())
+            })
+            .collect();
+
+        let mut series = vec![RunningStats::new(); sample_rounds.len()];
+        let mut swap_stats =
+            crate::tempering::SwapStats::new(ensemble.num_replicas().saturating_sub(1));
+        for (values, stats) in &per_ensemble {
+            for (k, &v) in values.iter().enumerate() {
+                series[k].push(v);
+            }
+            swap_stats.merge(stats);
+        }
+        let final_values: Vec<f64> = per_ensemble
+            .iter()
+            .map(|(values, _)| *values.last().expect("at least one recording round"))
+            .collect();
+
+        TemperedEnsembleResult {
+            ensembles: self.replicas,
+            replicas_per_ensemble: ensemble.num_replicas(),
+            rounds,
+            sweep_ticks,
+            name: observable.name().to_string(),
+            times: sample_rounds.iter().map(|&r| r * sweep_ticks).collect(),
+            series,
+            final_values,
+            swap_stats,
         }
     }
 
@@ -821,6 +975,71 @@ mod tests {
             assert_eq!(p[event.player], event.new_strategy);
         });
         assert_eq!(visits, 250);
+    }
+
+    #[test]
+    fn ensemble_and_rung_seed_derivations_never_collide() {
+        // The composed rung stream seed (e, r) -> replica_seed(ensemble_seed(s, e), r)
+        // must be injective: with a shared multiplier it would be symmetric in
+        // (e, r) and "independent" ensembles would walk each other's streams.
+        let seed = 0xDEAD_BEEF_u64;
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..16 {
+            for r in 0..16 {
+                assert!(
+                    seen.insert(replica_seed(ensemble_seed(seed, e), r)),
+                    "rung stream seed collision at ensemble {e}, rung {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tempered_ensembles_stream_the_cold_replica_and_pool_swap_stats() {
+        use crate::observables::PotentialObservable;
+        use crate::schedules::UniformSingle;
+        use crate::tempering::TemperingEnsemble;
+        let game = WellGame::plateau(4, 2.0);
+        let ensemble = TemperingEnsemble::new(game.clone(), crate::rules::Logit, &[0.4, 1.2, 2.4]);
+        let sim = Simulator::new(31, 24);
+        let obs = PotentialObservable::new(game);
+        let result = sim.run_tempered(&ensemble, &UniformSingle, &[0; 4], 25, 4, 10, &obs);
+        assert_eq!(result.ensembles, 24);
+        assert_eq!(result.replicas_per_ensemble, 3);
+        // Samples at rounds 10, 20 plus the final round 25, in engine ticks.
+        assert_eq!(result.times, vec![40, 80, 100]);
+        assert_eq!(result.series.len(), 3);
+        assert!(result.series.iter().all(|s| s.count() == 24));
+        assert_eq!(result.final_values.len(), 24);
+        assert_eq!(result.engine_ticks_per_ensemble(), 25 * 4 * 3);
+        // Every ensemble attempted every pair once per round.
+        assert_eq!(result.swap_stats.attempts(0), 24 * 25);
+        assert_eq!(result.swap_stats.attempts(1), 24 * 25);
+        assert_eq!(result.swap_rates().len(), 2);
+        // Reproducible: same seed, same everything.
+        let again = sim.run_tempered(&ensemble, &UniformSingle, &[0; 4], 25, 4, 10, &obs);
+        assert_eq!(result.final_values, again.final_values);
+        assert_eq!(result.swap_stats, again.swap_stats);
+    }
+
+    #[test]
+    fn tempered_cold_replica_law_tracks_gibbs_potential() {
+        use crate::observables::PotentialObservable;
+        use crate::schedules::UniformSingle;
+        use crate::tempering::TemperingEnsemble;
+        let game = WellGame::plateau(4, 2.0);
+        let beta_cold = 2.0;
+        let ensemble =
+            TemperingEnsemble::new(game.clone(), crate::rules::Logit, &[0.3, 1.0, beta_cold]);
+        let sim = Simulator::new(8, 400);
+        let obs = PotentialObservable::new(game.clone());
+        let result = sim.run_tempered(&ensemble, &UniformSingle, &[0; 4], 150, 4, 150, &obs);
+        let expected = crate::gibbs::expected_potential(&game, beta_cold);
+        let mean = result.law().mean();
+        assert!(
+            (mean - expected).abs() < 0.1,
+            "cold-replica mean potential {mean} should approach the Gibbs expectation {expected}"
+        );
     }
 
     #[test]

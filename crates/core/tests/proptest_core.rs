@@ -1,15 +1,18 @@
 //! Property-based tests for the logit dynamics itself.
 
 use logit_core::observables::PotentialObservable;
-use logit_core::rules::{MetropolisLogit, UpdateRule};
+use logit_core::rules::{Logit, MetropolisLogit, UpdateRule};
+use logit_core::schedules::{AllLogit, SelectionSchedule, SystematicSweep, UniformSingle};
 use logit_core::{
     gibbs_distribution, zeta, zeta_brute_force, DynamicsEngine, LogitDynamics, Scratch, Simulator,
+    TemperingEnsemble,
 };
 use logit_games::{Game, PotentialGame, TablePotentialGame};
 use logit_markov::{stationary_distribution, total_variation};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// A verbatim copy of the pre-refactor `LogitDynamics::step_profile` hot
 /// path (softmax via log-sum-exp, inverse-CDF sampling), used to pin the
@@ -302,6 +305,151 @@ proptest! {
         }
         // And the RNG streams are in the same position afterwards.
         prop_assert_eq!(rng_new.gen::<u64>(), rng_old.gen::<u64>());
+    }
+
+    /// Tempering swap kernel, satellite check: for a two-rung ladder on a
+    /// random tiny potential game, the exact swap kernel and the exact tensor
+    /// sweep are both entrywise reversible w.r.t. the *product* Gibbs measure
+    /// `π(x, y) ∝ e^{−β_hot Φ(x) − β_cold Φ(y)}`, and the composed tempering
+    /// round fixes it — for the logit and the Metropolis rule alike. This is
+    /// the game-level twin of the chain-level proptests in
+    /// `crates/markov/tests/proptest_product.rs`.
+    #[test]
+    fn tempering_swap_kernel_satisfies_detailed_balance_wrt_product_gibbs(
+        seed in 0u64..10_000,
+        beta_hot in 0.0f64..1.0,
+        beta_gap in 0.1f64..2.0,
+        sweep_ticks in 1u64..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 2], 2.0, &mut rng);
+        let ladder = [beta_hot, beta_hot + beta_gap];
+
+        fn check<U: UpdateRule>(
+            ens: &TemperingEnsemble<TablePotentialGame, U>,
+            sweep_ticks: u64,
+        ) -> Result<(), TestCaseError> {
+            let pi = ens.product_gibbs();
+            prop_assert!(pi.is_distribution(1e-9));
+            // Entrywise detailed balance of the swap kernel...
+            let swap = ens.swap_chain_exact();
+            let size = pi.len();
+            for s in 0..size {
+                for t in 0..size {
+                    let forward = pi[s] * swap.prob(s, t);
+                    let backward = pi[t] * swap.prob(t, s);
+                    prop_assert!(
+                        (forward - backward).abs() < 1e-10,
+                        "swap detailed balance fails at ({s}, {t})"
+                    );
+                }
+            }
+            // ...and of the tensor sweep (both marginal chains are reversible).
+            prop_assert!(ens.tensor_chain_exact().is_reversible(&pi, 1e-9));
+            // The composed round keeps the product Gibbs measure stationary.
+            let round = ens.round_chain_exact(sweep_ticks);
+            let stepped = round.step_distribution(&pi);
+            prop_assert!(total_variation(&stepped, &pi) < 1e-9);
+            Ok(())
+        }
+
+        check(&TemperingEnsemble::new(game.clone(), Logit, &ladder), sweep_ticks)?;
+        check(&TemperingEnsemble::new(game, MetropolisLogit, &ladder), sweep_ticks)?;
+    }
+
+    /// Bit-identity regression, satellite check: a `K = 1` tempering ladder is
+    /// a no-op wrapper — its single replica walks exactly the trajectory of
+    /// the plain `step_scheduled` engine from the same seed (the tempering
+    /// replica stream for rung 0 is the master seed itself, and the swap RNG
+    /// is a separate stream that a one-rung ladder never touches).
+    #[test]
+    fn k1_tempering_ladder_is_bit_identical_to_the_plain_engine(
+        seed in 0u64..10_000,
+        beta in 0.0f64..4.0,
+        sweep_ticks in 1u64..6,
+    ) {
+        let mut game_rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 3, 2], 3.0, &mut game_rng);
+        let ens = TemperingEnsemble::new(game.clone(), Logit, &[beta]);
+        let mut state = ens.init_state(&[0, 0, 0], seed);
+
+        let plain = LogitDynamics::new(game.clone(), beta);
+        // Replica 0's stream seed is `seed ^ 0·odd = seed`.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut scratch = Scratch::for_game(&game);
+        let mut profile = vec![0usize; 3];
+
+        for round in 0..30u64 {
+            let swaps = ens.round(&UniformSingle, &mut state, sweep_ticks);
+            prop_assert_eq!(swaps, 0);
+            for t in round * sweep_ticks..(round + 1) * sweep_ticks {
+                plain.step_scheduled(&UniformSingle, t, &mut profile, &mut scratch, &mut rng);
+            }
+            prop_assert_eq!(state.cold_profile(), &profile[..], "diverged in round {}", round);
+        }
+    }
+
+    /// Selection-schedule invariants, satellite check: each schedule updates
+    /// exactly the set of players it claims. `UniformSingle` selects one
+    /// in-range player per tick and `step_scheduled` moves no one else; a
+    /// `SystematicSweep` round of `n` consecutive ticks selects every player
+    /// exactly once; `AllLogit` selects all `n` players, in order, every tick.
+    #[test]
+    fn selection_schedules_update_the_players_they_claim(
+        seed in 0u64..10_000,
+        beta in 0.0f64..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 3, 2, 2], 2.0, &mut rng);
+        let n = game.num_players();
+        let d = LogitDynamics::new(game.clone(), beta);
+        let mut step_rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+        let mut sel_rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+        let mut scratch = Scratch::for_game(&game);
+        let mut selected = Vec::new();
+
+        // UniformSingle: one in-range player; everyone else frozen. The
+        // schedule draws its player from the same stream the step consumes,
+        // so probe the selection on a clone of the stepping RNG.
+        let mut profile = vec![0usize; n];
+        for t in 0..40u64 {
+            UniformSingle.select_players(t, n, &mut step_rng.clone(), &mut selected);
+            prop_assert_eq!(selected.len(), 1);
+            prop_assert!(selected[0] < n);
+            let before = profile.clone();
+            d.step_scheduled(&UniformSingle, t, &mut profile, &mut scratch, &mut step_rng);
+            for i in 0..n {
+                if i != selected[0] {
+                    prop_assert_eq!(profile[i], before[i], "tick {} froze player {}", t, i);
+                }
+            }
+        }
+
+        // SystematicSweep: every player exactly once per n-tick round, and a
+        // tick only ever moves its scheduled player.
+        let mut profile = vec![0usize; n];
+        for round in 0..6u64 {
+            let mut hits = vec![0usize; n];
+            for t in round * n as u64..(round + 1) * n as u64 {
+                SystematicSweep.select_players(t, n, &mut sel_rng, &mut selected);
+                prop_assert_eq!(selected.len(), 1);
+                hits[selected[0]] += 1;
+                let before = profile.clone();
+                d.step_scheduled(&SystematicSweep, t, &mut profile, &mut scratch, &mut step_rng);
+                for i in 0..n {
+                    if i != selected[0] {
+                        prop_assert_eq!(profile[i], before[i]);
+                    }
+                }
+            }
+            prop_assert!(hits.iter().all(|&h| h == 1), "sweep round must hit every player once");
+        }
+
+        // AllLogit: the full player set, in order, every tick.
+        for t in 0..5u64 {
+            AllLogit.select_players(t, n, &mut sel_rng, &mut selected);
+            prop_assert_eq!(&selected, &(0..n).collect::<Vec<_>>());
+        }
     }
 
     /// Monotonicity of the Gibbs measure: raising β can only move mass towards

@@ -155,6 +155,58 @@ impl<G: PotentialGame + ?Sized> PotentialGame for &G {
     fn potential(&self, profile: &[usize]) -> f64 {
         (**self).potential(profile)
     }
+    fn max_global_variation(&self) -> f64 {
+        (**self).max_global_variation()
+    }
+    fn max_local_variation(&self) -> f64 {
+        (**self).max_local_variation()
+    }
+    fn min_potential(&self) -> f64 {
+        (**self).min_potential()
+    }
+    fn max_potential(&self) -> f64 {
+        (**self).max_potential()
+    }
+}
+
+/// Shared-ownership games: a replica ensemble (e.g. parallel tempering) runs
+/// many engines over *one* game; cloning an `Arc<G>` shares the payoff data
+/// (for graphical games, the `O(n)` adjacency lists) instead of duplicating
+/// it per replica. Every method is forwarded explicitly — like the `&G`
+/// blanket impls above — so a game's batched `utilities_for` override and
+/// its closed-form potential bounds survive the indirection instead of
+/// falling back to the defaulted (enumerating) implementations.
+impl<G: Game + ?Sized> Game for std::sync::Arc<G> {
+    fn num_players(&self) -> usize {
+        (**self).num_players()
+    }
+    fn num_strategies(&self, player: usize) -> usize {
+        (**self).num_strategies(player)
+    }
+    fn utility(&self, player: usize, profile: &[usize]) -> f64 {
+        (**self).utility(player, profile)
+    }
+    fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        (**self).utilities_for(player, profile, out)
+    }
+}
+
+impl<G: PotentialGame + ?Sized> PotentialGame for std::sync::Arc<G> {
+    fn potential(&self, profile: &[usize]) -> f64 {
+        (**self).potential(profile)
+    }
+    fn max_global_variation(&self) -> f64 {
+        (**self).max_global_variation()
+    }
+    fn max_local_variation(&self) -> f64 {
+        (**self).max_local_variation()
+    }
+    fn min_potential(&self) -> f64 {
+        (**self).min_potential()
+    }
+    fn max_potential(&self) -> f64 {
+        (**self).max_potential()
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +262,31 @@ mod tests {
         // &G blanket impl
         let gref = &g;
         assert_eq!(gref.max_global_variation(), 3.0);
+        assert_eq!(gref.max_local_variation(), 2.0);
+        assert_eq!(gref.min_potential(), 0.0);
+        assert_eq!(gref.max_potential(), 3.0);
+    }
+
+    #[test]
+    fn arc_impl_forwards_overrides_not_defaults() {
+        // n = 1000 binary players: the defaulted PotentialGame methods would
+        // enumerate a 2^1000 profile space (the size computation alone
+        // overflows), so this only returns if the Arc impl forwards the
+        // game's closed-form override.
+        let g = std::sync::Arc::new(crate::well::WellGame::new(1000, 2.0, 1.0));
+        assert_eq!(g.max_global_variation(), 2.0);
+        assert_eq!(g.num_players(), 1000);
+        assert_eq!(g.num_strategies(0), 2);
+        assert_eq!(g.potential(&vec![0usize; 1000]), -2.0);
+        assert_eq!(g.utility(0, &vec![0usize; 1000]), 2.0);
+        let mut profile = vec![0usize; 1000];
+        let mut out = vec![0.0; 2];
+        g.utilities_for(0, &mut profile, &mut out);
+        assert_eq!(out[0], 2.0);
+        // The small Toy game exercises the remaining forwarded methods.
+        let toy = std::sync::Arc::new(Toy);
+        assert_eq!(toy.max_local_variation(), 2.0);
+        assert_eq!(toy.min_potential(), 0.0);
+        assert_eq!(toy.max_potential(), 3.0);
     }
 }

@@ -83,6 +83,26 @@ impl WellGame {
         let w = weight as f64;
         -self.local * self.c.min((self.c - w).abs())
     }
+
+    /// Hamming weight `w(x)` of a profile (number of players on strategy 1).
+    pub fn weight(&self, profile: &[usize]) -> usize {
+        profile.iter().filter(|&&x| x == 1).count()
+    }
+
+    /// The smallest Hamming weight at which the potential reaches its minimum
+    /// on the far side of the ridge: `⌈2c⌉`. Profiles at weight `0` form one
+    /// well; profiles at weight `≥ ⌈2c⌉` form the **opposite well** across
+    /// the barrier — the target of the E13 tempering benchmark.
+    pub fn opposite_well_min_weight(&self) -> usize {
+        (2.0 * self.c).ceil() as usize
+    }
+
+    /// Whether a profile sits in the opposite (far) well at full depth, i.e.
+    /// the dynamics has crossed the Theorem 3.5 barrier from the all-zero
+    /// well: `w(x) ≥ ⌈2c⌉`.
+    pub fn in_opposite_well(&self, profile: &[usize]) -> bool {
+        self.weight(profile) >= self.opposite_well_min_weight()
+    }
 }
 
 impl Game for WellGame {
@@ -153,6 +173,26 @@ mod tests {
                 "potential should be symmetric around the ridge"
             );
         }
+    }
+
+    #[test]
+    fn opposite_well_accessors_mark_the_far_basin() {
+        let g = WellGame::new(8, 6.0, 2.0); // c = 3, far well at w >= 6
+        assert_eq!(g.opposite_well_min_weight(), 6);
+        assert_eq!(g.weight(&[1, 1, 0, 1, 0, 0, 0, 0]), 3);
+        assert!(!g.in_opposite_well(&[1, 1, 1, 1, 1, 0, 0, 0])); // w = 5
+        assert!(g.in_opposite_well(&[1, 1, 1, 1, 1, 1, 0, 0])); // w = 6
+        assert!(g.in_opposite_well(&[1; 8]));
+        // The threshold weight really attains the full well depth.
+        assert_eq!(
+            g.potential_by_weight(g.opposite_well_min_weight()),
+            -g.global_variation()
+        );
+        // The plateau instance: ridge at w = 1, far well from w = 2 on.
+        let p = WellGame::plateau(4, 2.0);
+        assert_eq!(p.opposite_well_min_weight(), 2);
+        assert!(!p.in_opposite_well(&[1, 0, 0, 0]));
+        assert!(p.in_opposite_well(&[1, 1, 0, 0]));
     }
 
     #[test]

@@ -19,13 +19,17 @@
 //! * [`hitting`] — expected hitting times of target sets (the quantity studied by
 //!   the related work of Asadpour–Saberi and Montanari–Saberi),
 //! * [`coupling`] — generic machinery for simulating coupled chains and turning
-//!   coupling-time tail bounds into mixing-time upper estimates (Theorem 2.1).
+//!   coupling-time tail bounds into mixing-time upper estimates (Theorem 2.1),
+//! * [`product`] — tensor-product chains, replica-swap kernels and product
+//!   measures: the exact objects a parallel-tempering round composes, used to
+//!   validate the swap kernel of `logit-core`'s `TemperingEnsemble`.
 
 pub mod bottleneck;
 pub mod chain;
 pub mod coupling;
 pub mod hitting;
 pub mod mixing;
+pub mod product;
 pub mod spectral;
 pub mod stationary;
 pub mod tv;
@@ -35,6 +39,9 @@ pub use chain::MarkovChain;
 pub use coupling::{coupling_mixing_upper_bound, simulate_coupling, CouplingEstimate};
 pub use hitting::expected_hitting_times;
 pub use mixing::{distance_to_stationarity, mixing_time, MixingTimeResult};
+pub use product::{
+    compose, pair_index, pair_of, product_distribution, swap_chain, tensor_product_chain,
+};
 pub use spectral::{relaxation_time, spectral_analysis, SpectralSummary};
 pub use stationary::{stationary_distribution, stationary_power_method};
 pub use tv::total_variation;

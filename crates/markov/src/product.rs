@@ -1,0 +1,232 @@
+//! Product chains and replica-swap kernels — the exact machinery behind
+//! parallel tempering.
+//!
+//! A replica-exchange (parallel-tempering) round on two replicas composes two
+//! kernels on the *product* state space `S × S`:
+//!
+//! 1. the **tensor step** [`tensor_product_chain`]: both replicas take one
+//!    independent step of their own chain, `P((x₁,y₁),(x₂,y₂)) =
+//!    A(x₁,x₂)·B(y₁,y₂)`;
+//! 2. the **swap move** [`swap_chain`]: the pair `(x, y)` exchanges its
+//!    components with an acceptance probability `a(x, y)` (Metropolis on the
+//!    potential difference in the tempering application) and holds otherwise.
+//!
+//! Both factor kernels preserve the product measure `π_A ⊗ π_B`
+//! ([`product_distribution`]) whenever the ingredients do: the tensor step is
+//! reversible w.r.t. the product when `A`, `B` are reversible w.r.t. their
+//! own measures, and the swap kernel is reversible w.r.t. the product exactly
+//! when the acceptance satisfies the Metropolis ratio
+//! `a(x,y)/a(y,x) = π(y,x)/π(x,y)`. The *composition* ([`compose`]) is in
+//! general not reversible — compositions of reversible kernels rarely are —
+//! but it keeps the product measure stationary, which is what the tempering
+//! engine needs. The test harness in `logit-core` builds these objects for
+//! tiny games and pins the simulated swap kernel against them entrywise.
+//!
+//! Pair states are indexed as `x·|S_B| + y` (row-major); [`pair_index`] and
+//! [`pair_of`] convert.
+
+use crate::chain::MarkovChain;
+use logit_linalg::{Matrix, Vector};
+
+/// Flat index of the pair `(x, y)` when the second component ranges over
+/// `size_b` states: `x·size_b + y`.
+pub fn pair_index(x: usize, y: usize, size_b: usize) -> usize {
+    x * size_b + y
+}
+
+/// Inverse of [`pair_index`]: the pair `(x, y)` of the flat index.
+pub fn pair_of(index: usize, size_b: usize) -> (usize, usize) {
+    (index / size_b, index % size_b)
+}
+
+/// The independent joint step of two chains on the product space:
+/// `P((x₁,y₁),(x₂,y₂)) = A(x₁,x₂)·B(y₁,y₂)`.
+///
+/// If `A` is reversible w.r.t. `π_A` and `B` w.r.t. `π_B`, the tensor chain
+/// is reversible w.r.t. `π_A ⊗ π_B`.
+pub fn tensor_product_chain(a: &MarkovChain, b: &MarkovChain) -> MarkovChain {
+    let (na, nb) = (a.num_states(), b.num_states());
+    let size = na * nb;
+    let mut p = Matrix::zeros(size, size);
+    for x1 in 0..na {
+        for y1 in 0..nb {
+            let row = pair_index(x1, y1, nb);
+            for x2 in 0..na {
+                let pa = a.prob(x1, x2);
+                if pa == 0.0 {
+                    continue;
+                }
+                for y2 in 0..nb {
+                    let pb = b.prob(y1, y2);
+                    if pb == 0.0 {
+                        continue;
+                    }
+                    p[(row, pair_index(x2, y2, nb))] = pa * pb;
+                }
+            }
+        }
+    }
+    MarkovChain::new(p)
+}
+
+/// The replica-swap kernel on the product space `S × S` of a single component
+/// space with `size` states: from the pair `(x, y)` move to `(y, x)` with
+/// probability `accept(x, y) ∈ [0, 1]` and hold otherwise.
+///
+/// With the Metropolis acceptance on a pair of tempered Gibbs measures,
+/// `accept(x, y) = min(1, e^{(β₁−β₂)(Φ(x)−Φ(y))})`, this kernel satisfies
+/// detailed balance w.r.t. the product measure
+/// `π(x, y) ∝ e^{−β₁Φ(x)−β₂Φ(y)}` — the property the tempering proptests
+/// verify entrywise.
+///
+/// # Panics
+/// Panics when `accept` returns a value outside `[0, 1]` or NaN.
+pub fn swap_chain(size: usize, accept: impl Fn(usize, usize) -> f64) -> MarkovChain {
+    let states = size * size;
+    let mut p = Matrix::zeros(states, states);
+    for x in 0..size {
+        for y in 0..size {
+            let row = pair_index(x, y, size);
+            let a = accept(x, y);
+            assert!(
+                (0.0..=1.0).contains(&a),
+                "swap acceptance must lie in [0, 1], got {a} at ({x}, {y})"
+            );
+            let swapped = pair_index(y, x, size);
+            // x == y swaps to itself; fold the move into the holding mass.
+            p[(row, swapped)] += a;
+            p[(row, row)] += 1.0 - a;
+        }
+    }
+    MarkovChain::new(p)
+}
+
+/// The composition "first `first`, then `then`" as a chain: `P = F·T`.
+///
+/// Stationarity is preserved (if `π F = π` and `π T = π` then `π FT = π`),
+/// reversibility in general is not — a tempering round `(A ⊗ B)·S` keeps the
+/// product Gibbs measure stationary even though the round kernel itself is
+/// not reversible.
+pub fn compose(first: &MarkovChain, then: &MarkovChain) -> MarkovChain {
+    MarkovChain::new(first.transition_matrix().matmul(then.transition_matrix()))
+}
+
+/// The product measure `π(x, y) = π_A(x)·π_B(y)` on the product space,
+/// indexed by [`pair_index`].
+pub fn product_distribution(a: &Vector, b: &Vector) -> Vector {
+    let (na, nb) = (a.len(), b.len());
+    let mut out = Vector::zeros(na * nb);
+    for x in 0..na {
+        for y in 0..nb {
+            out[pair_index(x, y, nb)] = a[x] * b[y];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::stationary_distribution;
+    use crate::tv::total_variation;
+
+    fn two_state(p01: f64, p10: f64) -> MarkovChain {
+        MarkovChain::new(Matrix::from_rows(&[
+            vec![1.0 - p01, p01],
+            vec![p10, 1.0 - p10],
+        ]))
+    }
+
+    #[test]
+    fn pair_indexing_round_trips() {
+        for x in 0..3 {
+            for y in 0..5 {
+                assert_eq!(pair_of(pair_index(x, y, 5), 5), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_chain_multiplies_marginals() {
+        let a = two_state(0.3, 0.6);
+        let b = two_state(0.1, 0.2);
+        let t = tensor_product_chain(&a, &b);
+        assert_eq!(t.num_states(), 4);
+        for x1 in 0..2 {
+            for y1 in 0..2 {
+                for x2 in 0..2 {
+                    for y2 in 0..2 {
+                        let expect = a.prob(x1, x2) * b.prob(y1, y2);
+                        let got = t.prob(pair_index(x1, y1, 2), pair_index(x2, y2, 2));
+                        assert!((got - expect).abs() < 1e-15);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_chain_is_reversible_wrt_the_product_measure() {
+        let a = two_state(0.3, 0.6);
+        let b = two_state(0.1, 0.4);
+        let pa = stationary_distribution(&a);
+        let pb = stationary_distribution(&b);
+        assert!(a.is_reversible(&pa, 1e-12), "2-state chains are reversible");
+        let t = tensor_product_chain(&a, &b);
+        let pi = product_distribution(&pa, &pb);
+        assert!(t.is_reversible(&pi, 1e-9));
+        assert!(total_variation(&stationary_distribution(&t), &pi) < 1e-9);
+    }
+
+    #[test]
+    fn swap_chain_moves_mass_between_mirrored_pairs() {
+        let s = swap_chain(2, |x, y| if x != y { 0.25 } else { 1.0 });
+        // (0, 1) -> (1, 0) with probability 0.25.
+        assert!((s.prob(pair_index(0, 1, 2), pair_index(1, 0, 2)) - 0.25).abs() < 1e-15);
+        assert!((s.prob(pair_index(0, 1, 2), pair_index(0, 1, 2)) - 0.75).abs() < 1e-15);
+        // Diagonal pairs hold with probability one regardless of acceptance.
+        assert!((s.prob(pair_index(1, 1, 2), pair_index(1, 1, 2)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn metropolis_swap_is_reversible_wrt_the_tempered_product() {
+        // Two tempered Gibbs measures over 3 states with potentials phi.
+        let phi = [0.0, 1.5, -0.7];
+        let (b1, b2) = (0.4, 2.1);
+        let gibbs = |beta: f64| {
+            let mut v: Vec<f64> = phi.iter().map(|&p| (-beta * p).exp()).collect();
+            let z: f64 = v.iter().sum();
+            v.iter_mut().for_each(|w| *w /= z);
+            Vector::from_slice(&v)
+        };
+        let accept = |x: usize, y: usize| ((b1 - b2) * (phi[x] - phi[y])).exp().min(1.0);
+        let s = swap_chain(3, accept);
+        let pi = product_distribution(&gibbs(b1), &gibbs(b2));
+        assert!(s.is_reversible(&pi, 1e-12));
+    }
+
+    #[test]
+    fn composed_round_keeps_the_product_measure_stationary() {
+        // Metropolis component chains sharing the tempered Gibbs measures.
+        let phi = [0.0, 1.0];
+        let metropolis = |beta: f64| {
+            let a01 = (-beta * (phi[1] - phi[0])).exp().min(1.0) / 2.0;
+            let a10 = (-beta * (phi[0] - phi[1])).exp().min(1.0) / 2.0;
+            two_state(a01, a10)
+        };
+        let (b1, b2) = (0.3, 1.7);
+        let tensor = tensor_product_chain(&metropolis(b1), &metropolis(b2));
+        let swap = swap_chain(2, |x, y| ((b1 - b2) * (phi[x] - phi[y])).exp().min(1.0));
+        let round = compose(&tensor, &swap);
+        let gibbs = |beta: f64| {
+            let w0 = (-beta * phi[0]).exp();
+            let w1 = (-beta * phi[1]).exp();
+            Vector::from_slice(&[w0 / (w0 + w1), w1 / (w0 + w1)])
+        };
+        let pi = product_distribution(&gibbs(b1), &gibbs(b2));
+        let stepped = round.step_distribution(&pi);
+        assert!(total_variation(&stepped, &pi) < 1e-12);
+        // The round is a valid ergodic chain in its own right.
+        assert!(round.is_ergodic());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the product-chain / replica-swap machinery —
+//! the exactness harness behind the parallel-tempering layer.
+//!
+//! These properties are stated purely in Markov-chain terms (random
+//! potentials, Metropolis component chains), so they live here; the
+//! game-level counterparts — the same identities checked on actual
+//! `DynamicsEngine` chains — live in `crates/core/tests/proptest_core.rs`.
+
+use logit_linalg::{Matrix, Vector};
+use logit_markov::{
+    compose, product_distribution, stationary_distribution, swap_chain, tensor_product_chain,
+    total_variation, MarkovChain,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random potential vector over `size` states with entries in ±range.
+fn random_potential(size: usize, range: f64, rng: &mut StdRng) -> Vec<f64> {
+    (0..size).map(|_| rng.gen_range(-range..range)).collect()
+}
+
+/// The Gibbs measure `π(x) ∝ e^{−βΦ(x)}` of a potential vector.
+fn gibbs(phi: &[f64], beta: f64) -> Vector {
+    let max = phi.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let mut weights: Vec<f64> = phi.iter().map(|&p| (-beta * (p - max)).exp()).collect();
+    let z: f64 = weights.iter().sum();
+    weights.iter_mut().for_each(|w| *w /= z);
+    Vector::from_slice(&weights)
+}
+
+/// The complete-graph Metropolis chain of a potential vector: propose a state
+/// uniformly, accept with `min(1, e^{−βΔΦ})`. Reversible w.r.t. [`gibbs`] by
+/// construction — a self-contained stand-in for a per-replica dynamics chain.
+fn metropolis_chain(phi: &[f64], beta: f64) -> MarkovChain {
+    let n = phi.len();
+    let mut p = Matrix::zeros(n, n);
+    for x in 0..n {
+        let mut stay = 1.0;
+        for y in 0..n {
+            if y == x {
+                continue;
+            }
+            let accept = (-beta * (phi[y] - phi[x])).exp().min(1.0) / n as f64;
+            p[(x, y)] = accept;
+            stay -= accept;
+        }
+        p[(x, x)] = stay;
+    }
+    MarkovChain::new(p)
+}
+
+/// The tempering swap acceptance `min(1, e^{(β₁−β₂)(Φ(x)−Φ(y))})`.
+fn swap_accept(phi: &[f64], beta_1: f64, beta_2: f64) -> impl Fn(usize, usize) -> f64 + '_ {
+    move |x, y| ((beta_1 - beta_2) * (phi[x] - phi[y])).exp().min(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Metropolis swap kernel satisfies detailed balance w.r.t. the
+    /// tempered product measure — entrywise, for random potentials and any
+    /// β-pair (ordered or not).
+    #[test]
+    fn swap_kernel_is_reversible_wrt_the_product_gibbs(
+        seed in 0u64..10_000,
+        beta_1 in 0.0f64..3.0,
+        beta_2 in 0.0f64..3.0,
+        size in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi = random_potential(size, 2.0, &mut rng);
+        let swap = swap_chain(size, swap_accept(&phi, beta_1, beta_2));
+        let pi = product_distribution(&gibbs(&phi, beta_1), &gibbs(&phi, beta_2));
+        // Entrywise detailed balance: π(s) S(s, s') = π(s') S(s', s).
+        let states = size * size;
+        for s in 0..states {
+            for t in 0..states {
+                let forward = pi[s] * swap.prob(s, t);
+                let backward = pi[t] * swap.prob(t, s);
+                prop_assert!(
+                    (forward - backward).abs() < 1e-12,
+                    "detailed balance fails at ({s}, {t}): {forward} vs {backward}"
+                );
+            }
+        }
+        // Hence the product measure is a fixed point of the swap kernel.
+        prop_assert!(total_variation(&swap.step_distribution(&pi), &pi) < 1e-12);
+    }
+
+    /// The tensor step of two reversible chains is reversible w.r.t. the
+    /// product of their stationary measures.
+    #[test]
+    fn tensor_step_is_reversible_wrt_the_product_measure(
+        seed in 0u64..10_000,
+        beta_1 in 0.0f64..3.0,
+        beta_2 in 0.0f64..3.0,
+        size in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi = random_potential(size, 2.0, &mut rng);
+        let a = metropolis_chain(&phi, beta_1);
+        let b = metropolis_chain(&phi, beta_2);
+        let pi = product_distribution(&gibbs(&phi, beta_1), &gibbs(&phi, beta_2));
+        let tensor = tensor_product_chain(&a, &b);
+        prop_assert!(tensor.is_reversible(&pi, 1e-9));
+    }
+
+    /// A full tempering round — tensor step then swap — keeps the tempered
+    /// product measure stationary (though the composition is itself not
+    /// reversible in general), and the round chain is ergodic.
+    #[test]
+    fn tempering_round_fixes_the_product_gibbs_measure(
+        seed in 0u64..10_000,
+        beta_hot in 0.0f64..1.0,
+        beta_gap in 0.1f64..2.5,
+        size in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi = random_potential(size, 2.0, &mut rng);
+        let beta_cold = beta_hot + beta_gap;
+        let tensor = tensor_product_chain(
+            &metropolis_chain(&phi, beta_hot),
+            &metropolis_chain(&phi, beta_cold),
+        );
+        let swap = swap_chain(size, swap_accept(&phi, beta_hot, beta_cold));
+        let round = compose(&tensor, &swap);
+        let pi = product_distribution(&gibbs(&phi, beta_hot), &gibbs(&phi, beta_cold));
+        prop_assert!(total_variation(&round.step_distribution(&pi), &pi) < 1e-10);
+        prop_assert!(round.is_ergodic());
+        // The product measure really is *the* stationary law of the round.
+        prop_assert!(total_variation(&stationary_distribution(&round), &pi) < 1e-8);
+    }
+
+    /// Swapping is an involution in distribution: applying the swap kernel's
+    /// deterministic part twice returns to the start, so the kernel built
+    /// with acceptance ≡ 1 is its own inverse (a permutation matrix).
+    #[test]
+    fn full_acceptance_swap_is_an_involution(size in 2usize..6) {
+        let swap = swap_chain(size, |_, _| 1.0);
+        let twice = compose(&swap, &swap);
+        let states = size * size;
+        for s in 0..states {
+            for t in 0..states {
+                let expect = if s == t { 1.0 } else { 0.0 };
+                prop_assert!((twice.prob(s, t) - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -42,9 +42,9 @@ pub use logit_markov as markov;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use logit_anneal::{
-        anneal_minimize, anneal_minimize_with_rule, expected_social_welfare, AnnealedDynamics,
-        AnnealedLogitDynamics, BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp,
-        LogarithmicSchedule,
+        anneal_minimize, anneal_minimize_with_rule, expected_social_welfare, tempering_minimize,
+        AnnealedDynamics, AnnealedLogitDynamics, BetaLadder, BetaSchedule, ConstantSchedule,
+        GeometricSchedule, LinearRamp, LogarithmicSchedule,
     };
     pub use logit_core::bounds;
     pub use logit_core::{
@@ -52,7 +52,8 @@ pub mod prelude {
         BarrierResult, CouplingKind, DynamicsEngine, EmpiricalLaw, Logit, LogitDynamics,
         MetropolisLogit, MixingMeasurement, NamedObservable, NoisyBestResponse,
         ProfileEnsembleResult, ProfileObservable, Scratch, SelectionSchedule, Simulator, StepEvent,
-        SystematicSweep, UniformSingle, UpdateRule,
+        SwapStats, SystematicSweep, TemperedEnsembleResult, TemperingEnsemble, TemperingState,
+        UniformSingle, UpdateRule,
     };
     pub use logit_games::{
         AllZeroDominantGame, CongestionGame, CoordinationGame, Game, GraphicalCoordinationGame,
@@ -75,6 +76,21 @@ mod tests {
         assert_eq!(d.num_states(), 4);
         let chain = d.transition_chain();
         assert!(chain.is_ergodic());
+    }
+
+    #[test]
+    fn facade_exposes_the_tempering_layer() {
+        let game = WellGame::plateau(4, 2.0);
+        let ladder = BetaLadder::geometric(0.4, 2.0, 3);
+        let ensemble = TemperingEnsemble::new(game.clone(), Logit, ladder.betas());
+        assert_eq!(ensemble.num_replicas(), 3);
+        let mut state = ensemble.init_state(&[0; 4], 1);
+        for _ in 0..10 {
+            ensemble.round(&UniformSingle, &mut state, 4);
+        }
+        assert_eq!(state.swap_stats().pairs(), 2);
+        let outcome = tempering_minimize(&game, Logit, &ladder, 0, 20, 4, 8, 1);
+        assert_eq!(outcome.replicas, 8);
     }
 
     #[test]
