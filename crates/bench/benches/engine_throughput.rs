@@ -180,6 +180,36 @@ fn bench_tempered_round(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pipelined_ensemble(c: &mut Criterion) {
+    // The whole ensemble runner, sequential fold vs the pipelined
+    // farm/reducer stages, same seeds and therefore (by the bit-identity
+    // contract) the same result — the delta is pure orchestration cost:
+    // channel traffic + profile snapshots vs in-line observable evaluation
+    // and the end-of-run barrier.
+    use logit_core::observables::StrategyFraction;
+    use logit_core::Simulator;
+
+    let mut group = c.benchmark_group("ensemble_runner");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let dynamics = ring_dynamics(n);
+        let sim = Simulator::new(7, 8);
+        let obs = StrategyFraction::new(1, "adopters");
+        let start = vec![0usize; n];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("sequential/n={n}")),
+            &dynamics,
+            |b, d| b.iter(|| sim.run_profiles(d, &start, 5_000, 1_250, &obs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("pipelined/n={n}")),
+            &dynamics,
+            |b, d| b.iter(|| sim.run_profiles_pipelined(d, &start, 5_000, 1_250, &obs)),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flat_engine,
@@ -187,6 +217,7 @@ criterion_group!(
     bench_rules_profile_engine,
     bench_all_logit_block,
     bench_legacy_alloc_step,
-    bench_tempered_round
+    bench_tempered_round,
+    bench_pipelined_ensemble
 );
 criterion_main!(benches);

@@ -11,9 +11,10 @@
 //! monomorphised generic, not a dynamic dispatch).
 
 use logit_anneal::BetaLadder;
+use logit_core::observables::StrategyFraction;
 use logit_core::rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
 use logit_core::schedules::UniformSingle;
-use logit_core::{DynamicsEngine, Scratch, TemperingEnsemble};
+use logit_core::{DynamicsEngine, Scratch, Simulator, TemperingEnsemble};
 use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame};
 use logit_graphs::GraphBuilder;
 use rand::rngs::StdRng;
@@ -160,6 +161,128 @@ fn tempered_rows(rungs: usize, sizes: &[usize], steps: u64) -> String {
     )
 }
 
+/// Aggregate stepping throughput of a replica ensemble through either the
+/// sequential `run_profiles` path (observables evaluated on the stepping
+/// threads, end-of-run fold) or the pipelined farm/reducer stages
+/// (observables evaluated off the stepping threads, streamed reduction).
+/// Returns the rate and the full result so the caller can pin the
+/// bit-identity contract in-process.
+fn ensemble_steps_per_sec<U: UpdateRule>(
+    n: usize,
+    rule: U,
+    replicas: usize,
+    steps_per_replica: u64,
+    pipelined: bool,
+) -> (f64, logit_core::ProfileEnsembleResult) {
+    let dynamics = ring_dynamics(n, rule);
+    let sim = Simulator::new(0xB1BE, replicas);
+    let observable = StrategyFraction::new(1, "adopters");
+    let start = vec![0usize; n];
+    let sample_every = (steps_per_replica / 8).max(1);
+    let clock = std::time::Instant::now();
+    let result = if pipelined {
+        sim.run_profiles_pipelined(
+            &dynamics,
+            &start,
+            steps_per_replica,
+            sample_every,
+            &observable,
+        )
+    } else {
+        sim.run_profiles(
+            &dynamics,
+            &start,
+            steps_per_replica,
+            sample_every,
+            &observable,
+        )
+    };
+    let total = steps_per_replica * replicas as u64;
+    let rate = total as f64 / clock.elapsed().as_secs_f64();
+    std::hint::black_box(&result.final_values);
+    (rate, result)
+}
+
+/// The in-process bit-identity gate: final observable values *and* every
+/// per-time `RunningStats` must match exactly — a fold-order regression at
+/// an intermediate sample index cannot hide behind matching finals.
+fn assert_bit_identical(
+    seq: &logit_core::ProfileEnsembleResult,
+    pipe: &logit_core::ProfileEnsembleResult,
+    context: &str,
+) {
+    assert_eq!(
+        seq.final_values, pipe.final_values,
+        "pipelined ensemble diverged from the sequential path ({context})"
+    );
+    assert_eq!(seq.times, pipe.times, "time grids diverged ({context})");
+    for (k, (s, p)) in seq.series.iter().zip(&pipe.series).enumerate() {
+        assert!(
+            s.count() == p.count()
+                && s.mean() == p.mean()
+                && s.variance() == p.variance()
+                && s.min() == p.min()
+                && s.max() == p.max(),
+            "pipelined series stats diverged at sample {k} ({context})"
+        );
+    }
+}
+
+/// One committed `pipelined` row: median-of-3 interleaved sequential vs
+/// pipelined rounds for one rule, with the bit-identity contract asserted on
+/// every round (the pipelined runner must reproduce the sequential ensemble
+/// exactly, not just at matching speed).
+fn pipelined_row<U: UpdateRule>(
+    rule: U,
+    n: usize,
+    replicas: usize,
+    steps_per_replica: u64,
+) -> String {
+    let mut rounds: Vec<(f64, f64)> = (0..3)
+        .map(|_| {
+            let (seq, seq_result) =
+                ensemble_steps_per_sec(n, rule.clone(), replicas, steps_per_replica, false);
+            let (pipe, pipe_result) =
+                ensemble_steps_per_sec(n, rule.clone(), replicas, steps_per_replica, true);
+            assert_bit_identical(
+                &seq_result,
+                &pipe_result,
+                &format!("{} at n = {n}", rule.name()),
+            );
+            (seq, pipe)
+        })
+        .collect();
+    rounds.sort_by(|a, b| {
+        (a.1 / a.0)
+            .partial_cmp(&(b.1 / b.0))
+            .expect("finite ratios")
+    });
+    let (seq, pipe) = rounds[1];
+    let ratio = pipe / seq;
+    eprintln!(
+        "  pipelined {:>17} n = {n:>6}: sequential = {seq:.3e}, pipelined = {pipe:.3e}, ratio = {ratio:.3}",
+        rule.name()
+    );
+    format!(
+        "        {{\"rule\": \"{}\", \"n\": {n}, \"replicas\": {replicas}, \"sequential_steps_per_sec\": {seq:.0}, \"pipelined_steps_per_sec\": {pipe:.0}, \"pipelined_over_sequential\": {ratio:.3}}}",
+        rule.name()
+    )
+}
+
+fn pipelined_rows(n: usize, steps: u64) -> String {
+    let replicas = 8usize;
+    let steps_per_replica = (steps / replicas as u64).max(1);
+    let rows = [
+        pipelined_row(Logit, n, replicas, steps_per_replica),
+        pipelined_row(MetropolisLogit, n, replicas, steps_per_replica),
+        pipelined_row(NoisyBestResponse::new(0.1), n, replicas, steps_per_replica),
+    ];
+    format!(
+        "  \"pipelined\": {{\n    \"what\": \"Simulator::run_profiles_pipelined (farm of step workers -> bounded channels -> streamed observable reducer) vs run_profiles through the same engine, {replicas} replicas, StrategyFraction sampled 8x per run; bit-identity of the final observable values and every per-time series statistic is asserted in-process every round, and the committed per-rule ratio is the invariant (stepping throughput must stay within 10% of the sequential baseline while reduction runs off the stepping threads)\",\n    \"rows\": [\n{}\n    ]\n  }}",
+        rows.join(",\n")
+    )
+}
+
 fn rule_rows<U: UpdateRule>(rule: U, sizes: &[usize], steps: u64) -> String {
     let mut rows = Vec::new();
     for &n in sizes {
@@ -219,8 +342,14 @@ fn main() {
     // committed invariant.
     let tempered = tempered_rows(4, &[1_000, 10_000, 100_000], steps);
 
+    // Pipelined-ensemble rows: the farm/reducer stages against the in-line
+    // sequential ensemble, per rule, at the size where snapshot traffic is
+    // realistic. Bit-identity is asserted inside, so a diverging pipeline
+    // can never emit a baseline.
+    let pipelined = pipelined_rows(10_000, steps);
+
     println!(
-        "{{\n  \"benchmark\": \"revision-dynamics step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"legacy_parity\": {{\n    \"what\": \"generic engine (Logit rule) vs verbatim pre-refactor inline loop, same host, same process, n = {parity_n}, median of 3 interleaved rounds\",\n    \"legacy_steps_per_sec\": {legacy:.0},\n    \"engine_steps_per_sec\": {engine:.0},\n    \"engine_over_legacy\": {ratio:.3}\n  }},\n{tempered},\n  \"rules\": [\n{}\n  ]\n}}",
+        "{{\n  \"benchmark\": \"revision-dynamics step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"legacy_parity\": {{\n    \"what\": \"generic engine (Logit rule) vs verbatim pre-refactor inline loop, same host, same process, n = {parity_n}, median of 3 interleaved rounds\",\n    \"legacy_steps_per_sec\": {legacy:.0},\n    \"engine_steps_per_sec\": {engine:.0},\n    \"engine_over_legacy\": {ratio:.3}\n  }},\n{tempered},\n{pipelined},\n  \"rules\": [\n{}\n  ]\n}}",
         rule_sets.join(",\n")
     );
 }

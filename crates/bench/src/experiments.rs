@@ -461,6 +461,8 @@ pub fn e11_large_ring(fast: bool) -> String {
         "steps/sec",
         "adopters (mean)",
         "adopters (q10..q90)",
+        "pipelined steps/sec",
+        "pipe/seq",
     ]);
     let mut throughputs = Vec::new();
     for &n in sizes {
@@ -475,6 +477,27 @@ pub fn e11_large_ring(fast: bool) -> String {
         let clock = std::time::Instant::now();
         let result = sim.run_profiles(&dynamics, &start, steps, (steps / 4).max(1), &observable);
         let seconds = clock.elapsed().as_secs_f64();
+        // The same workload through the pipelined farm/reducer stages: the
+        // result must be bit-identical (same seeds, order-restoring reducer),
+        // so the in-process assertion doubles as an acceptance check.
+        let pipe_clock = std::time::Instant::now();
+        let pipelined =
+            sim.run_profiles_pipelined(&dynamics, &start, steps, (steps / 4).max(1), &observable);
+        let pipe_seconds = pipe_clock.elapsed().as_secs_f64();
+        assert_eq!(
+            result.final_values, pipelined.final_values,
+            "pipelined ensemble diverged from the sequential path at n = {n}"
+        );
+        for (k, (s, p)) in result.series.iter().zip(&pipelined.series).enumerate() {
+            assert!(
+                s.count() == p.count()
+                    && s.mean() == p.mean()
+                    && s.variance() == p.variance()
+                    && s.min() == p.min()
+                    && s.max() == p.max(),
+                "pipelined series stats diverged at sample {k}, n = {n}"
+            );
+        }
         let ran = steps * replicas as u64;
         let law = result.law();
         throughputs.push(ran as f64 / seconds);
@@ -486,6 +509,8 @@ pub fn e11_large_ring(fast: bool) -> String {
             format!("{:.3e}", ran as f64 / seconds),
             f3(law.mean()),
             format!("{}..{}", f3(law.quantile(0.1)), f3(law.quantile(0.9))),
+            format!("{:.3e}", ran as f64 / pipe_seconds),
+            format!("{:.2}", seconds / pipe_seconds),
         ]);
     }
     let spread = throughputs
@@ -494,7 +519,7 @@ pub fn e11_large_ring(fast: bool) -> String {
         .fold(f64::NEG_INFINITY, f64::max)
         / throughputs.iter().copied().fold(f64::INFINITY, f64::min);
     format!(
-        "E11 — large-n in-place profile engine, ring, delta0={delta0}, delta1={delta1}, beta={beta}\n\n{}\nthroughput spread max/min across n = {spread:.2}\nPASS iff every row completes (the flat engine cannot represent any of these state spaces)\nand the spread stays below 10 — per-step cost is O(deg), not O(|S|).\n",
+        "E11 — large-n in-place profile engine, ring, delta0={delta0}, delta1={delta1}, beta={beta}\n\n{}\nthroughput spread max/min across n = {spread:.2}\nPASS iff every row completes (the flat engine cannot represent any of these state spaces),\nthe spread stays below 10 — per-step cost is O(deg), not O(|S|) — and the pipelined\nrunner reproduces the sequential ensemble bit-for-bit (asserted in-process).\n",
         table.render(),
     )
 }

@@ -25,6 +25,10 @@
 //! * [`gibbs`] — numerically stable Gibbs measures and partition functions,
 //! * [`simulate`] — trajectory simulation, parallel replica ensembles and
 //!   empirical-distribution estimation (rayon-based),
+//! * [`pipeline`] — the PPL-style pipelined ensemble runner: a farm of step
+//!   workers feeding streamed observable reducers through bounded channels
+//!   ([`simulate::Simulator::run_profiles_pipelined`]), bit-identical to the
+//!   sequential path under fixed seeds,
 //! * [`estimate`] — mixing-time measurement: exact (via `logit-markov`), spectral
 //!   bounds, and coupling-based upper estimates using the paper's couplings,
 //! * [`coupling`] — the maximal per-coordinate coupling of Theorem 3.6 / 4.2 and
@@ -48,6 +52,7 @@ pub mod dynamics;
 pub mod estimate;
 pub mod gibbs;
 pub mod observables;
+pub mod pipeline;
 pub mod rules;
 pub mod schedules;
 pub mod simulate;
@@ -63,8 +68,9 @@ pub use estimate::{
 pub use gibbs::{gibbs_distribution, log_partition_function};
 pub use observables::{
     ensemble_time_series, HammingToProfile, NamedObservable, Observable, PotentialObservable,
-    ProfileObservable, TimeSeries,
+    ProfileObservable, SeriesAccumulator, TimeSeries,
 };
+pub use pipeline::{OrderedSeriesReducer, PipelineConfig, SnapshotBatch};
 pub use rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
 pub use schedules::{AllLogit, SelectionSchedule, SystematicSweep, UniformSingle};
 pub use simulate::{

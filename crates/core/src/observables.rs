@@ -189,6 +189,119 @@ impl ProfileObservable for StrategyFraction {
     }
 }
 
+/// A mergeable reduction target for streamed ensemble observables: one
+/// [`RunningStats`] per recorded time plus the final-time value of every
+/// replica (keyed by replica index, so the final-value law is exact no
+/// matter how the stream was partitioned).
+///
+/// This is the accumulator the pipelined ensemble runner
+/// ([`crate::pipeline`]) folds observable sample batches into, off the hot
+/// stepping threads. Two ways to fill it:
+///
+/// * [`record`](Self::record) sample-by-sample — the order of `record` calls
+///   *within one time index* determines the floating-point association of the
+///   Welford moments, which is why the bit-identical pipelined path feeds it
+///   through an order-restoring frontier
+///   ([`OrderedSeriesReducer`](crate::pipeline::OrderedSeriesReducer));
+/// * [`merge`](Self::merge) whole partial accumulators (disjoint replica
+///   sets) — partition-invariant up to floating-point rounding in the
+///   moments: counts, min/max, final values and hence the sorted
+///   [`EmpiricalLaw`] are *exact* under any partition, while mean/variance
+///   agree to rounding (the proptest harness pins both claims).
+#[derive(Debug, Clone)]
+pub struct SeriesAccumulator {
+    series: Vec<RunningStats>,
+    finals: std::collections::BTreeMap<usize, f64>,
+}
+
+impl SeriesAccumulator {
+    /// An empty accumulator over `num_times` recorded times.
+    ///
+    /// # Panics
+    /// Panics when `num_times` is zero — an ensemble run always records at
+    /// least its final time.
+    pub fn new(num_times: usize) -> Self {
+        assert!(num_times >= 1, "need at least one recorded time");
+        Self {
+            series: vec![RunningStats::new(); num_times],
+            finals: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Number of recorded times.
+    pub fn num_times(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Folds one observable sample into the stats of recorded time `sample`;
+    /// a sample at the *last* recorded time is also stored as `replica`'s
+    /// final value.
+    ///
+    /// # Panics
+    /// Panics when `sample` is out of range or when `replica` already
+    /// recorded a final value (each replica passes the final time once).
+    pub fn record(&mut self, sample: usize, replica: usize, value: f64) {
+        assert!(sample < self.series.len(), "sample index out of range");
+        self.series[sample].push(value);
+        if sample + 1 == self.series.len() {
+            let prev = self.finals.insert(replica, value);
+            assert!(
+                prev.is_none(),
+                "replica {replica} already recorded a final value"
+            );
+        }
+    }
+
+    /// Folds another accumulator (built from a *disjoint* replica set) into
+    /// this one: per-time [`RunningStats::merge`] plus a union of the final
+    /// values.
+    ///
+    /// # Panics
+    /// Panics when the time grids differ or the replica sets overlap.
+    pub fn merge(&mut self, other: SeriesAccumulator) {
+        assert_eq!(
+            self.series.len(),
+            other.series.len(),
+            "accumulators cover different time grids"
+        );
+        for (mine, theirs) in self.series.iter_mut().zip(&other.series) {
+            mine.merge(theirs);
+        }
+        for (replica, value) in other.finals {
+            let prev = self.finals.insert(replica, value);
+            assert!(
+                prev.is_none(),
+                "replica {replica} recorded a final value in both accumulators"
+            );
+        }
+    }
+
+    /// Statistics across replicas at each recorded time.
+    pub fn series(&self) -> &[RunningStats] {
+        &self.series
+    }
+
+    /// Final-time values in ascending replica order.
+    pub fn final_values(&self) -> Vec<f64> {
+        self.finals.values().copied().collect()
+    }
+
+    /// The final-time empirical law across replicas.
+    ///
+    /// # Panics
+    /// Panics when no final values have been recorded yet.
+    pub fn law(&self) -> crate::simulate::EmpiricalLaw {
+        crate::simulate::EmpiricalLaw::from_samples(self.final_values())
+    }
+
+    /// Consumes the accumulator into `(series, final_values)` — the two
+    /// fields a `ProfileEnsembleResult` is assembled from.
+    pub fn into_series_and_finals(self) -> (Vec<RunningStats>, Vec<f64>) {
+        let finals = self.finals.values().copied().collect();
+        (self.series, finals)
+    }
+}
+
 /// A time series of ensemble statistics: one entry per recorded time step.
 #[derive(Debug, Clone)]
 pub struct TimeSeries {
@@ -378,6 +491,70 @@ mod tests {
             means[2] > 0.7,
             "most players should have adopted by t = 300"
         );
+    }
+
+    #[test]
+    fn series_accumulator_records_and_merges() {
+        // Two disjoint replica sets folded separately, merged, compared with
+        // the one-shot fold: counts/min/max/finals exact, moments to rounding.
+        let values = [[1.0, -2.0], [4.0, 0.5], [2.5, 3.0], [-1.0, 7.0]];
+        let mut one_shot = SeriesAccumulator::new(2);
+        for (replica, row) in values.iter().enumerate() {
+            for (sample, &v) in row.iter().enumerate() {
+                one_shot.record(sample, replica, v);
+            }
+        }
+        let mut left = SeriesAccumulator::new(2);
+        let mut right = SeriesAccumulator::new(2);
+        for (replica, row) in values.iter().enumerate() {
+            let target = if replica < 2 { &mut left } else { &mut right };
+            for (sample, &v) in row.iter().enumerate() {
+                target.record(sample, replica, v);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left.num_times(), 2);
+        assert_eq!(left.final_values(), one_shot.final_values());
+        assert_eq!(
+            left.law().ks_distance(&one_shot.law()),
+            0.0,
+            "the sorted law is exact under any partition"
+        );
+        for (a, b) in left.series().iter().zip(one_shot.series()) {
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.min(), b.min());
+            assert_eq!(a.max(), b.max());
+            assert!((a.mean() - b.mean()).abs() < 1e-12);
+            assert!((a.variance() - b.variance()).abs() < 1e-12);
+        }
+        let (series, finals) = one_shot.into_series_and_finals();
+        assert_eq!(series.len(), 2);
+        assert_eq!(finals, vec![-2.0, 0.5, 3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already recorded a final value")]
+    fn series_accumulator_rejects_duplicate_finals() {
+        let mut acc = SeriesAccumulator::new(1);
+        acc.record(0, 3, 1.0);
+        acc.record(0, 3, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in both accumulators")]
+    fn series_accumulator_rejects_overlapping_merges() {
+        let mut a = SeriesAccumulator::new(1);
+        a.record(0, 0, 1.0);
+        let mut b = SeriesAccumulator::new(1);
+        b.record(0, 0, 2.0);
+        a.merge(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different time grids")]
+    fn series_accumulator_rejects_mismatched_grids() {
+        let mut a = SeriesAccumulator::new(1);
+        a.merge(SeriesAccumulator::new(2));
     }
 
     #[test]

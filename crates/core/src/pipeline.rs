@@ -1,0 +1,815 @@
+//! PPL-style pipelined ensemble runner: a farm of step workers feeding a
+//! streamed observable reducer.
+//!
+//! [`Simulator::run_profiles`](crate::simulate::Simulator::run_profiles)
+//! evaluates observables on the hot stepping thread and joins every replica
+//! at an end-of-run barrier before folding statistics. This module
+//! restructures the ensemble as a pipeline of stages, the farm shape of the
+//! parallel-pipeline (PPL) libraries:
+//!
+//! ```text
+//!  emitter                 step workers                reducer
+//!  (atomic replica        (one seeded ChaCha           (dedicated thread)
+//!   counter)               stream per replica)
+//!     │   claim next   ┌──────────────────┐  bounded   ┌──────────────────┐
+//!     ├───────────────▶│ advance engine in │  channel   │ evaluate the     │
+//!     │                │ fixed tick chunks,├───────────▶│ observable, fold │
+//!     ├───────────────▶│ snapshot profiles │  batches   │ in replica order │
+//!     │                │ at sample times   │            │ into RunningStats│
+//!     └───────────────▶└──────────────────┘            └──────────────────┘
+//! ```
+//!
+//! * **Emitter** — a shared atomic counter; workers claim replica indices as
+//!   they free up (work-stealing over replicas, like the `Simulator`'s rayon
+//!   ensemble but with streaming output instead of an ordered collect).
+//! * **Step workers** — [`rayon::scope`]-spawned threads. Each claims a
+//!   replica, seeds the *same* deterministic ChaCha stream the sequential
+//!   path derives, and advances the monomorphised
+//!   [`DynamicsEngine`](crate::dynamics::DynamicsEngine) hot loop in
+//!   fixed-size tick chunks. At sample times it snapshots the profile into
+//!   the current [`SnapshotBatch`]; at chunk boundaries the batch is pushed
+//!   through a **bounded** channel (backpressure: a slow reducer throttles
+//!   the workers instead of letting snapshots pile up unboundedly). No
+//!   observable is evaluated on the stepping thread.
+//! * **Reducer** — a dedicated stage (the calling thread) that drains the
+//!   channel *while replicas are still running*: it evaluates the observable
+//!   on each snapshot and folds the value through an
+//!   [`OrderedSeriesReducer`] into
+//!   [`SeriesAccumulator`](crate::observables::SeriesAccumulator)
+//!   statistics. Replicas stream into the reducer as they finish chunks —
+//!   there is no end-of-run barrier.
+//!
+//! **Bit-identity contract.** The pipelined runner is pinned to produce
+//! exactly the bytes of the sequential path: replica streams use the same
+//! seed derivation and consume randomness identically (snapshots draw
+//! nothing), observable evaluation is deterministic on the snapshot, and the
+//! [`OrderedSeriesReducer`] restores strict replica order per recorded time
+//! before touching the Welford accumulators — so chunking, channel capacity,
+//! worker count and arrival order are all unobservable in the result. The
+//! proptest harness asserts this for every rule × schedule combination.
+//!
+//! The rule/schedule seam stays a monomorphised generic end-to-end: workers
+//! call the same `step_profile`/`step_scheduled` loop as the sequential
+//! path, no `dyn` anywhere on the hot path.
+
+use crate::dynamics::{DynamicsEngine, Scratch};
+use crate::observables::{ProfileObservable, SeriesAccumulator};
+use crate::rules::UpdateRule;
+use crate::schedules::{SelectionSchedule, UniformSingle};
+use crate::simulate::{replica_seed, sample_times, ProfileEnsembleResult, Simulator};
+use logit_games::Game;
+use logit_linalg::stats::RunningStats;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// Tuning knobs of the pipelined runner. The defaults are safe everywhere;
+/// none of them affect the result (the bit-identity contract), only
+/// throughput and memory.
+///
+/// * `chunk_ticks` — engine ticks a worker advances a replica between
+///   channel flushes. Larger chunks amortise channel traffic (one send per
+///   chunk that contains a sample time); smaller chunks smooth reducer
+///   utilisation. Keep it well above the per-tick cost crossover: at the
+///   default sampling rates a chunk carries at most a few snapshots.
+/// * `channel_capacity` — in-flight batches before senders block. This is
+///   the backpressure bound: peak snapshot memory is
+///   `O(capacity · batch · n)`.
+/// * `workers` — step-worker threads; `0` means one per available core
+///   (capped at the replica count). The reducer runs on the calling thread
+///   in addition.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Ticks per worker chunk (≥ 1).
+    pub chunk_ticks: u64,
+    /// Bounded-channel capacity in batches (≥ 1).
+    pub channel_capacity: usize,
+    /// Step workers; 0 = one per available core.
+    pub workers: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            chunk_ticks: 4096,
+            channel_capacity: 64,
+            workers: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    pub(crate) fn validate(&self) {
+        assert!(self.chunk_ticks >= 1, "chunk_ticks must be at least 1");
+        assert!(
+            self.channel_capacity >= 1,
+            "channel_capacity must be at least 1"
+        );
+    }
+
+    /// Resolved worker count for `jobs` parallel jobs.
+    pub(crate) fn worker_count(&self, jobs: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let requested = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        requested.max(1).min(jobs.max(1))
+    }
+}
+
+/// One worker→reducer message: profile snapshots of a single replica at
+/// consecutive sample times, taken during one tick chunk.
+#[derive(Debug, Clone)]
+pub struct SnapshotBatch {
+    /// The replica (or tempering-ensemble) index the snapshots belong to.
+    pub replica: usize,
+    /// Index into the recorded-times grid of `profiles[0]`; entry `j` is the
+    /// snapshot at recorded time `first_sample + j`.
+    pub first_sample: usize,
+    /// The profile snapshots, in sample order.
+    pub profiles: Vec<Vec<usize>>,
+}
+
+/// The farm stage driver: spawns `workers` step workers over `jobs` jobs
+/// (claimed through a shared atomic counter) that push messages into a
+/// bounded channel, while `reduce` drains the channel on the calling thread
+/// concurrently. Returns the reducer's result once every worker has finished
+/// and the channel is drained.
+///
+/// A worker returns `false` when the reducer hung up (its sends fail); the
+/// spawning loop then stops claiming jobs. Panic propagation favours root
+/// causes: a panicking worker drops its sender, the reducer's incomplete
+/// stream panic is caught here, and the scope re-raises the *worker's*
+/// payload; a panicking reducer lets workers drain out normally and is then
+/// re-raised itself.
+pub(crate) fn farm<M, W, F, R>(
+    jobs: usize,
+    workers: usize,
+    capacity: usize,
+    worker: W,
+    reduce: F,
+) -> R
+where
+    M: Send,
+    W: Fn(usize, &SyncSender<M>) -> bool + Sync,
+    F: FnOnce(Receiver<M>) -> R,
+{
+    let (tx, rx) = sync_channel::<M>(capacity);
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    let worker = &worker;
+    let outcome = rayon::scope(move |s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move |_| loop {
+                let job = next.fetch_add(1, Ordering::Relaxed);
+                if job >= jobs {
+                    break;
+                }
+                if !worker(job, &tx) {
+                    break;
+                }
+            });
+        }
+        // The scope's own sender must drop before the reducer loop, or the
+        // receiver would never observe disconnection. The reducer's panic is
+        // deferred past the scope so a simultaneous worker panic (the likely
+        // root cause of a truncated stream) wins the propagation race.
+        drop(tx);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reduce(rx)))
+    });
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Order-restoring streaming frontier in front of a
+/// [`SeriesAccumulator`]: accepts `(sample, replica, value)` triples in
+/// **any** arrival order and folds them in strict replica order per recorded
+/// time, buffering early arrivals in per-time pending maps.
+///
+/// Welford's update is not associative in floating point, so the fold order
+/// *is* the bytes of the resulting moments; this frontier makes the
+/// pipelined fold replay exactly the sequential replica-major fold, which is
+/// what turns "statistically equivalent" into "bit-identical". Memory is
+/// bounded by the out-of-order window (at most one pending value per replica
+/// per time, in practice a few chunks' worth).
+#[derive(Debug)]
+pub struct OrderedSeriesReducer {
+    acc: SeriesAccumulator,
+    next_replica: Vec<usize>,
+    pending: Vec<BTreeMap<usize, f64>>,
+    replicas: usize,
+}
+
+impl OrderedSeriesReducer {
+    /// A frontier over `num_times` recorded times and `replicas` replicas.
+    pub fn new(num_times: usize, replicas: usize) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        Self {
+            acc: SeriesAccumulator::new(num_times),
+            next_replica: vec![0; num_times],
+            pending: vec![BTreeMap::new(); num_times],
+            replicas,
+        }
+    }
+
+    /// Offers one sample; folds it now if `replica` is the next expected one
+    /// at that time (then drains any unblocked pending successors), buffers
+    /// it otherwise.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or a duplicate `(sample, replica)`
+    /// offer.
+    pub fn offer(&mut self, sample: usize, replica: usize, value: f64) {
+        assert!(replica < self.replicas, "replica index out of range");
+        let next = &mut self.next_replica[sample];
+        assert!(
+            replica >= *next,
+            "replica {replica} already folded at sample {sample}"
+        );
+        if replica == *next {
+            self.acc.record(sample, replica, value);
+            *next += 1;
+            while let Some(v) = self.pending[sample].remove(next) {
+                self.acc.record(sample, *next, v);
+                *next += 1;
+            }
+        } else {
+            let prev = self.pending[sample].insert(replica, value);
+            assert!(
+                prev.is_none(),
+                "duplicate offer for replica {replica} at sample {sample}"
+            );
+        }
+    }
+
+    /// Number of samples folded into the accumulator so far (pending buffered
+    /// samples not included).
+    pub fn folded(&self) -> usize {
+        self.next_replica.iter().sum()
+    }
+
+    /// Finishes the reduction.
+    ///
+    /// # Panics
+    /// Panics when any `(sample, replica)` cell was never offered — a
+    /// partial stream means a worker died or a batch went missing.
+    pub fn finish(self) -> SeriesAccumulator {
+        assert!(
+            self.next_replica.iter().all(|&n| n == self.replicas),
+            "reduction is incomplete: not every replica reported every sample"
+        );
+        self.acc
+    }
+}
+
+impl Simulator {
+    /// The pipelined counterpart of
+    /// [`run_profiles`](Simulator::run_profiles): same replicas, same seeds,
+    /// same result — but stepping and observable reduction run as pipeline
+    /// stages (see the [module docs](crate::pipeline)), so observables are
+    /// evaluated off the hot stepping threads and replicas stream into the
+    /// reducer as they finish chunks, with no end-of-run barrier.
+    ///
+    /// Bit-identical to `run_profiles` under fixed seeds: same
+    /// `EmpiricalLaw` samples, same `RunningStats` bytes (asserted by the
+    /// test harness for every rule × schedule combination).
+    pub fn run_profiles_pipelined<G, U, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_pipelined_with(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            &PipelineConfig::default(),
+        )
+    }
+
+    /// [`run_profiles_pipelined`](Simulator::run_profiles_pipelined) with
+    /// explicit [`PipelineConfig`] knobs (chunking, channel capacity, worker
+    /// count). The knobs affect throughput and memory only, never the
+    /// result.
+    pub fn run_profiles_pipelined_with<G, U, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+        config: &PipelineConfig,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_pipelined_inner::<G, U, UniformSingle, O>(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            None,
+            config,
+        )
+    }
+
+    /// The pipelined counterpart of
+    /// [`run_profiles_scheduled`](Simulator::run_profiles_scheduled): one
+    /// schedule *tick* per step, any [`SelectionSchedule`].
+    pub fn run_profiles_scheduled_pipelined<G, U, S, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        schedule: &S,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_scheduled_pipelined_with(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            schedule,
+            &PipelineConfig::default(),
+        )
+    }
+
+    /// [`run_profiles_scheduled_pipelined`](Simulator::run_profiles_scheduled_pipelined)
+    /// with explicit [`PipelineConfig`] knobs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_profiles_scheduled_pipelined_with<G, U, S, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+        schedule: &S,
+        config: &PipelineConfig,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_pipelined_inner(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            Some(schedule),
+            config,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_profiles_pipelined_inner<G, U, S, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+        schedule: Option<&S>,
+        config: &PipelineConfig,
+    ) -> ProfileEnsembleResult
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
+        O: ProfileObservable + Sync,
+    {
+        crate::simulate::validate_start_profile(dynamics.game(), start);
+        assert!(steps >= 1, "need at least one step");
+        assert!(sample_every >= 1, "sampling period must be at least 1");
+        config.validate();
+
+        let times = sample_times(steps, sample_every);
+        let replicas = self.replicas();
+        let workers = config.worker_count(replicas);
+        let seed = self.master_seed();
+        let times_ref = &times;
+
+        let worker = |replica: usize, tx: &SyncSender<SnapshotBatch>| {
+            // Same stream derivation as the sequential path: bit-identity
+            // starts at the seed.
+            let mut rng = ChaCha8Rng::seed_from_u64(replica_seed(seed, replica));
+            let mut scratch = Scratch::for_game(dynamics.game());
+            let mut profile = start.to_vec();
+            let mut t = 0u64;
+            let mut next_sample = 0usize;
+            while t < steps {
+                let chunk_end = (t + config.chunk_ticks).min(steps);
+                let first_sample = next_sample;
+                let mut batch: Vec<Vec<usize>> = Vec::new();
+                while t < chunk_end {
+                    match schedule {
+                        // The default uniform single-player path keeps the
+                        // dedicated (and bit-compatible) fast path.
+                        None => {
+                            dynamics.step_profile(&mut profile, &mut scratch, &mut rng);
+                        }
+                        Some(s) => {
+                            dynamics.step_scheduled(s, t, &mut profile, &mut scratch, &mut rng);
+                        }
+                    }
+                    t += 1;
+                    if next_sample < times_ref.len() && times_ref[next_sample] == t {
+                        batch.push(profile.clone());
+                        next_sample += 1;
+                    }
+                }
+                if !batch.is_empty() {
+                    let send = tx.send(SnapshotBatch {
+                        replica,
+                        first_sample,
+                        profiles: batch,
+                    });
+                    if send.is_err() {
+                        // The reducer died; stop stepping, let its panic
+                        // surface through the farm.
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+
+        let (series, final_values): (Vec<RunningStats>, Vec<f64>) =
+            farm(replicas, workers, config.channel_capacity, worker, |rx| {
+                let mut reducer = OrderedSeriesReducer::new(times_ref.len(), replicas);
+                for batch in rx {
+                    for (j, snapshot) in batch.profiles.iter().enumerate() {
+                        reducer.offer(
+                            batch.first_sample + j,
+                            batch.replica,
+                            observable.evaluate_profile(snapshot),
+                        );
+                    }
+                }
+                reducer.finish().into_series_and_finals()
+            });
+
+        ProfileEnsembleResult {
+            replicas,
+            steps,
+            sample_every,
+            name: observable.name().to_string(),
+            times,
+            series,
+            final_values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::LogitDynamics;
+    use crate::observables::{PotentialObservable, StrategyFraction};
+    use crate::rules::{MetropolisLogit, NoisyBestResponse};
+    use crate::schedules::{AllLogit, SystematicSweep};
+    use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
+    use logit_graphs::GraphBuilder;
+
+    /// Bitwise equality of two ensemble results — the bit-identity contract.
+    fn assert_results_identical(a: &ProfileEnsembleResult, b: &ProfileEnsembleResult) {
+        assert_eq!(a.replicas, b.replicas);
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.final_values, b.final_values);
+        assert_eq!(a.series.len(), b.series.len());
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.count(), sb.count());
+            assert_eq!(sa.mean(), sb.mean());
+            assert_eq!(sa.variance(), sb.variance());
+            assert_eq!(sa.min(), sb.min());
+            assert_eq!(sa.max(), sb.max());
+        }
+    }
+
+    fn ring_dynamics(n: usize) -> LogitDynamics<GraphicalCoordinationGame> {
+        LogitDynamics::new(
+            GraphicalCoordinationGame::new(
+                GraphBuilder::ring(n),
+                CoordinationGame::from_deltas(1.0, 2.0),
+            ),
+            1.2,
+        )
+    }
+
+    #[test]
+    fn pipelined_default_path_is_bit_identical_across_configs() {
+        let d = ring_dynamics(6);
+        let sim = Simulator::new(42, 24);
+        let obs = StrategyFraction::new(1, "adopters");
+        let sequential = sim.run_profiles(&d, &[0; 6], 205, 50, &obs);
+        // Chunking, capacity and worker count are unobservable in the result.
+        for config in [
+            PipelineConfig::default(),
+            PipelineConfig {
+                chunk_ticks: 1,
+                channel_capacity: 1,
+                workers: 1,
+            },
+            PipelineConfig {
+                chunk_ticks: 7,
+                channel_capacity: 2,
+                workers: 3,
+            },
+            PipelineConfig {
+                chunk_ticks: 1_000_000,
+                channel_capacity: 64,
+                workers: 0,
+            },
+        ] {
+            let pipelined = sim.run_profiles_pipelined_with(&d, &[0; 6], 205, 50, &obs, &config);
+            assert_results_identical(&sequential, &pipelined);
+        }
+    }
+
+    #[test]
+    fn pipelined_scheduled_paths_are_bit_identical() {
+        let d = ring_dynamics(5);
+        let sim = Simulator::new(9, 16);
+        let obs = StrategyFraction::new(0, "zeros");
+        let config = PipelineConfig {
+            chunk_ticks: 13,
+            channel_capacity: 3,
+            workers: 2,
+        };
+        let seq_sweep = sim.run_profiles_scheduled(&d, &SystematicSweep, &[1; 5], 77, 20, &obs);
+        let pipe_sweep = sim.run_profiles_scheduled_pipelined_with(
+            &d,
+            &[1; 5],
+            77,
+            20,
+            &obs,
+            &SystematicSweep,
+            &config,
+        );
+        assert_results_identical(&seq_sweep, &pipe_sweep);
+
+        let seq_block = sim.run_profiles_scheduled(&d, &AllLogit, &[1; 5], 40, 10, &obs);
+        let pipe_block = sim.run_profiles_scheduled_pipelined(&d, &AllLogit, &[1; 5], 40, 10, &obs);
+        assert_results_identical(&seq_block, &pipe_block);
+    }
+
+    #[test]
+    fn pipelined_runner_covers_every_rule() {
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(5),
+            CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let sim = Simulator::new(3, 12);
+        let obs = PotentialObservable::new(game.clone());
+        let config = PipelineConfig {
+            chunk_ticks: 11,
+            channel_capacity: 2,
+            workers: 2,
+        };
+
+        let logit = DynamicsEngine::with_rule(game.clone(), crate::rules::Logit, 0.9);
+        assert_results_identical(
+            &sim.run_profiles(&logit, &[0; 5], 60, 25, &obs),
+            &sim.run_profiles_pipelined_with(&logit, &[0; 5], 60, 25, &obs, &config),
+        );
+        let metro = DynamicsEngine::with_rule(game.clone(), MetropolisLogit, 0.9);
+        assert_results_identical(
+            &sim.run_profiles(&metro, &[0; 5], 60, 25, &obs),
+            &sim.run_profiles_pipelined_with(&metro, &[0; 5], 60, 25, &obs, &config),
+        );
+        let nbr = DynamicsEngine::with_rule(game, NoisyBestResponse::new(0.2), 0.9);
+        assert_results_identical(
+            &sim.run_profiles(&nbr, &[0; 5], 60, 25, &obs),
+            &sim.run_profiles_pipelined_with(&nbr, &[0; 5], 60, 25, &obs, &config),
+        );
+    }
+
+    #[test]
+    fn pipelined_runner_streams_beyond_flat_index_capacity() {
+        // 400 binary players: no flat index exists; the farm streams fine.
+        let game = GraphicalCoordinationGame::new(
+            GraphBuilder::ring(400),
+            CoordinationGame::from_deltas(3.0, 1.0),
+        );
+        let d = LogitDynamics::new(game, 2.0);
+        let sim = Simulator::new(17, 6);
+        let obs = StrategyFraction::new(0, "zeros");
+        let sequential = sim.run_profiles(&d, &vec![1usize; 400], 8_000, 2_000, &obs);
+        let pipelined = sim.run_profiles_pipelined(&d, &vec![1usize; 400], 8_000, 2_000, &obs);
+        assert_results_identical(&sequential, &pipelined);
+        assert!(pipelined.law().mean() > 0.2);
+    }
+
+    #[test]
+    fn ordered_reducer_is_arrival_order_invariant() {
+        // 3 times x 4 replicas, folded forwards vs in a scrambled order.
+        let values = |sample: usize, replica: usize| (sample * 10 + replica) as f64 * 0.3 - 1.0;
+        let mut forward = OrderedSeriesReducer::new(3, 4);
+        for replica in 0..4 {
+            for sample in 0..3 {
+                forward.offer(sample, replica, values(sample, replica));
+            }
+        }
+        let mut scrambled = OrderedSeriesReducer::new(3, 4);
+        for (sample, replica) in [
+            (2, 3),
+            (0, 1),
+            (1, 2),
+            (0, 0),
+            (2, 0),
+            (1, 0),
+            (0, 3),
+            (0, 2),
+            (2, 1),
+            (1, 3),
+            (1, 1),
+            (2, 2),
+        ] {
+            scrambled.offer(sample, replica, values(sample, replica));
+        }
+        assert_eq!(forward.folded(), 12);
+        assert_eq!(scrambled.folded(), 12);
+        let fwd = forward.finish();
+        let scr = scrambled.finish();
+        assert_eq!(fwd.final_values(), scr.final_values());
+        for (a, b) in fwd.series().iter().zip(scr.series()) {
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.mean(), b.mean());
+            assert_eq!(a.variance(), b.variance());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn ordered_reducer_rejects_partial_streams() {
+        let mut reducer = OrderedSeriesReducer::new(2, 2);
+        reducer.offer(0, 0, 1.0);
+        let _ = reducer.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate offer")]
+    fn ordered_reducer_rejects_duplicate_pending_offers() {
+        let mut reducer = OrderedSeriesReducer::new(1, 3);
+        reducer.offer(0, 2, 1.0);
+        reducer.offer(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already folded")]
+    fn ordered_reducer_rejects_refolding_a_consumed_replica() {
+        let mut reducer = OrderedSeriesReducer::new(1, 3);
+        reducer.offer(0, 0, 1.0);
+        reducer.offer(0, 0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_ticks")]
+    fn zero_chunk_config_rejected() {
+        let d = ring_dynamics(4);
+        let sim = Simulator::new(1, 2);
+        let obs = StrategyFraction::new(0, "zeros");
+        let config = PipelineConfig {
+            chunk_ticks: 0,
+            channel_capacity: 1,
+            workers: 1,
+        };
+        let _ = sim.run_profiles_pipelined_with(&d, &[0; 4], 10, 5, &obs, &config);
+    }
+
+    #[test]
+    fn farm_streams_every_message_and_reduces_on_the_caller() {
+        let sum = farm(
+            100,
+            4,
+            8,
+            |job, tx: &SyncSender<usize>| tx.send(job * job).is_ok(),
+            |rx| rx.iter().sum::<usize>(),
+        );
+        assert_eq!(sum, (0..100).map(|j| j * j).sum::<usize>());
+    }
+
+    #[test]
+    fn farm_propagates_the_reducer_panic_after_workers_drain() {
+        // A dying reducer must not deadlock blocked senders, and its panic —
+        // the root cause — must reach the caller.
+        let caught = std::panic::catch_unwind(|| {
+            farm(
+                50,
+                2,
+                1,
+                |job, tx: &SyncSender<usize>| tx.send(job).is_ok(),
+                |rx| {
+                    let first = rx.iter().next();
+                    panic!("reducer rejected {first:?}");
+                },
+            )
+        });
+        let payload = caught.expect_err("the reducer panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("reducer rejected"),
+            "expected the reducer's own panic, got {message:?}"
+        );
+    }
+
+    #[test]
+    fn farm_propagates_a_worker_panic_as_the_root_cause() {
+        // A dying worker truncates the stream; the reducer's incomplete-fold
+        // panic must not mask the worker's payload.
+        let caught = std::panic::catch_unwind(|| {
+            farm(
+                4,
+                2,
+                2,
+                |job, _tx: &SyncSender<usize>| {
+                    if job == 1 {
+                        panic!("worker {job} exploded");
+                    }
+                    true
+                },
+                |rx| {
+                    let drained: Vec<usize> = rx.iter().collect();
+                    panic!("stream truncated after {} messages", drained.len());
+                },
+            )
+        });
+        let payload = caught.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("worker 1 exploded"),
+            "expected the worker's panic as root cause, got {message:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_tempered_runs_match_their_sequential_contract() {
+        // `run_tempered` is routed through the same farm/reducer stages; its
+        // existing tests pin reproducibility, this one pins the stage plumbing
+        // on a multi-rung ladder end to end.
+        use crate::schedules::UniformSingle;
+        use crate::tempering::TemperingEnsemble;
+        let game = WellGame::plateau(4, 2.0);
+        let ensemble = TemperingEnsemble::new(game.clone(), crate::rules::Logit, &[0.4, 1.2, 2.4]);
+        let sim = Simulator::new(31, 10);
+        let obs = PotentialObservable::new(game);
+        let a = sim.run_tempered(&ensemble, &UniformSingle, &[0; 4], 12, 4, 5, &obs);
+        let b = sim.run_tempered(&ensemble, &UniformSingle, &[0; 4], 12, 4, 5, &obs);
+        assert_eq!(a.final_values, b.final_values);
+        assert_eq!(a.swap_stats, b.swap_stats);
+        assert_eq!(a.times, vec![20, 40, 48]);
+        assert!(a.series.iter().all(|s| s.count() == 10));
+        // Explicit pipeline knobs cannot change the tempered result either.
+        let tight = PipelineConfig {
+            chunk_ticks: 1,
+            channel_capacity: 1,
+            workers: 1,
+        };
+        let c = sim.run_tempered_with(&ensemble, &UniformSingle, &[0; 4], 12, 4, 5, &obs, &tight);
+        assert_eq!(a.final_values, c.final_values);
+        assert_eq!(a.swap_stats, c.swap_stats);
+        for (sa, sc) in a.series.iter().zip(&c.series) {
+            assert_eq!(sa.count(), sc.count());
+            assert_eq!(sa.mean(), sc.mean());
+            assert_eq!(sa.variance(), sc.variance());
+        }
+    }
+}

@@ -70,7 +70,7 @@ pub fn simulate_profile_trajectory<G: Game, U: UpdateRule, R: Rng + ?Sized>(
     }
 }
 
-fn validate_start_profile<G: Game>(game: &G, profile: &[usize]) {
+pub(crate) fn validate_start_profile<G: Game>(game: &G, profile: &[usize]) {
     assert_eq!(
         profile.len(),
         game.num_players(),
@@ -82,6 +82,20 @@ fn validate_start_profile<G: Game>(game: &G, profile: &[usize]) {
             "start strategy {s} out of range for player {i}"
         );
     }
+}
+
+/// The recorded-times grid every ensemble entry point samples on: multiples
+/// of `sample_every` up to `steps`, plus the final step when it is not
+/// already a multiple. Shared by the sequential and the pipelined runners so
+/// both observe the identical grid.
+pub(crate) fn sample_times(steps: u64, sample_every: u64) -> Vec<u64> {
+    let mut times: Vec<u64> = (1..=steps / sample_every)
+        .map(|k| k * sample_every)
+        .collect();
+    if times.last() != Some(&steps) {
+        times.push(steps);
+    }
+    times
 }
 
 /// The deterministic per-replica stream seed shared by every ensemble entry
@@ -368,6 +382,12 @@ impl Simulator {
         self.replicas
     }
 
+    /// The master seed replica streams are derived from (shared with the
+    /// pipelined runner in [`crate::pipeline`]).
+    pub(crate) fn master_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Runs every replica for `steps` steps from `start` in parallel and
     /// evaluates `observable` on each final state.
     ///
@@ -500,12 +520,7 @@ impl Simulator {
         assert!(steps >= 1, "need at least one step");
         assert!(sample_every >= 1, "sampling period must be at least 1");
 
-        let mut times: Vec<u64> = (1..=steps / sample_every)
-            .map(|k| k * sample_every)
-            .collect();
-        if times.last() != Some(&steps) {
-            times.push(steps);
-        }
+        let times = sample_times(steps, sample_every);
 
         let per_replica: Vec<Vec<f64>> = (0..self.replicas)
             .into_par_iter()
@@ -566,9 +581,19 @@ impl Simulator {
     /// ensemble starts all rungs from a copy of `start`, runs `rounds`
     /// tempering rounds of `sweep_ticks` ticks each under `schedule`, and
     /// `observable` is evaluated on the **cold** replica's profile every
-    /// `sample_every` rounds (plus at the final round) — streamed as the run
-    /// unfolds, no end-of-run barrier. Swap diagnostics are pooled across
-    /// ensembles.
+    /// `sample_every` rounds (plus at the final round). Swap diagnostics are
+    /// pooled across ensembles.
+    ///
+    /// Routed through the same farm/reducer stages as the pipelined profile
+    /// runner ([`crate::pipeline`]): ensemble workers push cold-replica
+    /// snapshots through a bounded channel as the rounds unfold, and a
+    /// dedicated reducer evaluates the observable and folds statistics off
+    /// the sweeping threads — streamed, no end-of-run barrier. Uses the
+    /// default [`crate::pipeline::PipelineConfig`]; pass explicit knobs
+    /// through [`Self::run_tempered_with`] when the defaults don't fit
+    /// (dense sampling on very large games pays one `O(n)` cold-profile
+    /// snapshot per sample round per ensemble, bounded by the channel
+    /// capacity).
     #[allow(clippy::too_many_arguments)]
     pub fn run_tempered<G, U, S, O>(
         &self,
@@ -586,50 +611,126 @@ impl Simulator {
         S: SelectionSchedule,
         O: ProfileObservable + Sync,
     {
+        self.run_tempered_with(
+            ensemble,
+            schedule,
+            start,
+            rounds,
+            sweep_ticks,
+            sample_every,
+            observable,
+            &crate::pipeline::PipelineConfig::default(),
+        )
+    }
+
+    /// [`Self::run_tempered`] with explicit
+    /// [`PipelineConfig`](crate::pipeline::PipelineConfig) knobs (worker
+    /// count, channel capacity; `chunk_ticks` has no effect here — the
+    /// tempering round structure already chunks the stream at sample
+    /// rounds). The knobs affect throughput and memory only, never the
+    /// result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_tempered_with<G, U, S, O>(
+        &self,
+        ensemble: &crate::tempering::TemperingEnsemble<G, U>,
+        schedule: &S,
+        start: &[usize],
+        rounds: u64,
+        sweep_ticks: u64,
+        sample_every: u64,
+        observable: &O,
+        config: &crate::pipeline::PipelineConfig,
+    ) -> TemperedEnsembleResult
+    where
+        G: logit_games::PotentialGame + Send + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
+        O: ProfileObservable + Sync,
+    {
+        use crate::pipeline::{farm, OrderedSeriesReducer, SnapshotBatch};
+
         assert!(rounds >= 1, "need at least one round");
         assert!(sweep_ticks >= 1, "need at least one tick per round");
         assert!(
             sample_every >= 1,
             "sampling period must be at least 1 round"
         );
+        config.validate();
 
-        let mut sample_rounds: Vec<u64> = (1..=rounds / sample_every)
-            .map(|k| k * sample_every)
-            .collect();
-        if sample_rounds.last() != Some(&rounds) {
-            sample_rounds.push(rounds);
+        let sample_rounds = sample_times(rounds, sample_every);
+        let sample_rounds_ref = &sample_rounds;
+        let workers = config.worker_count(self.replicas);
+
+        // Cold-replica snapshots stream through the shared stage type; the
+        // swap diagnostics ride behind them once per ensemble.
+        enum TemperMsg {
+            Batch(SnapshotBatch),
+            Stats {
+                ensemble: usize,
+                stats: crate::tempering::SwapStats,
+            },
         }
 
-        let per_ensemble: Vec<(Vec<f64>, crate::tempering::SwapStats)> = (0..self.replicas)
-            .into_par_iter()
-            .map(|e| {
-                let mut state = ensemble.init_state(start, ensemble_seed(self.seed, e));
-                let mut values = Vec::with_capacity(sample_rounds.len());
-                let mut r = 0u64;
-                for &target in &sample_rounds {
-                    while r < target {
-                        ensemble.round(schedule, &mut state, sweep_ticks);
-                        r += 1;
-                    }
-                    values.push(observable.evaluate_profile(state.cold_profile()));
+        let worker = |e: usize, tx: &std::sync::mpsc::SyncSender<TemperMsg>| {
+            let mut state = ensemble.init_state(start, ensemble_seed(self.seed, e));
+            let mut r = 0u64;
+            for (k, &target) in sample_rounds_ref.iter().enumerate() {
+                while r < target {
+                    ensemble.round(schedule, &mut state, sweep_ticks);
+                    r += 1;
                 }
-                (values, state.swap_stats().clone())
+                let send = tx.send(TemperMsg::Batch(SnapshotBatch {
+                    replica: e,
+                    first_sample: k,
+                    profiles: vec![state.cold_profile().to_vec()],
+                }));
+                if send.is_err() {
+                    // The reducer died; stop sweeping, let its panic
+                    // surface through the farm.
+                    return false;
+                }
+            }
+            tx.send(TemperMsg::Stats {
+                ensemble: e,
+                stats: state.swap_stats().clone(),
             })
-            .collect();
+            .is_ok()
+        };
 
-        let mut series = vec![RunningStats::new(); sample_rounds.len()];
+        let (acc, per_ensemble_stats) = farm(
+            self.replicas,
+            workers,
+            config.channel_capacity,
+            worker,
+            |rx| {
+                let mut reducer = OrderedSeriesReducer::new(sample_rounds_ref.len(), self.replicas);
+                let mut stats: Vec<Option<crate::tempering::SwapStats>> = vec![None; self.replicas];
+                for msg in rx {
+                    match msg {
+                        TemperMsg::Batch(batch) => {
+                            for (j, snapshot) in batch.profiles.iter().enumerate() {
+                                reducer.offer(
+                                    batch.first_sample + j,
+                                    batch.replica,
+                                    observable.evaluate_profile(snapshot),
+                                );
+                            }
+                        }
+                        TemperMsg::Stats { ensemble, stats: s } => {
+                            stats[ensemble] = Some(s);
+                        }
+                    }
+                }
+                (reducer.finish(), stats)
+            },
+        );
+
+        let (series, final_values) = acc.into_series_and_finals();
         let mut swap_stats =
             crate::tempering::SwapStats::new(ensemble.num_replicas().saturating_sub(1));
-        for (values, stats) in &per_ensemble {
-            for (k, &v) in values.iter().enumerate() {
-                series[k].push(v);
-            }
-            swap_stats.merge(stats);
+        for stats in per_ensemble_stats {
+            swap_stats.merge(&stats.expect("every ensemble reports swap stats"));
         }
-        let final_values: Vec<f64> = per_ensemble
-            .iter()
-            .map(|(values, _)| *values.last().expect("at least one recording round"))
-            .collect();
 
         TemperedEnsembleResult {
             ensembles: self.replicas,
@@ -880,6 +981,72 @@ mod tests {
         assert_eq!(single.min(), 7.5);
         assert_eq!(single.max(), 7.5);
         assert_eq!(single.mean(), 7.5);
+    }
+
+    #[test]
+    fn empirical_cdf_handles_duplicate_samples() {
+        // Duplicates make the CDF jump by more than 1/len at one point; the
+        // partition_point-based count must include every tied sample.
+        let law = EmpiricalLaw::from_samples(vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(law.cdf(0.999), 0.0);
+        assert_eq!(law.cdf(1.0), 0.75);
+        assert_eq!(law.cdf(1.5), 0.75);
+        assert_eq!(law.cdf(2.0), 1.0);
+        // Nearest-rank quantiles step through the tie as one block.
+        assert_eq!(law.quantile(0.5), 1.0);
+        assert_eq!(law.quantile(0.75), 1.0);
+        assert_eq!(law.quantile(0.76), 2.0);
+    }
+
+    #[test]
+    fn ks_distance_with_duplicates_and_partial_overlap() {
+        // F = law of {1,1,2}, G = law of {1,2,2}: the sup gap sits at x = 1
+        // (2/3 vs 1/3) and closes again at x = 2.
+        let f = EmpiricalLaw::from_samples(vec![1.0, 1.0, 2.0]);
+        let g = EmpiricalLaw::from_samples(vec![2.0, 1.0, 2.0]);
+        assert!((f.ks_distance(&g) - 1.0 / 3.0).abs() < 1e-15);
+        // Symmetric.
+        assert_eq!(f.ks_distance(&g), g.ks_distance(&f));
+        // Unequal sample counts: {1,2} vs {1,2,3} peaks at x = 2 (1 vs 2/3).
+        let two = EmpiricalLaw::from_samples(vec![1.0, 2.0]);
+        let three = EmpiricalLaw::from_samples(vec![1.0, 2.0, 3.0]);
+        assert!((two.ks_distance(&three) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ks_distance_of_single_sample_laws() {
+        // Degenerate laws: distance 0 when the atoms coincide, 1 when they
+        // are disjoint (the CDFs are step functions at the atoms).
+        let a = EmpiricalLaw::from_samples(vec![5.0]);
+        let b = EmpiricalLaw::from_samples(vec![5.0]);
+        let c = EmpiricalLaw::from_samples(vec![6.0]);
+        assert_eq!(a.ks_distance(&b), 0.0);
+        assert_eq!(a.ks_distance(&c), 1.0);
+        assert_eq!(c.ks_distance(&a), 1.0);
+        // A single atom against a spread law: sup gap at the atom.
+        let spread = EmpiricalLaw::from_samples(vec![4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(a.cdf(5.0), 1.0);
+        assert_eq!(spread.cdf(5.0), 0.5);
+        assert_eq!(a.ks_distance(&spread), 0.5);
+        // KS distance is always within [0, 1].
+        assert!(a.ks_distance(&spread) <= 1.0);
+    }
+
+    #[test]
+    fn empty_laws_cannot_reach_cdf_or_ks() {
+        // The empty-vs-nonempty guard: the constructors are the only way to
+        // build a law and both refuse zero samples, so `cdf`/`ks_distance`
+        // can never divide by a zero sample count.
+        assert_eq!(
+            EmpiricalLaw::try_from_samples(Vec::new()).unwrap_err(),
+            EmptyLawError
+        );
+        let law = EmpiricalLaw::try_from_samples(vec![2.0]).expect("one sample suffices");
+        assert!(!law.is_empty());
+        assert_eq!(law.len(), 1);
+        assert_eq!(law.cdf(1.9), 0.0);
+        assert_eq!(law.cdf(2.0), 1.0);
+        assert_eq!(law.ks_distance(&law), 0.0);
     }
 
     #[test]

@@ -452,6 +452,166 @@ proptest! {
         }
     }
 
+    /// Pipelined-runner bit-identity, satellite check (the PR-3 K = 1 ladder
+    /// contract style): `run_profiles_pipelined` produces exactly the same
+    /// `EmpiricalLaw` samples and `RunningStats` bytes as `run_profiles` —
+    /// for every update rule × selection schedule combination, under fixed
+    /// per-replica seeds, whatever the chunking, channel capacity and worker
+    /// count of the pipeline.
+    #[test]
+    fn pipelined_ensembles_are_bit_identical_for_every_rule_and_schedule(
+        seed in 0u64..10_000,
+        beta in 0.0f64..3.0,
+        chunk_ticks in 1u64..40,
+        channel_capacity in 1usize..6,
+        workers in 1usize..5,
+    ) {
+        use logit_core::PipelineConfig;
+
+        let mut game_rng = StdRng::seed_from_u64(seed);
+        let game = TablePotentialGame::random(vec![2, 3, 2], 2.0, &mut game_rng);
+        let sim = Simulator::new(seed ^ 0x9192, 16);
+        let obs = PotentialObservable::new(game.clone());
+        let config = PipelineConfig { chunk_ticks, channel_capacity, workers };
+
+        fn assert_identical(
+            a: &logit_core::ProfileEnsembleResult,
+            b: &logit_core::ProfileEnsembleResult,
+        ) -> Result<(), TestCaseError> {
+            prop_assert_eq!(&a.times, &b.times);
+            // Exactly the same EmpiricalLaw samples...
+            prop_assert_eq!(&a.final_values, &b.final_values);
+            prop_assert!(a.law().ks_distance(&b.law()) == 0.0);
+            // ...and exactly the same RunningStats, byte for byte.
+            for (sa, sb) in a.series.iter().zip(&b.series) {
+                prop_assert_eq!(sa.count(), sb.count());
+                prop_assert_eq!(sa.mean(), sb.mean());
+                prop_assert_eq!(sa.variance(), sb.variance());
+                prop_assert_eq!(sa.min(), sb.min());
+                prop_assert_eq!(sa.max(), sb.max());
+            }
+            Ok(())
+        }
+
+        fn check_rule<U: UpdateRule>(
+            game: &TablePotentialGame,
+            rule: U,
+            beta: f64,
+            sim: &Simulator,
+            obs: &PotentialObservable<TablePotentialGame>,
+            config: &logit_core::PipelineConfig,
+        ) -> Result<(), TestCaseError> {
+            let d = DynamicsEngine::with_rule(game.clone(), rule, beta);
+            let start = [0usize, 0, 0];
+            // Default (uniform single-player fast path).
+            assert_identical(
+                &sim.run_profiles(&d, &start, 33, 10, obs),
+                &sim.run_profiles_pipelined_with(&d, &start, 33, 10, obs, config),
+            )?;
+            // Every explicit schedule through the scheduled tick path.
+            assert_identical(
+                &sim.run_profiles_scheduled(&d, &UniformSingle, &start, 33, 10, obs),
+                &sim.run_profiles_scheduled_pipelined_with(&d, &start, 33, 10, obs, &UniformSingle, config),
+            )?;
+            assert_identical(
+                &sim.run_profiles_scheduled(&d, &SystematicSweep, &start, 33, 10, obs),
+                &sim.run_profiles_scheduled_pipelined_with(&d, &start, 33, 10, obs, &SystematicSweep, config),
+            )?;
+            assert_identical(
+                &sim.run_profiles_scheduled(&d, &AllLogit, &start, 21, 7, obs),
+                &sim.run_profiles_scheduled_pipelined_with(&d, &start, 21, 7, obs, &AllLogit, config),
+            )?;
+            Ok(())
+        }
+
+        check_rule(&game, Logit, beta, &sim, &obs, &config)?;
+        check_rule(&game, MetropolisLogit, beta, &sim, &obs, &config)?;
+        check_rule(&game, logit_core::NoisyBestResponse::new(0.15), beta, &sim, &obs, &config)?;
+    }
+
+    /// Reducer partition invariance, satellite check: folding observable
+    /// sample batches in *any* chunking/arrival order yields the same
+    /// `RunningStats` and the identical sorted `EmpiricalLaw` as a one-shot
+    /// replica-major fold — exactly (bitwise) through the order-restoring
+    /// `OrderedSeriesReducer`, and with exact counts/min/max/finals plus
+    /// tolerance-bounded moments through `SeriesAccumulator::merge` over an
+    /// arbitrary partition of the replicas.
+    #[test]
+    fn streamed_reduction_is_partition_invariant(
+        seed in 0u64..10_000,
+        replicas in 1usize..9,
+        num_times in 1usize..6,
+    ) {
+        use logit_core::{OrderedSeriesReducer, SeriesAccumulator};
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7A57);
+        let values: Vec<Vec<f64>> = (0..replicas)
+            .map(|_| (0..num_times).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+
+        // One-shot reference: the sequential replica-major fold of
+        // `run_profiles` (per recorded time, replicas in index order).
+        let mut one_shot = SeriesAccumulator::new(num_times);
+        for (replica, row) in values.iter().enumerate() {
+            for (sample, &v) in row.iter().enumerate() {
+                one_shot.record(sample, replica, v);
+            }
+        }
+
+        // Arbitrary arrival order through the ordered frontier: shuffle all
+        // (sample, replica) cells and offer them one by one.
+        let mut cells: Vec<(usize, usize)> = (0..num_times)
+            .flat_map(|k| (0..replicas).map(move |r| (k, r)))
+            .collect();
+        for i in (1..cells.len()).rev() {
+            cells.swap(i, rng.gen_range(0..i + 1));
+        }
+        let mut reducer = OrderedSeriesReducer::new(num_times, replicas);
+        for &(sample, replica) in &cells {
+            reducer.offer(sample, replica, values[replica][sample]);
+        }
+        let streamed = reducer.finish();
+        prop_assert_eq!(streamed.final_values(), one_shot.final_values());
+        for (a, b) in streamed.series().iter().zip(one_shot.series()) {
+            // Bitwise: the frontier replays the exact sequential fold order.
+            prop_assert_eq!(a.count(), b.count());
+            prop_assert_eq!(a.mean(), b.mean());
+            prop_assert_eq!(a.variance(), b.variance());
+            prop_assert_eq!(a.min(), b.min());
+            prop_assert_eq!(a.max(), b.max());
+        }
+
+        // Arbitrary partition of the replicas into mergeable accumulators,
+        // merged in shuffled order.
+        let groups = rng.gen_range(1..4usize);
+        let mut parts: Vec<SeriesAccumulator> =
+            (0..groups).map(|_| SeriesAccumulator::new(num_times)).collect();
+        let assignment: Vec<usize> = (0..replicas).map(|_| rng.gen_range(0..groups)).collect();
+        for (replica, row) in values.iter().enumerate() {
+            for (sample, &v) in row.iter().enumerate() {
+                parts[assignment[replica]].record(sample, replica, v);
+            }
+        }
+        for i in (1..parts.len()).rev() {
+            parts.swap(i, rng.gen_range(0..i + 1));
+        }
+        let mut merged = parts.remove(0);
+        for part in parts {
+            merged.merge(part);
+        }
+        // Finals are keyed by replica, so the sorted law is exact...
+        prop_assert_eq!(merged.final_values(), one_shot.final_values());
+        prop_assert!(merged.law().ks_distance(&one_shot.law()) == 0.0);
+        for (a, b) in merged.series().iter().zip(one_shot.series()) {
+            // ...counts and extrema are exact, moments agree to rounding.
+            prop_assert_eq!(a.count(), b.count());
+            prop_assert_eq!(a.min(), b.min());
+            prop_assert_eq!(a.max(), b.max());
+            prop_assert!((a.mean() - b.mean()).abs() < 1e-9);
+            prop_assert!((a.variance() - b.variance()).abs() < 1e-9);
+        }
+    }
+
     /// Monotonicity of the Gibbs measure: raising β can only move mass towards
     /// the minimum-potential profile.
     #[test]

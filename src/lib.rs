@@ -50,10 +50,10 @@ pub mod prelude {
     pub use logit_core::{
         exact_mixing_time, exact_mixing_time_with_rule, gibbs_distribution, zeta, AllLogit,
         BarrierResult, CouplingKind, DynamicsEngine, EmpiricalLaw, Logit, LogitDynamics,
-        MetropolisLogit, MixingMeasurement, NamedObservable, NoisyBestResponse,
-        ProfileEnsembleResult, ProfileObservable, Scratch, SelectionSchedule, Simulator, StepEvent,
-        SwapStats, SystematicSweep, TemperedEnsembleResult, TemperingEnsemble, TemperingState,
-        UniformSingle, UpdateRule,
+        MetropolisLogit, MixingMeasurement, NamedObservable, NoisyBestResponse, PipelineConfig,
+        ProfileEnsembleResult, ProfileObservable, Scratch, SelectionSchedule, SeriesAccumulator,
+        Simulator, StepEvent, SwapStats, SystematicSweep, TemperedEnsembleResult,
+        TemperingEnsemble, TemperingState, UniformSingle, UpdateRule,
     };
     pub use logit_games::{
         AllZeroDominantGame, CongestionGame, CoordinationGame, Game, GraphicalCoordinationGame,

@@ -1,15 +1,84 @@
 //! Vendored minimal stand-in for the `rayon` crate.
 //!
-//! The workspace uses exactly one parallel shape — `into_par_iter()` /
-//! `par_iter()` followed by `map` and `collect()` — so this crate implements
-//! that shape with `std::thread::scope` and an atomic work counter. The
-//! parallelism is real (one worker per available core, work-stealing via a
-//! shared index), the API is a drop-in subset, and results are returned in
-//! input order, so callers observe the same determinism guarantees as with
-//! upstream rayon.
+//! The workspace uses two parallel shapes — `into_par_iter()` / `par_iter()`
+//! followed by `map` and `collect()`, and [`scope`] with explicit
+//! [`Scope::spawn`] calls (the pipelined ensemble runner's worker farm) — so
+//! this crate implements those shapes with `std::thread::scope` and an atomic
+//! work counter. The parallelism is real (one worker per available core for
+//! the iterator shape, one thread per spawn for the scope shape), the API is
+//! a drop-in subset, and iterator results are returned in input order, so
+//! callers observe the same determinism guarantees as with upstream rayon.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A spawn handle mirroring `rayon::Scope`: tasks spawned through it may
+/// borrow data owned outside the [`scope`] call and are all joined before
+/// `scope` returns.
+///
+/// Upstream rayon schedules spawned tasks onto its global work-stealing
+/// pool; this stand-in dedicates one OS thread per spawn, which matches the
+/// workspace's usage (a handful of long-lived pipeline-stage workers, not
+/// fine-grained tasks).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    first_panic: std::sync::Arc<Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` into the scope. Like upstream rayon, the closure receives
+    /// the scope again so it can spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        let first_panic = std::sync::Arc::clone(&self.first_panic);
+        self.inner.spawn(move || {
+            let scope = Scope {
+                inner,
+                first_panic: std::sync::Arc::clone(&first_panic),
+            };
+            // Catch the payload so [`scope`] can re-raise the task's own
+            // panic (std's scope would replace it with a generic message).
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f(&scope);
+            })) {
+                let mut slot = first_panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        });
+    }
+}
+
+/// Creates a scope in which borrowed-data tasks can be spawned; every
+/// spawned task is joined before `scope` returns (mirrors `rayon::scope`,
+/// implemented over `std::thread::scope`).
+///
+/// Panic semantics match upstream rayon rather than `std::thread::scope`:
+/// when a spawned task panics and the scope closure itself returns
+/// normally, the *task's own payload* is re-raised here (std would panic
+/// with an opaque "a scoped thread panicked" instead), so callers see the
+/// root cause.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let first_panic = std::sync::Arc::new(Mutex::new(None));
+    let result = std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            first_panic: std::sync::Arc::clone(&first_panic),
+        };
+        op(&wrapper)
+    });
+    if let Some(payload) = first_panic.lock().expect("panic slot poisoned").take() {
+        std::panic::resume_unwind(payload);
+    }
+    result
+}
 
 /// An eagerly materialised "parallel iterator": the items to process.
 pub struct ParIter<T> {
@@ -188,6 +257,54 @@ mod tests {
         assert_eq!(doubled[255], 510.0);
         // `data` still usable afterwards.
         assert_eq!(data.len(), 256);
+    }
+
+    #[test]
+    fn scope_joins_all_spawns_and_allows_borrows() {
+        let data: Vec<u64> = (0..100).collect();
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        crate::scope(|s| {
+            for chunk in data.chunks(25) {
+                let total = &total;
+                s.spawn(move |_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum as usize, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            (0..100).sum::<u64>() as usize
+        );
+    }
+
+    #[test]
+    fn scope_spawns_can_spawn_again() {
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        crate::scope(|s| {
+            let flag = &flag;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(flag.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_reraises_the_spawned_tasks_own_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("task payload"));
+            })
+        });
+        let payload = caught.expect_err("the spawned task's panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("task payload"),
+            "the task's own payload must survive, not std's generic message"
+        );
     }
 
     #[test]
