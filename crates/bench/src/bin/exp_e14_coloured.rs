@@ -1,0 +1,10 @@
+//! E14 — coloured parallel revision: block schedules × topologies, with the
+//! coloured round-chain exactness panel and the in-process bit-identity
+//! check of the parallel independent-set engine path.
+//!
+//! `--fast` shrinks the instance to the grid the test suite and the CI smoke
+//! step use.
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("{}", logit_bench::experiments::e14_coloured_schedules(fast));
+}

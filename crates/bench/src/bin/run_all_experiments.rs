@@ -1,4 +1,4 @@
-//! Runs the whole experiment suite (E1-E12 plus the stationary and simulation
+//! Runs the whole experiment suite (E1-E14 plus the stationary and simulation
 //! panels) and prints every report; `--fast` shrinks the parameter grids.
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");

@@ -2,7 +2,7 @@
 //!
 //! Experiment harness and criterion benchmarks.
 //!
-//! Every quantitative claim of the paper has an experiment (E1–E12, see
+//! Every quantitative claim of the paper has an experiment (E1–E14, see
 //! `DESIGN.md` for the index). Each experiment is a library function in
 //! [`experiments`] returning a plain-text report (a header plus a CSV-ish
 //! table), and a thin binary in `src/bin/` prints it; `run_all_experiments`

@@ -527,7 +527,14 @@ impl<G: PotentialGame, U: UpdateRule> DynamicsEngine<G, U> {
 
 /// Samples an index from an (already normalised) probability vector.
 pub(crate) fn sample_index<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
-    let u: f64 = rng.gen();
+    sample_index_from_uniform(probs, rng.gen())
+}
+
+/// The inverse-CDF scan behind [`sample_index`], taking the uniform variate
+/// explicitly — the coloured parallel-revision path derives one variate per
+/// `(player, tick)` from a counter hash instead of advancing a shared
+/// stream, which is what makes its update order unobservable.
+pub(crate) fn sample_index_from_uniform(probs: &[f64], u: f64) -> usize {
     let mut acc = 0.0;
     for (i, &p) in probs.iter().enumerate() {
         acc += p;

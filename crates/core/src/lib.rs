@@ -18,10 +18,17 @@
 //!
 //! * [`dynamics::DynamicsEngine`] — the generic revision-dynamics engine:
 //!   pluggable update rules ([`rules`]: logit/Glauber, Metropolis, noisy best
-//!   response) and selection schedules ([`schedules`]: uniform single-player,
-//!   systematic sweep, parallel all-logit blocks), explicit chain
-//!   construction (dense, sparse, per-schedule) and single-step simulation —
-//!   with [`dynamics::LogitDynamics`] kept as the paper's logit instance,
+//!   response, Fermi pairwise comparison, imitate-the-better) and selection
+//!   schedules ([`schedules`]: uniform single-player, systematic sweep,
+//!   parallel all-logit blocks; [`parallel`]: random `k`-blocks and
+//!   graph-colouring independent-set blocks), explicit chain construction
+//!   (dense, sparse, per-schedule) and single-step simulation — with
+//!   [`dynamics::LogitDynamics`] kept as the paper's logit instance,
+//! * [`parallel`] — the coloured parallel-revision subsystem: the
+//!   [`parallel::RandomBlock`] and [`parallel::ColouredBlocks`] schedules,
+//!   the genuinely parallel independent-set engine path
+//!   (`step_coloured_par`, per-player RNG streams, bit-identical to the
+//!   sequential class sweep) and the exact coloured block/round chains,
 //! * [`gibbs`] — numerically stable Gibbs measures and partition functions,
 //! * [`simulate`] — trajectory simulation, parallel replica ensembles and
 //!   empirical-distribution estimation (rayon-based),
@@ -52,6 +59,7 @@ pub mod dynamics;
 pub mod estimate;
 pub mod gibbs;
 pub mod observables;
+pub mod parallel;
 pub mod pipeline;
 pub mod rules;
 pub mod schedules;
@@ -70,8 +78,9 @@ pub use observables::{
     ensemble_time_series, HammingToProfile, NamedObservable, Observable, PotentialObservable,
     ProfileObservable, SeriesAccumulator, TimeSeries,
 };
+pub use parallel::{coloring_for_game, player_tick_seed, ColouredBlocks, RandomBlock};
 pub use pipeline::{OrderedSeriesReducer, PipelineConfig, SnapshotBatch};
-pub use rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
+pub use rules::{Fermi, ImitateBetter, Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
 pub use schedules::{AllLogit, SelectionSchedule, SystematicSweep, UniformSingle};
 pub use simulate::{
     simulate_profile_trajectory, simulate_trajectory, EmpiricalLaw, EmptyLawError, EnsembleResult,

@@ -51,6 +51,13 @@
 //! The rule/schedule seam stays a monomorphised generic end-to-end: workers
 //! call the same `step_profile`/`step_scheduled` loop as the sequential
 //! path, no `dyn` anywhere on the hot path.
+//!
+//! **Snapshot pooling.** Spent snapshot buffers travel back from the reducer
+//! to the workers through an unbounded return channel ([`SnapshotPool`]):
+//! at dense sampling rates the farm stops allocating per sample and recycles
+//! a small working set of buffers bounded by the in-flight batch count.
+//! Pooling is non-blocking on both sides and invisible in the results — the
+//! bit-identity contract is asserted through this path.
 
 use crate::dynamics::{DynamicsEngine, Scratch};
 use crate::observables::{ProfileObservable, SeriesAccumulator};
@@ -63,7 +70,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Mutex;
 
 /// Tuning knobs of the pipelined runner. The defaults are safe everywhere;
 /// none of them affect the result (the bit-identity contract), only
@@ -187,6 +195,81 @@ where
     match outcome {
         Ok(result) => result,
         Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Snapshot-buffer recycling through a **return channel**: once the reducer
+/// has evaluated a batch's profile snapshots it hands the buffers back to
+/// the step workers, which overwrite them for the next sample instead of
+/// allocating fresh `Vec`s — at dense sampling rates this removes the
+/// `O(samples · n)` allocation churn of the snapshot stream.
+///
+/// The return channel is unbounded (returns never block the reducer) and
+/// drained non-blockingly by workers (`try_lock` + `try_recv`): a worker
+/// that finds the pool momentarily contended or empty just allocates, so
+/// pooling can never deadlock or stall the farm. Buffers are fully
+/// overwritten (`clear` + `extend_from_slice`) before reuse, so pooling is
+/// invisible in the results — the bit-identity proptests run through this
+/// path unchanged.
+pub(crate) struct SnapshotPool {
+    tx: Sender<Vec<Vec<usize>>>,
+    rx: Mutex<Receiver<Vec<Vec<usize>>>>,
+    fresh: AtomicUsize,
+    reused: AtomicUsize,
+}
+
+impl SnapshotPool {
+    pub(crate) fn new() -> Self {
+        let (tx, rx) = channel();
+        Self {
+            tx,
+            rx: Mutex::new(rx),
+            fresh: AtomicUsize::new(0),
+            reused: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reducer side: hands a consumed batch's buffers back to the workers.
+    pub(crate) fn recycle(&self, buffers: Vec<Vec<usize>>) {
+        // A send can only fail after every worker (receiver users) is done;
+        // dropping the buffers is then exactly right.
+        let _ = self.tx.send(buffers);
+    }
+
+    /// Worker side: produces an empty snapshot buffer, preferring a
+    /// recycled one from `spare` (refilled from the return channel when it
+    /// runs dry). Never blocks.
+    pub(crate) fn acquire(&self, spare: &mut Vec<Vec<usize>>) -> Vec<usize> {
+        if spare.is_empty() {
+            if let Ok(rx) = self.rx.try_lock() {
+                while let Ok(mut returned) = rx.try_recv() {
+                    spare.append(&mut returned);
+                }
+            }
+        }
+        match spare.pop() {
+            Some(mut buffer) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                buffer.clear();
+                buffer
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Buffers allocated fresh (pool empty at acquisition).
+    #[cfg(test)]
+    pub(crate) fn fresh_count(&self) -> usize {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Buffers served from the return channel.
+    #[cfg(test)]
+    pub(crate) fn reused_count(&self) -> usize {
+        self.reused.load(Ordering::Relaxed)
     }
 }
 
@@ -420,6 +503,9 @@ impl Simulator {
         let workers = config.worker_count(replicas);
         let seed = self.master_seed();
         let times_ref = &times;
+        // Snapshot buffers flow worker → reducer → (return channel) → worker.
+        let pool = SnapshotPool::new();
+        let pool = &pool;
 
         let worker = |replica: usize, tx: &SyncSender<SnapshotBatch>| {
             // Same stream derivation as the sequential path: bit-identity
@@ -427,6 +513,7 @@ impl Simulator {
             let mut rng = ChaCha8Rng::seed_from_u64(replica_seed(seed, replica));
             let mut scratch = Scratch::for_game(dynamics.game());
             let mut profile = start.to_vec();
+            let mut spare: Vec<Vec<usize>> = Vec::new();
             let mut t = 0u64;
             let mut next_sample = 0usize;
             while t < steps {
@@ -446,7 +533,9 @@ impl Simulator {
                     }
                     t += 1;
                     if next_sample < times_ref.len() && times_ref[next_sample] == t {
-                        batch.push(profile.clone());
+                        let mut snapshot = pool.acquire(&mut spare);
+                        snapshot.extend_from_slice(&profile);
+                        batch.push(snapshot);
                         next_sample += 1;
                     }
                 }
@@ -477,6 +566,8 @@ impl Simulator {
                             observable.evaluate_profile(snapshot),
                         );
                     }
+                    // The snapshots are spent: recycle their buffers.
+                    pool.recycle(batch.profiles);
                 }
                 reducer.finish().into_series_and_finals()
             });
@@ -707,6 +798,52 @@ mod tests {
             workers: 1,
         };
         let _ = sim.run_profiles_pipelined_with(&d, &[0; 4], 10, 5, &obs, &config);
+    }
+
+    #[test]
+    fn snapshot_pool_recycles_buffers_through_the_return_channel() {
+        let pool = SnapshotPool::new();
+        let mut spare = Vec::new();
+        // Empty pool: the first acquisitions allocate fresh buffers.
+        let mut a = pool.acquire(&mut spare);
+        let mut b = pool.acquire(&mut spare);
+        assert_eq!(pool.fresh_count(), 2);
+        assert_eq!(pool.reused_count(), 0);
+        a.extend_from_slice(&[1, 2, 3]);
+        b.extend_from_slice(&[4, 5]);
+        // The reducer hands the batch back; the next acquisitions reuse its
+        // buffers, cleared.
+        pool.recycle(vec![a, b]);
+        let c = pool.acquire(&mut spare);
+        assert!(c.is_empty(), "recycled buffers come back cleared");
+        assert!(c.capacity() >= 2, "capacity survives the round trip");
+        let _ = pool.acquire(&mut spare);
+        assert_eq!(pool.fresh_count(), 2);
+        assert_eq!(pool.reused_count(), 2);
+        // Dry again: back to allocating.
+        let _ = pool.acquire(&mut spare);
+        assert_eq!(pool.fresh_count(), 3);
+    }
+
+    #[test]
+    fn snapshot_pooling_preserves_bit_identity_at_dense_sampling() {
+        // sample_every = 1 maximises snapshot traffic, so the recycled
+        // buffers are exercised hard; the results must not notice.
+        let d = ring_dynamics(6);
+        let sim = Simulator::new(77, 12);
+        let obs = StrategyFraction::new(1, "adopters");
+        let sequential = sim.run_profiles(&d, &[0; 6], 120, 1, &obs);
+        for config in [
+            PipelineConfig::default(),
+            PipelineConfig {
+                chunk_ticks: 3,
+                channel_capacity: 1,
+                workers: 2,
+            },
+        ] {
+            let pipelined = sim.run_profiles_pipelined_with(&d, &[0; 6], 120, 1, &obs, &config);
+            assert_results_identical(&sequential, &pipelined);
+        }
     }
 
     #[test]

@@ -155,6 +155,112 @@ impl UpdateRule for NoisyBestResponse {
     }
 }
 
+/// The Fermi (pairwise-comparison) rule of evolutionary game theory:
+/// propose a strategy uniformly at random — the mean-field form of sampling
+/// a co-player and considering her strategy — and adopt it with the
+/// logistic probability `1 / (1 + e^{−β·(u(y) − u(current))})` of the
+/// payoff difference; otherwise stay.
+///
+/// The acceptance ratio `a(Δ)/a(−Δ) = e^{βΔ}` is the same as the logit and
+/// Metropolis rules', so for potential games the uniform-selection chain is
+/// — like theirs — reversible with respect to the Gibbs measure
+/// `π(x) ∝ e^{−βΦ(x)}`: a third kernel sharing the stationary law, with
+/// its own mixing behaviour (at `Δ = 0` it moves with probability ½ where
+/// Metropolis always accepts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fermi;
+
+impl UpdateRule for Fermi {
+    fn fill_probs(&self, beta: f64, current: usize, utils: &[f64], probs: &mut Vec<f64>) {
+        let m = utils.len();
+        probs.clear();
+        probs.resize(m, 0.0);
+        let u_cur = utils[current];
+        let mut stay = 0.0;
+        for (s, &u) in utils.iter().enumerate() {
+            if s == current {
+                continue;
+            }
+            // 1/(1 + e^{-βΔ}) is safe at both extremes: e^{±∞} gives 0 or 1.
+            let accept = 1.0 / (1.0 + (-(beta * (u - u_cur))).exp());
+            let move_prob = accept / m as f64;
+            probs[s] = move_prob;
+            stay += move_prob;
+        }
+        probs[current] = 1.0 - stay;
+    }
+
+    fn name(&self) -> &'static str {
+        "fermi"
+    }
+}
+
+/// Imitate-the-better with mutation rate `ε`: propose a strategy uniformly
+/// at random (the strategy of a sampled co-player, in the mean-field view)
+/// and copy it **iff it strictly improves** the current payoff; with
+/// probability `ε` mutate to a uniformly random strategy instead.
+///
+/// `β` is ignored — the payoff difference only enters through its sign, the
+/// deterministic limit of the [`Fermi`] comparison. The induced chain is
+/// ergodic for `ε > 0` but (like noisy best response) not reversible with
+/// respect to the Gibbs measure; its stationary law comes from a linear
+/// solve on the exact chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImitateBetter {
+    epsilon: f64,
+}
+
+impl ImitateBetter {
+    /// Creates the rule with mutation rate `ε ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `ε` is outside `[0, 1]` or not finite. `ε = 0` (pure
+    /// imitation) is allowed but absorbs at local optima on most games.
+    pub fn new(epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        Self { epsilon }
+    }
+
+    /// The mutation rate `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl Default for ImitateBetter {
+    /// `ε = 0.1`, matching the conventional mutation rate of
+    /// [`NoisyBestResponse`].
+    fn default() -> Self {
+        Self::new(0.1)
+    }
+}
+
+impl UpdateRule for ImitateBetter {
+    fn fill_probs(&self, _beta: f64, current: usize, utils: &[f64], probs: &mut Vec<f64>) {
+        let m = utils.len();
+        probs.clear();
+        probs.resize(m, self.epsilon / m as f64);
+        let u_cur = utils[current];
+        // Proposing the current strategy (probability 1/m) always stays.
+        let mut stay = (self.epsilon + (1.0 - self.epsilon)) / m as f64;
+        for (s, &u) in utils.iter().enumerate() {
+            if s == current {
+                continue;
+            }
+            if u > u_cur {
+                probs[s] += (1.0 - self.epsilon) / m as f64;
+            } else {
+                stay += (1.0 - self.epsilon) / m as f64;
+            }
+        }
+        probs[current] = stay;
+    }
+
+    fn name(&self) -> &'static str {
+        "imitate_better"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +358,67 @@ mod tests {
         NoisyBestResponse::default().fill_probs(1.0, 0, &[0.0], &mut probs);
         assert_eq!(probs.len(), 1);
         assert!((probs[0] - 1.0).abs() < 1e-12);
+        Fermi.fill_probs(1.0, 0, &[0.0, 0.0, 0.0, 0.0], &mut probs);
+        assert_eq!(probs.len(), 4);
+        ImitateBetter::default().fill_probs(1.0, 1, &[0.0, 0.0], &mut probs);
+        assert_eq!(probs.len(), 2);
+    }
+
+    #[test]
+    fn fermi_accepts_with_the_logistic_of_the_payoff_difference() {
+        let mut probs = Vec::new();
+        // current = 1 at utility 0; strategy 0 improves by 1, strategy 2 loses 1.
+        Fermi.fill_probs(2.0, 1, &[1.0, 0.0, -1.0], &mut probs);
+        let up = 1.0 / (1.0 + (-2.0f64).exp());
+        let down = 1.0 / (1.0 + 2.0f64.exp());
+        assert!((probs[0] - up / 3.0).abs() < 1e-12);
+        assert!((probs[2] - down / 3.0).abs() < 1e-12);
+        assert!((probs[1] - (1.0 - probs[0] - probs[2])).abs() < 1e-12);
+        assert_distribution(&probs);
+        // The detailed-balance ratio of the acceptances is e^{βΔ} (here
+        // β = 2, Δ = 1), like the logit and Metropolis rules.
+        assert!((up / down - 2.0f64.exp()).abs() < 1e-9);
+        assert_eq!(Fermi.name(), "fermi");
+    }
+
+    #[test]
+    fn fermi_moves_with_probability_half_on_ties_and_survives_huge_beta() {
+        let mut probs = Vec::new();
+        Fermi.fill_probs(5.0, 0, &[1.0, 1.0], &mut probs);
+        assert!((probs[1] - 0.25).abs() < 1e-12, "tie accepted at rate 1/2");
+        Fermi.fill_probs(1e9, 0, &[0.0, 1000.0, -1000.0], &mut probs);
+        assert_distribution(&probs);
+        assert!(
+            (probs[1] - 1.0 / 3.0).abs() < 1e-12,
+            "uphill fully accepted"
+        );
+        assert_eq!(probs[2], 0.0, "downhill fully rejected");
+        // β = 0: every proposal accepted at rate 1/2.
+        Fermi.fill_probs(0.0, 0, &[3.0, -1.0, 0.5], &mut probs);
+        assert!((probs[1] - 0.5 / 3.0).abs() < 1e-12);
+        assert!((probs[2] - 0.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imitate_better_copies_strict_improvements_only() {
+        let rule = ImitateBetter::new(0.3);
+        let mut probs = Vec::new();
+        // current = 0 at utility 1; strategy 1 improves, strategy 2 ties.
+        rule.fill_probs(9.0, 0, &[1.0, 2.0, 1.0], &mut probs);
+        assert!((probs[1] - (0.7 / 3.0 + 0.1)).abs() < 1e-12);
+        assert!((probs[2] - 0.1).abs() < 1e-12, "ties are not copied");
+        assert_distribution(&probs);
+        assert_eq!(rule.epsilon(), 0.3);
+        assert_eq!(rule.name(), "imitate_better");
+        // Pure imitation at a local optimum stays put entirely.
+        let pure = ImitateBetter::new(0.0);
+        pure.fill_probs(1.0, 1, &[0.0, 5.0, 0.0], &mut probs);
+        assert_eq!(probs, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn imitate_better_rejects_bad_epsilon() {
+        let _ = ImitateBetter::new(-0.1);
     }
 }

@@ -13,6 +13,12 @@
 //! [`DynamicsEngine::step_scheduled`](crate::dynamics::DynamicsEngine::step_scheduled);
 //! the exact counterpart for the parallel block schedule is
 //! [`DynamicsEngine::transition_matrix_all_logit`](crate::dynamics::DynamicsEngine::transition_matrix_all_logit).
+//!
+//! The coloured parallel-revision schedules —
+//! [`RandomBlock`](crate::parallel::RandomBlock) random `k`-subsets and
+//! [`ColouredBlocks`](crate::parallel::ColouredBlocks) independent-set
+//! blocks, with the genuinely parallel engine path — live in
+//! [`crate::parallel`].
 
 use rand::Rng;
 

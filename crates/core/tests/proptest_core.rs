@@ -1,13 +1,17 @@
 //! Property-based tests for the logit dynamics itself.
 
 use logit_core::observables::PotentialObservable;
-use logit_core::rules::{Logit, MetropolisLogit, UpdateRule};
+use logit_core::parallel::{coloring_for_game, ColouredBlocks, RandomBlock};
+use logit_core::rules::{Fermi, ImitateBetter, Logit, MetropolisLogit, UpdateRule};
 use logit_core::schedules::{AllLogit, SelectionSchedule, SystematicSweep, UniformSingle};
 use logit_core::{
     gibbs_distribution, zeta, zeta_brute_force, DynamicsEngine, LogitDynamics, Scratch, Simulator,
     TemperingEnsemble,
 };
-use logit_games::{Game, PotentialGame, TablePotentialGame};
+use logit_games::{
+    interaction_graph, Game, GraphicalCoordinationGame, PotentialGame, TablePotentialGame,
+};
+use logit_graphs::GraphBuilder;
 use logit_markov::{stationary_distribution, total_variation};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -273,7 +277,10 @@ proptest! {
         }
 
         check(&LogitDynamics::new(game.clone(), beta), &pi)?;
-        check(&DynamicsEngine::with_rule(game, MetropolisLogit, beta), &pi)?;
+        check(&DynamicsEngine::with_rule(game.clone(), MetropolisLogit, beta), &pi)?;
+        // The Fermi pairwise-comparison rule shares the acceptance ratio
+        // e^{βΔ}, hence the same reversibility (its satellite pin).
+        check(&DynamicsEngine::with_rule(game, Fermi, beta), &pi)?;
     }
 
     /// Backward-compatibility pin, satellite check: the `Logit` rule's
@@ -521,6 +528,17 @@ proptest! {
                 &sim.run_profiles_scheduled(&d, &AllLogit, &start, 21, 7, obs),
                 &sim.run_profiles_scheduled_pipelined_with(&d, &start, 21, 7, obs, &AllLogit, config),
             )?;
+            // The coloured-revision block schedules ride the same seam.
+            let block = RandomBlock::new(2);
+            assert_identical(
+                &sim.run_profiles_scheduled(&d, &block, &start, 33, 10, obs),
+                &sim.run_profiles_scheduled_pipelined_with(&d, &start, 33, 10, obs, &block, config),
+            )?;
+            let coloured = ColouredBlocks::new(logit_graphs::Coloring::from_colors(vec![0, 1, 0]));
+            assert_identical(
+                &sim.run_profiles_scheduled(&d, &coloured, &start, 21, 7, obs),
+                &sim.run_profiles_scheduled_pipelined_with(&d, &start, 21, 7, obs, &coloured, config),
+            )?;
             Ok(())
         }
 
@@ -610,6 +628,176 @@ proptest! {
             prop_assert!((a.mean() - b.mean()).abs() < 1e-9);
             prop_assert!((a.variance() - b.variance()).abs() < 1e-9);
         }
+    }
+
+    /// Schedule update-set invariants, extended to the coloured
+    /// parallel-revision schedules (satellite check): `RandomBlock(k)`
+    /// selects exactly `k` distinct in-range players per tick and moves no
+    /// one else; `ColouredBlocks`' classes partition the player set, every
+    /// class is an independent set of the interaction graph, and a round of
+    /// `num_classes` ticks hits every player exactly once.
+    #[test]
+    fn block_schedules_update_the_players_they_claim(
+        seed in 0u64..10_000,
+        n in 4usize..10,
+        k in 1usize..10,
+        p in 0.15f64..0.9,
+        beta in 0.0f64..3.0,
+    ) {
+        let k = 1 + (k - 1) % n; // block size in 1..=n
+        let mut graph_rng = StdRng::seed_from_u64(seed);
+        let graph = GraphBuilder::connected_erdos_renyi(n, p, &mut graph_rng, 20);
+        let game = GraphicalCoordinationGame::new(
+            graph.clone(),
+            logit_games::CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let d = LogitDynamics::new(game.clone(), beta);
+        let mut scratch = Scratch::for_game(&game);
+        let mut selected = Vec::new();
+
+        // RandomBlock(k): k distinct players, ascending; the engine freezes
+        // everyone outside the block. The schedule draws from the stream the
+        // step consumes, so probe the selection on a clone of the step RNG.
+        let schedule = RandomBlock::new(k);
+        let mut step_rng = StdRng::seed_from_u64(seed ^ 0xB10C);
+        let mut profile = vec![0usize; n];
+        for t in 0..25u64 {
+            schedule.select_players(t, n, &mut step_rng.clone(), &mut selected);
+            prop_assert_eq!(selected.len(), k, "exactly k players per tick");
+            prop_assert!(selected.windows(2).all(|w| w[0] < w[1]), "distinct, ascending");
+            prop_assert!(selected.iter().all(|&i| i < n));
+            let before = profile.clone();
+            d.step_scheduled(&schedule, t, &mut profile, &mut scratch, &mut step_rng);
+            for i in 0..n {
+                if !selected.contains(&i) {
+                    prop_assert_eq!(profile[i], before[i], "tick {} moved player {}", t, i);
+                }
+            }
+        }
+
+        // ColouredBlocks: a partition into independent sets, each player hit
+        // exactly once per round.
+        let coloring = coloring_for_game(&game);
+        prop_assert!(coloring.is_proper(&graph));
+        prop_assert!(coloring.num_classes() <= graph.max_degree() + 1);
+        let schedule = ColouredBlocks::new(coloring.clone());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC010);
+        let mut hits = vec![0usize; n];
+        for t in 0..coloring.num_classes() as u64 {
+            schedule.select_players(t, n, &mut rng, &mut selected);
+            for window in selected.windows(2) {
+                prop_assert!(window[0] < window[1]);
+            }
+            for (a_idx, &a) in selected.iter().enumerate() {
+                hits[a] += 1;
+                for &b in &selected[a_idx + 1..] {
+                    prop_assert!(
+                        !graph.has_edge(a, b),
+                        "class {} contains the edge ({a}, {b})", coloring.class_of_tick(t)
+                    );
+                }
+            }
+        }
+        prop_assert!(hits.iter().all(|&h| h == 1), "one update per player per round");
+    }
+
+    /// Coloured-engine bit-identity, the tentpole pin (satellite proptest):
+    /// `step_coloured_par` — frozen-profile staged block, per-player RNG
+    /// streams, any worker count — walks exactly the trajectory of the
+    /// sequential in-place class sweep `step_coloured`, for every update
+    /// rule on random graph topologies. This is the non-neighbours-commute
+    /// argument made executable.
+    #[test]
+    fn coloured_par_is_bit_identical_to_the_sequential_class_sweep(
+        seed in 0u64..10_000,
+        n in 4usize..12,
+        p in 0.2f64..0.9,
+        beta in 0.0f64..4.0,
+        workers in 1usize..5,
+    ) {
+        let mut graph_rng = StdRng::seed_from_u64(seed);
+        let graph = GraphBuilder::connected_erdos_renyi(n, p, &mut graph_rng, 20);
+        let game = GraphicalCoordinationGame::new(
+            graph,
+            logit_games::CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let coloring = coloring_for_game(&game);
+
+        fn check<U: UpdateRule>(
+            game: &GraphicalCoordinationGame,
+            coloring: &logit_graphs::Coloring,
+            rule: U,
+            beta: f64,
+            seed: u64,
+            workers: usize,
+        ) -> Result<(), TestCaseError> {
+            let d = DynamicsEngine::with_rule(game.clone(), rule, beta);
+            let n = game.num_players();
+            let mut scratch = Scratch::for_game(game);
+            let mut staged = Vec::new();
+            let mut seq = vec![0usize; n];
+            let mut par = vec![0usize; n];
+            for t in 0..2 * coloring.num_classes() as u64 + 3 {
+                let moved_seq = d.step_coloured(coloring, t, seed, &mut seq, &mut scratch);
+                let moved_par =
+                    d.step_coloured_par(coloring, t, seed, &mut par, &mut staged, workers);
+                prop_assert_eq!(&seq, &par, "diverged at t = {} ({} workers)", t, workers);
+                prop_assert_eq!(moved_seq, moved_par);
+            }
+            Ok(())
+        }
+
+        check(&game, &coloring, Logit, beta, seed, workers)?;
+        check(&game, &coloring, MetropolisLogit, beta, seed, workers)?;
+        check(&game, &coloring, logit_core::NoisyBestResponse::new(0.15), beta, seed, workers)?;
+        check(&game, &coloring, Fermi, beta, seed, workers)?;
+        check(&game, &coloring, ImitateBetter::new(0.1), beta, seed, workers)?;
+    }
+
+    /// Coloured-round exactness, satellite check: on small random graphical
+    /// games the coloured round chain (ordered block product over the
+    /// classes) keeps the Gibbs measure stationary for every
+    /// Gibbs-reversible rule — pinned against the exact chain by a linear
+    /// solve, the `transition_chain_all_logit`-style theory check of the new
+    /// schedule.
+    #[test]
+    fn coloured_round_chain_fixes_gibbs_for_reversible_rules(
+        seed in 0u64..10_000,
+        p in 0.2f64..0.9,
+        beta in 0.0f64..2.5,
+    ) {
+        let mut graph_rng = StdRng::seed_from_u64(seed);
+        let graph = GraphBuilder::connected_erdos_renyi(4, p, &mut graph_rng, 20);
+        let game = GraphicalCoordinationGame::new(
+            graph,
+            logit_games::CoordinationGame::from_deltas(2.0, 1.0),
+        );
+        let coloring = coloring_for_game(&game);
+        prop_assert!(coloring.is_proper(&interaction_graph(&game)));
+        let pi = gibbs_distribution(&game, beta);
+
+        fn check<U: UpdateRule>(
+            game: &GraphicalCoordinationGame,
+            coloring: &logit_graphs::Coloring,
+            rule: U,
+            beta: f64,
+            pi: &logit_linalg::Vector,
+        ) -> Result<(), TestCaseError> {
+            let d = DynamicsEngine::with_rule(game.clone(), rule, beta);
+            let round = d.transition_chain_coloured_round(coloring);
+            prop_assert!(round.is_ergodic());
+            let stepped = round.step_distribution(pi);
+            prop_assert!(
+                total_variation(&stepped, pi) < 1e-9,
+                "the coloured round must fix the Gibbs measure"
+            );
+            prop_assert!(total_variation(&stationary_distribution(&round), pi) < 1e-7);
+            Ok(())
+        }
+
+        check(&game, &coloring, Logit, beta, &pi)?;
+        check(&game, &coloring, MetropolisLogit, beta, &pi)?;
+        check(&game, &coloring, Fermi, beta, &pi)?;
     }
 
     /// Monotonicity of the Gibbs measure: raising β can only move mass towards

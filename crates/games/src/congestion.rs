@@ -178,10 +178,18 @@ impl Game for CongestionGame {
     }
 
     fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        self.utilities_readonly(player, profile, out);
+    }
+}
+
+impl CongestionGame {
+    /// The batch evaluation behind both `utilities_for` hooks: reads the
+    /// profile immutably (loads are computed once with `player` removed,
+    /// then every candidate strategy is priced against them:
+    /// `O(n + Σ_s |strategy s|)` instead of the default's `O(m · n)`), so
+    /// the parallel frozen-profile path can share it across workers.
+    pub(crate) fn utilities_readonly(&self, player: usize, profile: &[usize], out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.strategies[player].len());
-        // Compute the loads once with `player` removed, then price every
-        // candidate strategy against them: O(n + Σ_s |strategy s|) instead of
-        // the default's O(m · n).
         let mut load = self.loads(profile);
         for &r in &self.strategies[player][profile[player]] {
             load[r] -= 1;

@@ -84,9 +84,17 @@ impl Game for GraphicalCoordinationGame {
     }
 
     fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        self.utilities_readonly(player, profile, out);
+    }
+}
+
+impl GraphicalCoordinationGame {
+    /// The batch evaluation behind both `utilities_for` hooks: reads the
+    /// profile immutably (one pass over the neighbourhood serves both
+    /// strategies — only the counts of neighbours on each side matter), so
+    /// the parallel frozen-profile path can share it across workers.
+    pub(crate) fn utilities_readonly(&self, player: usize, profile: &[usize], out: &mut [f64]) {
         debug_assert_eq!(out.len(), 2);
-        // One pass over the neighbourhood serves both strategies: only the
-        // counts of neighbours on each side matter.
         let neighbors = self.graph.neighbors(player);
         let ones: usize = neighbors.iter().map(|&j| profile[j]).sum();
         let zeros = (neighbors.len() - ones) as f64;

@@ -99,8 +99,17 @@ impl Game for IsingGame {
     }
 
     fn utilities_for(&self, player: usize, profile: &mut [usize], out: &mut [f64]) {
+        self.utilities_readonly(player, profile, out);
+    }
+}
+
+impl IsingGame {
+    /// The batch evaluation behind both `utilities_for` hooks: reads the
+    /// profile immutably (the neighbour spin sum is shared by both candidate
+    /// spins), so the parallel frozen-profile path can share it across
+    /// workers.
+    pub(crate) fn utilities_readonly(&self, player: usize, profile: &[usize], out: &mut [f64]) {
         debug_assert_eq!(out.len(), 2);
-        // The neighbour spin sum is shared by both candidate spins.
         let neighbour_sum: f64 = self
             .graph
             .neighbors(player)

@@ -12,17 +12,43 @@
 //! The contract: `utility(i, x)` and `utilities_for(i, x, out)` read only
 //! `x[i]` and `x[j]` for `j ∈ neighbors_of(i)`. The proptest suite checks
 //! this by perturbing strategies outside the neighbourhood.
+//!
+//! Locality is also what makes **parallel revision** correct: two
+//! non-neighbouring players' single-tick updates commute, so a whole
+//! independent set of the interaction graph can revise simultaneously. Two
+//! hooks serve that path: [`LocalGame::utilities_for_frozen`] (a read-only
+//! batch evaluation, so parallel workers can share the frozen pre-tick
+//! profile immutably) and [`interaction_graph`] (the bridge that turns any
+//! `LocalGame`'s neighbourhood structure into a `logit_graphs::Graph`, ready
+//! for the colouring algorithms in `logit-graphs`).
 
 use crate::congestion::CongestionGame;
 use crate::game::Game;
 use crate::graphical::GraphicalCoordinationGame;
 use crate::ising::IsingGame;
+use logit_graphs::Graph;
 
 /// A game whose utilities have bounded-neighbourhood locality.
 pub trait LocalGame: Game {
     /// The players (other than `player`) whose strategies can affect
     /// `player`'s utility.
     fn neighbors_of(&self, player: usize) -> &[usize];
+
+    /// Read-only batch utilities: like [`Game::utilities_for`], but the
+    /// profile is borrowed *immutably* — the hook of the parallel
+    /// independent-set engine path, where many workers evaluate different
+    /// players against one shared frozen profile at the same time.
+    ///
+    /// The default clones the profile and delegates, which is correct for
+    /// every game but allocates `O(n)` per call; every concrete `LocalGame`
+    /// here overrides it with its one-pass read-only evaluation. The
+    /// contract is exact agreement with `utilities_for` on the same profile
+    /// (the proptest harness pins this through the coloured-step
+    /// bit-identity checks).
+    fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        let mut work = profile.to_vec();
+        self.utilities_for(player, &mut work, out);
+    }
 
     /// Size of `player`'s neighbourhood.
     fn degree(&self, player: usize) -> usize {
@@ -52,11 +78,31 @@ impl<G: LocalGame + ?Sized> LocalGame for &G {
     fn neighbors_of(&self, player: usize) -> &[usize] {
         (**self).neighbors_of(player)
     }
+    fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        (**self).utilities_for_frozen(player, profile, out)
+    }
+}
+
+/// Shared-ownership locality: a replica ensemble's engines hold the game
+/// through an `Arc`, and the coloured parallel-revision path needs the
+/// locality hooks through that indirection too. Forwarded explicitly so the
+/// games' read-only overrides survive (same reasoning as the `Arc<G>: Game`
+/// impl in [`crate::game`]).
+impl<G: LocalGame + ?Sized> LocalGame for std::sync::Arc<G> {
+    fn neighbors_of(&self, player: usize) -> &[usize] {
+        (**self).neighbors_of(player)
+    }
+    fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        (**self).utilities_for_frozen(player, profile, out)
+    }
 }
 
 impl LocalGame for GraphicalCoordinationGame {
     fn neighbors_of(&self, player: usize) -> &[usize] {
         self.graph().neighbors(player)
+    }
+    fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        self.utilities_readonly(player, profile, out);
     }
 }
 
@@ -64,12 +110,44 @@ impl LocalGame for IsingGame {
     fn neighbors_of(&self, player: usize) -> &[usize] {
         self.graph().neighbors(player)
     }
+    fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        self.utilities_readonly(player, profile, out);
+    }
 }
 
 impl LocalGame for CongestionGame {
     fn neighbors_of(&self, player: usize) -> &[usize] {
         self.interaction_neighbors(player)
     }
+    fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        self.utilities_readonly(player, profile, out);
+    }
+}
+
+/// The `LocalGame`-to-`Graph` adjacency bridge: materialises any local
+/// game's interaction structure as a `logit_graphs::Graph` on the players.
+///
+/// This closes the loop with `GraphBuilder`: every builder topology (ring,
+/// torus, hypercube, Erdős–Rényi, circulant, …) becomes a playable
+/// coordination/Ising instance by construction, and every *other*
+/// `LocalGame` — congestion games, whose interaction graph is implicit in
+/// resource sharing — comes back out as a graph the colouring algorithms in
+/// `logit-graphs` can schedule (`greedy_coloring` / `dsatur_coloring` →
+/// `ColouredBlocks` in `logit-core`).
+///
+/// Neighbourhoods are symmetrised: an edge is added when either endpoint
+/// lists the other (for the games here the relation is already symmetric,
+/// and `Graph::from_edges` deduplicates, so every directed pair is pushed
+/// unconditionally).
+pub fn interaction_graph<G: LocalGame>(game: &G) -> Graph {
+    let n = game.num_players();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for &v in game.neighbors_of(u) {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    Graph::from_edges(n, &edges)
 }
 
 #[cfg(test)]
@@ -169,5 +247,61 @@ mod tests {
         let r = &game;
         assert_eq!(r.neighbors_of(1), game.neighbors_of(1));
         assert_eq!(r.max_degree(), 2);
+    }
+
+    /// The frozen batch hook must agree exactly with the mutable one on
+    /// every concrete `LocalGame` (and through `&G` / `Arc<G>` forwarding).
+    #[test]
+    fn frozen_utilities_match_the_mutable_hook() {
+        fn check<G: LocalGame>(game: &G, profile: &[usize]) {
+            let mut work = profile.to_vec();
+            for player in 0..game.num_players() {
+                let m = game.num_strategies(player);
+                let mut mutable = vec![0.0; m];
+                let mut frozen = vec![0.0; m];
+                game.utilities_for(player, &mut work, &mut mutable);
+                game.utilities_for_frozen(player, profile, &mut frozen);
+                assert_eq!(mutable, frozen, "hooks disagree for player {player}");
+                assert_eq!(work, profile, "mutable hook must restore the profile");
+            }
+        }
+        let coord = GraphicalCoordinationGame::new(
+            GraphBuilder::torus(3, 3),
+            CoordinationGame::new(5.0, 4.0, 1.0, 2.0),
+        );
+        check(&coord, &[0, 1, 0, 1, 1, 0, 0, 1, 1]);
+        let ising = IsingGame::new(GraphBuilder::hypercube(3), 0.7, 0.2);
+        check(&ising, &[1, 0, 0, 1, 0, 1, 1, 0]);
+        let congestion = CongestionGame::load_balancing(4, 2, 1.5);
+        check(&congestion, &[0, 1, 1, 0]);
+        // Forwarding layers: &G and Arc<G> reach the same overrides.
+        check(&&coord, &[0, 1, 0, 1, 1, 0, 0, 1, 1]);
+        check(&std::sync::Arc::new(ising), &[1, 0, 0, 1, 0, 1, 1, 0]);
+    }
+
+    /// The bridge reproduces the social graph for graph-backed games and
+    /// materialises the implicit resource-sharing graph of congestion games.
+    #[test]
+    fn interaction_graph_bridges_every_local_game() {
+        let graph = GraphBuilder::circulant(10, 2);
+        let coord =
+            GraphicalCoordinationGame::new(graph.clone(), CoordinationGame::from_deltas(2.0, 1.0));
+        let bridged = interaction_graph(&coord);
+        assert_eq!(bridged.num_vertices(), graph.num_vertices());
+        assert_eq!(bridged.num_edges(), graph.num_edges());
+        for v in 0..10 {
+            assert_eq!(bridged.neighbors(v), graph.neighbors(v));
+        }
+        let ising = IsingGame::zero_field(GraphBuilder::torus(3, 4), 1.0);
+        let bridged = interaction_graph(&ising);
+        assert_eq!(bridged.num_edges(), ising.graph().num_edges());
+        // Congestion: players 0 and 1 share machine 0, player 2 is isolated.
+        let delays = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]];
+        let strategies = vec![vec![vec![0]], vec![vec![0]], vec![vec![1]]];
+        let game = CongestionGame::new(delays, strategies);
+        let bridged = interaction_graph(&game);
+        assert!(bridged.has_edge(0, 1));
+        assert_eq!(bridged.degree(2), 0);
+        assert_eq!(bridged.num_edges(), 1);
     }
 }

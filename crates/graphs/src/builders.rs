@@ -127,6 +127,33 @@ impl GraphBuilder {
         g
     }
 
+    /// Circulant graph: a ring where every vertex is also joined to its `k`
+    /// nearest neighbours on each side (degree `2k`, so `min(2k, n - 1)`
+    /// when the windows wrap into each other).
+    ///
+    /// The dense-degree regular topology of the coloured-revision
+    /// benchmarks: any `k + 1` consecutive vertices form a clique, so
+    /// `χ ≥ k + 1`, while greedy colouring stays within `Δ + 1 = 2k + 1` —
+    /// colour classes of size `≈ n / (k + 1)`.
+    ///
+    /// # Panics
+    /// Panics for `k < 1` or `n < 2k + 1` (the windows must not cover the
+    /// whole ring).
+    pub fn circulant(n: usize, k: usize) -> Graph {
+        assert!(k >= 1, "circulant needs at least one neighbour per side");
+        assert!(
+            n > 2 * k,
+            "circulant needs n >= 2k + 1, got n = {n}, k = {k}"
+        );
+        let mut edges = Vec::with_capacity(n * k);
+        for u in 0..n {
+            for d in 1..=k {
+                edges.push((u, (u + d) % n));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
     /// Erdős–Rényi random graph `G(n, p)`.
     pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
         assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
@@ -252,6 +279,32 @@ mod tests {
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(0, 2));
         assert!(g.has_edge(4, 9));
+    }
+
+    #[test]
+    fn circulant_is_2k_regular_with_clique_windows() {
+        let g = GraphBuilder::circulant(12, 3);
+        assert!(g.is_regular(6));
+        assert_eq!(g.num_edges(), 12 * 3);
+        assert!(is_connected(&g));
+        // Any k + 1 consecutive vertices form a clique.
+        for base in 0..12 {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    assert!(g.has_edge((base + a) % 12, (base + b) % 12));
+                }
+            }
+        }
+        // k = 1 degenerates to the plain ring.
+        let ring = GraphBuilder::circulant(7, 1);
+        assert_eq!(ring.num_edges(), 7);
+        assert!(ring.is_regular(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2k + 1")]
+    fn circulant_window_overlap_rejected() {
+        let _ = GraphBuilder::circulant(6, 3);
     }
 
     #[test]

@@ -28,12 +28,26 @@ impl Graph {
 
     /// Creates a graph on `n` vertices from an edge list.
     ///
+    /// Bulk construction: adjacency lists are sorted once at the end rather
+    /// than per insertion, so dense-degree graphs (the coloured-revision
+    /// benchmarks use circulants with hundreds of neighbours per vertex)
+    /// build in `O(m log m)` instead of `O(m·Δ log Δ)`.
+    ///
     /// # Panics
     /// Panics on out-of-range endpoints or self-loops. Duplicate edges are ignored.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
         let mut g = Self::new(n);
         for &(u, v) in edges {
-            g.add_edge(u, v);
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            assert_ne!(u, v, "self-loops are not allowed");
+            let key = (u.min(v), u.max(v));
+            if g.edges.insert(key) {
+                g.adj[u].push(v);
+                g.adj[v].push(u);
+            }
+        }
+        for adj in &mut g.adj {
+            adj.sort_unstable();
         }
         g
     }

@@ -13,6 +13,10 @@
 //!   ([`builders`]),
 //! * traversal utilities: BFS distances, connected components, diameter
 //!   ([`traversal`]),
+//! * proper vertex **colourings** ([`coloring`]): greedy first-fit and
+//!   DSATUR constructions with colour classes exposed as contiguous slices —
+//!   the independent-set schedule substrate of the coloured parallel-revision
+//!   engine in `logit-core` (`χ ≤ Δ + 1` by construction),
 //! * **cutwidth** computation ([`cutwidth`]): the quantity `χ(G)` that drives the
 //!   Theorem 5.1 upper bound `t_mix ≤ 2n³ e^{χ(G)(δ₀+δ₁)β}(nδ₀β+1)`. Exact values
 //!   are computed with a `O(2ⁿ·n)` subset dynamic program; a greedy/local-search
@@ -20,12 +24,14 @@
 //!   cross-checks and for larger graphs.
 
 pub mod builders;
+pub mod coloring;
 pub mod cutwidth;
 pub mod graph;
 pub mod ordering;
 pub mod traversal;
 
 pub use builders::GraphBuilder;
+pub use coloring::{dsatur_coloring, greedy_coloring, Coloring};
 pub use cutwidth::{cutwidth_exact, cutwidth_heuristic, cutwidth_of_ordering, CutwidthResult};
 pub use graph::Graph;
 pub use ordering::VertexOrdering;

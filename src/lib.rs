@@ -48,18 +48,22 @@ pub mod prelude {
     };
     pub use logit_core::bounds;
     pub use logit_core::{
-        exact_mixing_time, exact_mixing_time_with_rule, gibbs_distribution, zeta, AllLogit,
-        BarrierResult, CouplingKind, DynamicsEngine, EmpiricalLaw, Logit, LogitDynamics,
-        MetropolisLogit, MixingMeasurement, NamedObservable, NoisyBestResponse, PipelineConfig,
-        ProfileEnsembleResult, ProfileObservable, Scratch, SelectionSchedule, SeriesAccumulator,
-        Simulator, StepEvent, SwapStats, SystematicSweep, TemperedEnsembleResult,
-        TemperingEnsemble, TemperingState, UniformSingle, UpdateRule,
+        coloring_for_game, exact_mixing_time, exact_mixing_time_with_rule, gibbs_distribution,
+        zeta, AllLogit, BarrierResult, ColouredBlocks, CouplingKind, DynamicsEngine, EmpiricalLaw,
+        Fermi, ImitateBetter, Logit, LogitDynamics, MetropolisLogit, MixingMeasurement,
+        NamedObservable, NoisyBestResponse, PipelineConfig, ProfileEnsembleResult,
+        ProfileObservable, RandomBlock, Scratch, SelectionSchedule, SeriesAccumulator, Simulator,
+        StepEvent, SwapStats, SystematicSweep, TemperedEnsembleResult, TemperingEnsemble,
+        TemperingState, UniformSingle, UpdateRule,
     };
     pub use logit_games::{
-        AllZeroDominantGame, CongestionGame, CoordinationGame, Game, GraphicalCoordinationGame,
-        IsingGame, LocalGame, PotentialGame, ProfileSpace, TableGame, TablePotentialGame, WellGame,
+        interaction_graph, AllZeroDominantGame, CongestionGame, CoordinationGame, Game,
+        GraphicalCoordinationGame, IsingGame, LocalGame, PotentialGame, ProfileSpace, TableGame,
+        TablePotentialGame, WellGame,
     };
-    pub use logit_graphs::{cutwidth_exact, Graph, GraphBuilder};
+    pub use logit_graphs::{
+        cutwidth_exact, dsatur_coloring, greedy_coloring, Coloring, Graph, GraphBuilder,
+    };
     pub use logit_markov::{
         mixing_time, spectral_analysis, stationary_distribution, total_variation, MarkovChain,
     };
