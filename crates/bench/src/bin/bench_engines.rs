@@ -15,7 +15,9 @@ use logit_core::observables::StrategyFraction;
 use logit_core::parallel::coloring_for_game;
 use logit_core::rules::{Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
 use logit_core::schedules::UniformSingle;
-use logit_core::{DynamicsEngine, Scratch, Simulator, TemperingEnsemble};
+use logit_core::{
+    DynamicsEngine, RuntimeConfig, Scratch, Simulator, TemperingEnsemble, WorkerPool,
+};
 use logit_games::{CoordinationGame, Game, GraphicalCoordinationGame};
 use logit_graphs::{Coloring, GraphBuilder};
 use rand::rngs::StdRng;
@@ -163,35 +165,47 @@ fn tempered_rows(rungs: usize, sizes: &[usize], steps: u64) -> String {
     )
 }
 
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    values[values.len() / 2]
+}
+
 /// One committed `coloured` row: the coloured independent-set engine paths
 /// against per-player sequential stepping, one rule per row, on a large-n
-/// dense-degree circulant. Three measurements share the instance:
+/// dense-degree circulant. Four measurements share the instance:
 ///
 /// * `uniform` — per-player sequential stepping (`step_profile`, one random
 ///   player per update) through the same ChaCha stream stack the ensembles
 ///   use: the per-player baseline the coloured paths are judged against;
 /// * `coloured_seq` — the sequential colour-class sweep (`step_coloured`,
-///   per-player counter-derived draws, in-place updates);
-/// * `coloured_par` — the parallel frozen-profile path
-///   (`step_coloured_par`) with one worker per available core.
+///   per-player counter-derived draws, in-place updates), median over the
+///   interleaved gate rounds;
+/// * `coloured_par` — the legacy per-tick scoped-thread path
+///   (`step_coloured_par`), kept as the orchestration-overhead comparison;
+/// * `coloured_pooled` — the persistent-pool path (`step_coloured_pooled`),
+///   median over the interleaved gate rounds.
 ///
-/// The **bit-identity gate** runs first: one full colour round through both
-/// coloured paths must agree exactly, or the process aborts before any
-/// number can be emitted. The committed invariants are the gate plus the
-/// two ratios: `par_over_uniform` pins the coloured path's win over
-/// per-player sequential stepping (≈1.7–2.4× across regenerations, even
-/// single-core on the emitting host — the ascending class sweep streams
-/// the DRAM-resident adjacency where random-player stepping cache-misses,
-/// and counter-derived draws replace stream draws), and `par_over_seq` pins the parallel
-/// orchestration overhead; on multi-core hosts `coloured_par` additionally
-/// scales with the worker count (the `workers` field records what the
-/// emitting host had), which per-player sequential stepping cannot.
+/// Two **in-process gates** run before any number is emitted:
+///
+/// 1. *Bit-identity* — one full colour round through the scoped and pooled
+///    paths must reproduce the sequential class sweep exactly.
+/// 2. *Throughput* — over five interleaved (sequential, pooled) rounds the
+///    best pooled/sequential ratio must reach 1.0 (the pool must not tax
+///    the sweep: with one effective worker the pooled path *is* the
+///    sequential sweep, so only measurement noise is tolerated away), and
+///    the median pooled/uniform ratio must clear the committed 1.5 band.
+///
+/// `wait_policy` and `pinned` record how the emitting host's pool waited
+/// and whether core pinning took effect.
+#[allow(clippy::too_many_arguments)]
 fn coloured_row<U: UpdateRule>(
     rule: U,
     game: &GraphicalCoordinationGame,
     coloring: &Coloring,
     rounds: u64,
     workers: usize,
+    pool: &WorkerPool,
+    config: &RuntimeConfig,
 ) -> String {
     let n = game.num_players();
     let d = DynamicsEngine::with_rule(game.clone(), rule.clone(), 1.5);
@@ -199,21 +213,40 @@ fn coloured_row<U: UpdateRule>(
     let ticks = rounds * classes as u64;
     let updates = rounds * n as u64;
 
-    // The in-process bit-identity gate: a full colour round through the
-    // parallel path must reproduce the sequential class sweep exactly
-    // before any throughput number is emitted.
+    // Gate 1, bit-identity: a full colour round through the scoped and the
+    // pooled paths must reproduce the sequential class sweep exactly before
+    // any throughput number is emitted.
     {
         let mut seq = vec![0usize; n];
         let mut par = vec![0usize; n];
+        let mut pooled = vec![0usize; n];
         let mut scratch = Scratch::for_game(game);
+        let mut pooled_scratch = Scratch::for_game(game);
         let mut staged = Vec::new();
+        let mut pooled_staged = Vec::new();
         for t in 0..classes as u64 {
             d.step_coloured(coloring, t, 0x0C01_C4ED, &mut seq, &mut scratch);
             d.step_coloured_par(coloring, t, 0x0C01_C4ED, &mut par, &mut staged, workers);
+            d.step_coloured_pooled(
+                coloring,
+                t,
+                0x0C01_C4ED,
+                &mut pooled,
+                &mut pooled_scratch,
+                &mut pooled_staged,
+                pool,
+                config,
+            );
             assert_eq!(
                 seq,
                 par,
-                "coloured paths diverged ({} at tick {t})",
+                "scoped coloured path diverged ({} at tick {t})",
+                rule.name()
+            );
+            assert_eq!(
+                seq,
+                pooled,
+                "pooled coloured path diverged ({} at tick {t})",
                 rule.name()
             );
         }
@@ -231,17 +264,6 @@ fn coloured_row<U: UpdateRule>(
         updates as f64 / clock.elapsed().as_secs_f64()
     };
 
-    let coloured_seq = {
-        let mut scratch = Scratch::for_game(game);
-        let mut profile = vec![0usize; n];
-        let clock = std::time::Instant::now();
-        for t in 0..ticks {
-            d.step_coloured(coloring, t, 2, &mut profile, &mut scratch);
-        }
-        std::hint::black_box(&profile);
-        updates as f64 / clock.elapsed().as_secs_f64()
-    };
-
     let coloured_par = {
         let mut staged = Vec::new();
         let mut profile = vec![0usize; n];
@@ -253,14 +275,77 @@ fn coloured_row<U: UpdateRule>(
         updates as f64 / clock.elapsed().as_secs_f64()
     };
 
+    // Gate 2, throughput: five interleaved (sequential, pooled) rounds so
+    // scheduler drift hits both paths alike; the committed rates are the
+    // medians, the pool-tax assertion uses the best pairwise ratio.
+    let gate_rounds = 5u64;
+    let sub_rounds = (rounds / gate_rounds).max(1);
+    let sub_ticks = sub_rounds * classes as u64;
+    let sub_updates = (sub_rounds * n as u64) as f64;
+    let mut seq_rates = Vec::new();
+    let mut pooled_rates = Vec::new();
+    let mut ratios = Vec::new();
+    {
+        let mut scratch = Scratch::for_game(game);
+        let mut pooled_scratch = Scratch::for_game(game);
+        let mut staged = Vec::new();
+        let mut seq_profile = vec![0usize; n];
+        let mut pooled_profile = vec![0usize; n];
+        for _ in 0..gate_rounds {
+            let clock = std::time::Instant::now();
+            for t in 0..sub_ticks {
+                d.step_coloured(coloring, t, 2, &mut seq_profile, &mut scratch);
+            }
+            std::hint::black_box(&seq_profile);
+            let seq_rate = sub_updates / clock.elapsed().as_secs_f64();
+
+            let clock = std::time::Instant::now();
+            for t in 0..sub_ticks {
+                d.step_coloured_pooled(
+                    coloring,
+                    t,
+                    2,
+                    &mut pooled_profile,
+                    &mut pooled_scratch,
+                    &mut staged,
+                    pool,
+                    config,
+                );
+            }
+            std::hint::black_box(&pooled_profile);
+            let pooled_rate = sub_updates / clock.elapsed().as_secs_f64();
+
+            ratios.push(pooled_rate / seq_rate);
+            seq_rates.push(seq_rate);
+            pooled_rates.push(pooled_rate);
+        }
+    }
+    let coloured_seq = median(seq_rates);
+    let coloured_pooled = median(pooled_rates);
+    let best_pooled_over_seq = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let pooled_over_seq = coloured_pooled / coloured_seq;
+    let pooled_over_uniform = coloured_pooled / uniform;
+    assert!(
+        best_pooled_over_seq >= 1.0,
+        "pooled coloured path taxes the sequential sweep ({}: best pooled/seq = {best_pooled_over_seq:.3} over {gate_rounds} rounds)",
+        rule.name()
+    );
+    assert!(
+        pooled_over_uniform > 1.5,
+        "pooled coloured path fell out of the committed band ({}: pooled/uniform = {pooled_over_uniform:.3}, band > 1.5)",
+        rule.name()
+    );
+
     let par_over_uniform = coloured_par / uniform;
     let par_over_seq = coloured_par / coloured_seq;
+    let wait_policy = pool.wait_policy().name();
+    let pinned = pool.registry().pinned_count() > 0;
     eprintln!(
-        "   coloured {:>17} n = {n}: uniform = {uniform:.3e}, seq sweep = {coloured_seq:.3e}, par({workers}) = {coloured_par:.3e}, par/uniform = {par_over_uniform:.3}, par/seq = {par_over_seq:.3}",
+        "   coloured {:>17} n = {n}: uniform = {uniform:.3e}, seq sweep = {coloured_seq:.3e}, par({workers}) = {coloured_par:.3e}, pooled = {coloured_pooled:.3e}, pooled/uniform = {pooled_over_uniform:.3}, pooled/seq = {pooled_over_seq:.3} (best {best_pooled_over_seq:.3})",
         rule.name()
     );
     format!(
-        "        {{\"rule\": \"{}\", \"n\": {n}, \"degree\": {}, \"classes\": {classes}, \"workers\": {workers}, \"uniform_updates_per_sec\": {uniform:.0}, \"coloured_seq_updates_per_sec\": {coloured_seq:.0}, \"coloured_par_updates_per_sec\": {coloured_par:.0}, \"par_over_uniform\": {par_over_uniform:.3}, \"par_over_seq\": {par_over_seq:.3}}}",
+        "        {{\"rule\": \"{}\", \"n\": {n}, \"degree\": {}, \"classes\": {classes}, \"workers\": {workers}, \"wait_policy\": \"{wait_policy}\", \"pinned\": {pinned}, \"uniform_updates_per_sec\": {uniform:.0}, \"coloured_seq_updates_per_sec\": {coloured_seq:.0}, \"coloured_par_updates_per_sec\": {coloured_par:.0}, \"coloured_pooled_updates_per_sec\": {coloured_pooled:.0}, \"par_over_uniform\": {par_over_uniform:.3}, \"par_over_seq\": {par_over_seq:.3}, \"pooled_over_uniform\": {pooled_over_uniform:.3}, \"pooled_over_seq\": {pooled_over_seq:.3}, \"best_pooled_over_seq\": {best_pooled_over_seq:.3}}}",
         rule.name(),
         game.graph().max_degree()
     )
@@ -280,24 +365,124 @@ fn coloured_rows(steps: u64) -> String {
     let graph = GraphBuilder::circulant(n, k);
     let game = GraphicalCoordinationGame::new(graph, CoordinationGame::from_deltas(1.0, 2.0));
     let coloring = coloring_for_game(&game);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let config = RuntimeConfig::from_env();
+    let pool = WorkerPool::new(&config);
+    let workers = config.resolved_workers();
     let rounds = (steps / n as u64).max(2);
     let rows = [
-        coloured_row(Logit, &game, &coloring, rounds, workers),
-        coloured_row(MetropolisLogit, &game, &coloring, rounds, workers),
+        coloured_row(Logit, &game, &coloring, rounds, workers, &pool, &config),
+        coloured_row(
+            MetropolisLogit,
+            &game,
+            &coloring,
+            rounds,
+            workers,
+            &pool,
+            &config,
+        ),
         coloured_row(
             NoisyBestResponse::new(0.1),
             &game,
             &coloring,
             rounds,
             workers,
+            &pool,
+            &config,
         ),
     ];
+    let scaling = worker_scaling_rows(&game, &coloring, rounds, 2 * k);
     format!(
-        "  \"coloured\": {{\n    \"what\": \"coloured independent-set revision on a dense-degree circulant (n = {n}, degree {}, first-fit classes via the scale-aware coloring_for_game) vs per-player sequential stepping through the same engine; the bit-identity gate (one full colour round, parallel == sequential class sweep, asserted in-process) must pass before rows are emitted. Committed invariants: the gate plus the ratios — par_over_uniform pins the coloured path beating per-player sequential stepping (the ascending class sweep streams the DRAM-resident adjacency where random-player stepping cache-misses, and counter-derived per-player draws replace stream draws; ~1.7-2.4x observed across regenerations at workers = 1, band to hold: par_over_uniform > 1.5), par_over_seq pins the parallel orchestration overhead; coloured_par additionally scales with cores (the emitting host had workers = {workers}; per-player sequential stepping cannot use more than one)\",\n    \"rows\": [\n{}\n    ]\n  }}",
+        "  \"coloured\": {{\n    \"what\": \"coloured independent-set revision on a dense-degree circulant (n = {n}, degree {}, first-fit classes via the scale-aware coloring_for_game) vs per-player sequential stepping through the same engine; two in-process gates must pass before rows are emitted: bit-identity (one full colour round, scoped == pooled == sequential class sweep) and throughput (best pooled/seq over 5 interleaved rounds >= 1.0 — the persistent pool must not tax the sweep — and median pooled/uniform > 1.5). Committed invariants: the gates plus the ratios — pooled_over_uniform pins the coloured path beating per-player sequential stepping (the ascending class sweep streams the DRAM-resident adjacency where random-player stepping cache-misses, and counter-derived per-player draws replace stream draws; band to hold: > 1.5), pooled_over_seq pins the persistent-pool orchestration overhead (par_over_seq keeps the legacy per-tick scoped-thread cost for comparison); coloured_pooled additionally scales with cores (the emitting host resolved workers = {workers}; per-player sequential stepping cannot use more than one). wait_policy and pinned record the emitting pool's idle strategy and whether core pinning took effect\",\n    \"rows\": [\n{}\n    ]\n  }},\n{scaling}",
         2 * k,
+        rows.join(",\n")
+    )
+}
+
+/// The worker-scaling row-set: the pooled, scoped and sequential coloured
+/// paths at explicit worker counts on the same circulant instance. Recorded,
+/// not gated — on hosts with fewer cores than the row's worker count the
+/// extra workers oversubscribe and the ratios document that, which is
+/// exactly the information the row-set exists to commit.
+fn worker_scaling_rows(
+    game: &GraphicalCoordinationGame,
+    coloring: &Coloring,
+    rounds: u64,
+    degree: usize,
+) -> String {
+    let n = game.num_players();
+    let d = DynamicsEngine::with_rule(game.clone(), Logit, 1.5);
+    let classes = coloring.num_classes() as u64;
+    let rounds = (rounds / 2).max(2);
+    let ticks = rounds * classes;
+    let updates = (rounds * n as u64) as f64;
+
+    let seq_rate = {
+        let mut scratch = Scratch::for_game(game);
+        let mut profile = vec![0usize; n];
+        let clock = std::time::Instant::now();
+        for t in 0..ticks {
+            d.step_coloured(coloring, t, 2, &mut profile, &mut scratch);
+        }
+        std::hint::black_box(&profile);
+        updates / clock.elapsed().as_secs_f64()
+    };
+
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let config = RuntimeConfig {
+            workers,
+            ..RuntimeConfig::from_env()
+        };
+        let pool = WorkerPool::new(&config);
+
+        let scoped_rate = {
+            let mut staged = Vec::new();
+            let mut profile = vec![0usize; n];
+            let clock = std::time::Instant::now();
+            for t in 0..ticks {
+                d.step_coloured_par(coloring, t, 2, &mut profile, &mut staged, workers);
+            }
+            std::hint::black_box(&profile);
+            updates / clock.elapsed().as_secs_f64()
+        };
+
+        let pooled_rate = {
+            let mut scratch = Scratch::for_game(game);
+            let mut staged = Vec::new();
+            let mut profile = vec![0usize; n];
+            let clock = std::time::Instant::now();
+            for t in 0..ticks {
+                d.step_coloured_pooled(
+                    coloring,
+                    t,
+                    2,
+                    &mut profile,
+                    &mut scratch,
+                    &mut staged,
+                    &pool,
+                    &config,
+                );
+            }
+            std::hint::black_box(&profile);
+            updates / clock.elapsed().as_secs_f64()
+        };
+
+        let pooled_over_seq = pooled_rate / seq_rate;
+        let scoped_over_seq = scoped_rate / seq_rate;
+        let pinned = pool.registry().pinned_count() > 0;
+        eprintln!(
+            "   scaling  workers = {workers}: seq = {seq_rate:.3e}, scoped = {scoped_rate:.3e}, pooled = {pooled_rate:.3e}, pooled/seq = {pooled_over_seq:.3}, scoped/seq = {scoped_over_seq:.3}"
+        );
+        rows.push(format!(
+            "        {{\"workers\": {workers}, \"wait_policy\": \"{}\", \"pinned\": {pinned}, \"coloured_seq_updates_per_sec\": {seq_rate:.0}, \"coloured_par_updates_per_sec\": {scoped_rate:.0}, \"coloured_pooled_updates_per_sec\": {pooled_rate:.0}, \"pooled_over_seq\": {pooled_over_seq:.3}, \"scoped_over_seq\": {scoped_over_seq:.3}}}",
+            pool.wait_policy().name()
+        ));
+    }
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    format!(
+        "  \"coloured_worker_scaling\": {{\n    \"what\": \"the pooled vs per-tick-scoped vs sequential coloured paths (Logit) at explicit worker counts on the same circulant (n = {n}, degree {degree}); recorded, not gated — worker counts above the emitting host's cores ({host_cores} here) oversubscribe, and the committed ratios document how gracefully each orchestration degrades (near-linear scaling is the expectation only up to the core count)\",\n    \"rows\": [\n{}\n    ]\n  }}",
         rows.join(",\n")
     )
 }

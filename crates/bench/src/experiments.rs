@@ -849,9 +849,10 @@ pub fn e13_tempering(fast: bool) -> String {
 /// schedules — one uniform/sweep tick is 1 update, a `RandomBlock(k)` tick
 /// is `k`, an all-logit tick is `n`, and a coloured round is `n` spread
 /// over `num_classes` ticks. The coloured rows are produced by the
-/// genuinely parallel `step_coloured_par` engine path, with bit-identity
-/// against the sequential class sweep asserted in-process before the row is
-/// emitted.
+/// genuinely parallel `step_coloured_pooled` engine path (the simulator's
+/// persistent worker pool, honouring the `LOGIT_*` env overrides), with
+/// bit-identity against the sequential class sweep and the scoped path
+/// asserted in-process before the row is emitted.
 pub fn e14_coloured_schedules(fast: bool) -> String {
     use logit_core::parallel::{coloring_for_game, ColouredBlocks, RandomBlock};
     use logit_core::schedules::{AllLogit, SystematicSweep, UniformSingle};
@@ -1018,27 +1019,50 @@ pub fn e14_coloured_schedules(fast: bool) -> String {
             .mean();
         push("coloured blocks", ticks, rounds * n as u64, mean);
         // ...and through the genuinely parallel per-player-stream engine
-        // path: the same replica count as every other row (one
-        // deterministic seed per replica, so the column stays an ensemble
-        // mean and the rows are comparable like-for-like), with
-        // bit-identity against the sequential class sweep asserted on
-        // every tick of the first replica before the row is emitted.
+        // path, routed over the simulator's persistent worker pool (worker
+        // count and wait policy honour the LOGIT_* env overrides — the CI
+        // pool smoke drives this with LOGIT_WORKERS=2): the same replica
+        // count as every other row (one deterministic seed per replica, so
+        // the column stays an ensemble mean and the rows are comparable
+        // like-for-like), with bit-identity against both the sequential
+        // class sweep and the legacy scoped path asserted on every tick of
+        // the first replica before the row is emitted.
         let mut staged = Vec::new();
+        let mut pooled_staged = Vec::new();
         let mut scratch = Scratch::for_game(&game);
+        let mut pooled_scratch = Scratch::for_game(&game);
         let mut moved = 0usize;
         let mut adopted_sum = 0.0f64;
+        let pool = sim.pool();
         for replica in 0..replicas {
             let seed = 0xE14C ^ (replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut par = start.clone();
-            let mut seq = (replica == 0).then(|| start.clone());
+            let mut pooled = start.clone();
+            let mut check = (replica == 0).then(|| (start.clone(), start.clone()));
             for t in 0..ticks {
-                moved += d.step_coloured_par(&coloring, t, seed, &mut par, &mut staged, 0);
-                if let Some(seq) = seq.as_mut() {
+                moved += d.step_coloured_pooled(
+                    &coloring,
+                    t,
+                    seed,
+                    &mut pooled,
+                    &mut pooled_scratch,
+                    &mut pooled_staged,
+                    pool,
+                    sim.runtime(),
+                );
+                if let Some((seq, par)) = check.as_mut() {
                     d.step_coloured(&coloring, t, seed, seq, &mut scratch);
-                    assert_eq!(&par, seq, "step_coloured_par diverged from the class sweep");
+                    d.step_coloured_par(&coloring, t, seed, par, &mut staged, 0);
+                    assert_eq!(
+                        &pooled, seq,
+                        "step_coloured_pooled diverged from the class sweep"
+                    );
+                    assert_eq!(
+                        &pooled, par,
+                        "step_coloured_pooled diverged from step_coloured_par"
+                    );
                 }
             }
-            adopted_sum += par.iter().filter(|&&s| s == 0).count() as f64 / n as f64;
+            adopted_sum += pooled.iter().filter(|&&s| s == 0).count() as f64 / n as f64;
         }
         coloured_moved_total += moved;
         push(
@@ -1060,9 +1084,10 @@ pub fn e14_coloured_schedules(fast: bool) -> String {
          worst coloured-round TV from Gibbs = {worst_round_tv:.2e}; smallest all-logit TV = {best_block_tv:.2e}\n\n\
          Simulation panel (beta = {beta}, {replicas} replicas, {rounds} rounds of n updates each, started\n\
          from the wrong consensus): adoption of the risk-dominant strategy at a matched update budget.\n\
-         The parallel-engine rows run step_coloured_par (per-player RNG streams, frozen-profile\n\
-         blocks) over the same replica count as the other rows — the column is an ensemble mean\n\
-         everywhere — with bit-identity against the sequential class sweep asserted per tick.\n\n{}\n\
+         The parallel-engine rows run step_coloured_pooled (per-player RNG streams, frozen-profile\n\
+         blocks, persistent worker pool) over the same replica count as the other rows — the column\n\
+         is an ensemble mean everywhere — with bit-identity against the sequential class sweep and\n\
+         the scoped path asserted per tick.\n\n{}\n\
          PASS iff every topology produces one row per schedule, the coloured round keeps Gibbs\n\
          stationary to < 1e-8 while the all-logit block chain does not ({best_block_tv:.1e} >> 0), and the\n\
          parallel engine path never diverges from the sequential sweep (asserted, not just printed).\n",

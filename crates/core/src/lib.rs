@@ -36,6 +36,12 @@
 //!   workers feeding streamed observable reducers through bounded channels
 //!   ([`simulate::Simulator::run_profiles_pipelined`]), bit-identical to the
 //!   sequential path under fixed seeds,
+//! * [`runtime`] — the persistent parallel runtime: a spawn-once
+//!   [`runtime::WorkerPool`] with a thread registry (worker ids, optional
+//!   Linux core pinning), spin/yield/park wait policies, epoch-tagged
+//!   chunk-stealing dispatch and per-tick barriers, plus the unified
+//!   [`runtime::RuntimeConfig`] worker-count knob shared by the coloured,
+//!   pipelined and tempered paths,
 //! * [`estimate`] — mixing-time measurement: exact (via `logit-markov`), spectral
 //!   bounds, and coupling-based upper estimates using the paper's couplings,
 //! * [`coupling`] — the maximal per-coordinate coupling of Theorem 3.6 / 4.2 and
@@ -62,6 +68,7 @@ pub mod observables;
 pub mod parallel;
 pub mod pipeline;
 pub mod rules;
+pub mod runtime;
 pub mod schedules;
 pub mod simulate;
 pub mod sweep;
@@ -81,6 +88,7 @@ pub use observables::{
 pub use parallel::{coloring_for_game, player_tick_seed, ColouredBlocks, RandomBlock};
 pub use pipeline::{OrderedSeriesReducer, PipelineConfig, SnapshotBatch};
 pub use rules::{Fermi, ImitateBetter, Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
+pub use runtime::{RuntimeConfig, ThreadRegistry, WaitPolicy, WorkerEntry, WorkerPool};
 pub use schedules::{AllLogit, SelectionSchedule, SystematicSweep, UniformSingle};
 pub use simulate::{
     simulate_profile_trajectory, simulate_trajectory, EmpiricalLaw, EmptyLawError, EnsembleResult,

@@ -44,6 +44,7 @@
 
 use crate::dynamics::{sample_index_from_uniform, DynamicsEngine, Scratch};
 use crate::rules::UpdateRule;
+use crate::runtime::{RuntimeConfig, WorkerPool};
 use crate::schedules::SelectionSchedule;
 use logit_games::{interaction_graph, LocalGame};
 use logit_graphs::{dsatur_coloring, greedy_coloring, Coloring};
@@ -376,20 +377,117 @@ impl<G: LocalGame + Sync, U: UpdateRule> DynamicsEngine<G, U> {
         profile: &[usize],
         staged: &mut [usize],
     ) {
-        let beta = self.beta();
         let mut utils: Vec<f64> = Vec::with_capacity(self.game().max_strategies());
         let mut probs: Vec<f64> = Vec::with_capacity(self.game().max_strategies());
+        self.stage_class_with(players, t, seed, profile, staged, &mut utils, &mut probs);
+    }
+
+    /// [`Self::stage_class`] with caller-supplied utility/probability
+    /// buffers, so pooled workers can reuse thread-local storage instead of
+    /// allocating per dispatch.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_class_with(
+        &self,
+        players: &[usize],
+        t: u64,
+        seed: u64,
+        profile: &[usize],
+        staged: &mut [usize],
+        utils: &mut Vec<f64>,
+        probs: &mut Vec<f64>,
+    ) {
+        let beta = self.beta();
         for (&player, slot) in players.iter().zip(staged.iter_mut()) {
             let m = self.game().num_strategies(player);
             utils.clear();
             utils.resize(m, 0.0);
-            self.game()
-                .utilities_for_frozen(player, profile, &mut utils);
-            self.rule()
-                .fill_probs(beta, profile[player], &utils, &mut probs);
-            *slot = sample_index_from_uniform(&probs, player_tick_uniform(seed, player, t));
+            self.game().utilities_for_frozen(player, profile, utils);
+            self.rule().fill_probs(beta, profile[player], utils, probs);
+            *slot = sample_index_from_uniform(probs, player_tick_uniform(seed, player, t));
         }
     }
+
+    /// One coloured tick through the persistent [`WorkerPool`]: the same
+    /// frozen-profile staged update as [`Self::step_coloured_par`], but the
+    /// chunks are claimed by pool workers that were spawned once and wait
+    /// between ticks, instead of a fresh `rayon::scope` thread spawn per
+    /// tick. Returns the number of players that moved.
+    ///
+    /// Worker-count resolution goes through [`RuntimeConfig`]: classes
+    /// narrower than `min_class_size` — and any configuration resolving to
+    /// a single stepping thread — run the sequential in-place class sweep
+    /// ([`Self::step_coloured`]) inline on the caller with **zero dispatch
+    /// overhead** (the pool's dispatch counter does not move), which is
+    /// the narrow-class amortisation guard. Wider classes are chunked
+    /// across the caller plus pool workers, each staging into its slice of
+    /// `staged` with thread-local utility buffers.
+    ///
+    /// Per-player counter-derived draws ([`player_tick_seed`]) make the
+    /// result independent of worker count, chunking, wait policy and
+    /// chunk→thread assignment, and bit-identical to both
+    /// [`Self::step_coloured`] and [`Self::step_coloured_par`] from the
+    /// same `(seed, t)` — pinned by the pooled proptest harness.
+    ///
+    /// # Panics
+    /// Panics when the colouring's vertex count differs from the player
+    /// count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_coloured_pooled(
+        &self,
+        coloring: &Coloring,
+        t: u64,
+        seed: u64,
+        profile: &mut [usize],
+        scratch: &mut Scratch,
+        staged: &mut Vec<usize>,
+        pool: &WorkerPool,
+        config: &RuntimeConfig,
+    ) -> usize {
+        let n = self.game().num_players();
+        assert_eq!(
+            coloring.num_vertices(),
+            n,
+            "colouring covers a different player count"
+        );
+        debug_assert_eq!(profile.len(), n);
+        let players = coloring.class(coloring.class_of_tick(t));
+        let workers = config.class_workers(players.len()).min(pool.workers() + 1);
+        if workers <= 1 {
+            return self.step_coloured(coloring, t, seed, profile, scratch);
+        }
+
+        staged.clear();
+        staged.resize(players.len(), 0);
+        let chunk = players.len().div_ceil(workers);
+        let frozen: &[usize] = profile;
+        pool.for_each_chunk(staged, chunk, workers, &|index, out| {
+            let start = index * chunk;
+            let player_chunk = &players[start..start + out.len()];
+            STAGE_BUFFERS.with(|buffers| {
+                let (utils, probs) = &mut *buffers.borrow_mut();
+                self.stage_class_with(player_chunk, t, seed, frozen, out, utils, probs);
+            });
+        });
+
+        let mut moved = 0;
+        for (&player, &strategy) in players.iter().zip(staged.iter()) {
+            if profile[player] != strategy {
+                moved += 1;
+            }
+            profile[player] = strategy;
+        }
+        moved
+    }
+}
+
+std::thread_local! {
+    /// Per-thread staging buffers (utilities, probabilities) for the pooled
+    /// coloured path: pool workers persist across ticks, so these warm up
+    /// once per thread instead of allocating per dispatch (the former
+    /// per-call `Vec::with_capacity` in `stage_class` was a measurable part
+    /// of the scoped path's orchestration overhead).
+    static STAGE_BUFFERS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 impl<G: logit_games::Game, U: UpdateRule> DynamicsEngine<G, U> {
@@ -564,6 +662,117 @@ mod tests {
                 assert_eq!(moved_seq, moved_par);
             }
         }
+    }
+
+    #[test]
+    fn pooled_coloured_steps_match_both_existing_paths() {
+        use crate::runtime::WaitPolicy;
+        let d = ring_dynamics(12, 1.3);
+        let coloring = coloring_for_game(d.game());
+        let seed = 0xC0DE;
+        for policy in WaitPolicy::ALL {
+            let config = RuntimeConfig {
+                workers: 3,
+                wait_policy: policy,
+                min_class_size: 0,
+                ..RuntimeConfig::default()
+            };
+            let pool = WorkerPool::new(&config);
+            let mut scratch = Scratch::for_game(d.game());
+            let mut staged = Vec::new();
+            let mut staged_scoped = Vec::new();
+            let mut seq = vec![0usize; 12];
+            let mut scoped = vec![0usize; 12];
+            let mut pooled = vec![0usize; 12];
+            let mut seq_scratch = Scratch::for_game(d.game());
+            for t in 0..40u64 {
+                let moved_seq = d.step_coloured(&coloring, t, seed, &mut seq, &mut seq_scratch);
+                let moved_scoped =
+                    d.step_coloured_par(&coloring, t, seed, &mut scoped, &mut staged_scoped, 3);
+                let moved_pooled = d.step_coloured_pooled(
+                    &coloring,
+                    t,
+                    seed,
+                    &mut pooled,
+                    &mut scratch,
+                    &mut staged,
+                    &pool,
+                    &config,
+                );
+                assert_eq!(seq, pooled, "pooled diverged at t = {t} ({policy:?})");
+                assert_eq!(scoped, pooled, "scoped diverged at t = {t} ({policy:?})");
+                assert_eq!(moved_seq, moved_pooled);
+                assert_eq!(moved_scoped, moved_pooled);
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_classes_bypass_the_pool_entirely() {
+        let d = ring_dynamics(12, 1.3);
+        let coloring = coloring_for_game(d.game());
+        let widest = (0..coloring.num_classes())
+            .map(|c| coloring.class(c).len())
+            .max()
+            .expect("at least one class");
+
+        // Threshold above every class width: all ticks must run the inline
+        // sequential sweep, so the pool's dispatch counter stays at zero.
+        let narrow = RuntimeConfig {
+            workers: 3,
+            min_class_size: widest + 1,
+            ..RuntimeConfig::default()
+        };
+        let pool = WorkerPool::new(&narrow);
+        let mut scratch = Scratch::for_game(d.game());
+        let mut staged = Vec::new();
+        let mut inline_profile = vec![0usize; 12];
+        for t in 0..2 * coloring.num_classes() as u64 {
+            d.step_coloured_pooled(
+                &coloring,
+                t,
+                7,
+                &mut inline_profile,
+                &mut scratch,
+                &mut staged,
+                &pool,
+                &narrow,
+            );
+        }
+        assert_eq!(
+            pool.dispatches(),
+            0,
+            "classes below min_class_size must never reach the pool"
+        );
+
+        // Threshold zero: every (multi-player) class must dispatch, and the
+        // trajectory must not change — only the execution strategy does.
+        let wide = RuntimeConfig {
+            workers: 3,
+            min_class_size: 0,
+            ..RuntimeConfig::default()
+        };
+        let mut pooled_profile = vec![0usize; 12];
+        for t in 0..2 * coloring.num_classes() as u64 {
+            d.step_coloured_pooled(
+                &coloring,
+                t,
+                7,
+                &mut pooled_profile,
+                &mut scratch,
+                &mut staged,
+                &pool,
+                &wide,
+            );
+        }
+        assert!(
+            pool.dispatches() > 0,
+            "wide classes above the threshold must engage the pool"
+        );
+        assert_eq!(
+            inline_profile, pooled_profile,
+            "the threshold changes the execution strategy, never the trajectory"
+        );
     }
 
     #[test]

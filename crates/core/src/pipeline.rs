@@ -22,8 +22,10 @@
 //! * **Emitter** — a shared atomic counter; workers claim replica indices as
 //!   they free up (work-stealing over replicas, like the `Simulator`'s rayon
 //!   ensemble but with streaming output instead of an ordered collect).
-//! * **Step workers** — [`rayon::scope`]-spawned threads. Each claims a
-//!   replica, seeds the *same* deterministic ChaCha stream the sequential
+//! * **Step workers** — threads of the [`Simulator`]'s persistent
+//!   [`WorkerPool`](crate::runtime::WorkerPool) (spawned once, reused
+//!   across runs — not per-run thread spawns). Each claims a replica,
+//!   seeds the *same* deterministic ChaCha stream the sequential
 //!   path derives, and advances the monomorphised
 //!   [`DynamicsEngine`](crate::dynamics::DynamicsEngine) hot loop in
 //!   fixed-size tick chunks. At sample times it snapshots the profile into
@@ -62,6 +64,7 @@
 use crate::dynamics::{DynamicsEngine, Scratch};
 use crate::observables::{ProfileObservable, SeriesAccumulator};
 use crate::rules::UpdateRule;
+use crate::runtime::WorkerPool;
 use crate::schedules::{SelectionSchedule, UniformSingle};
 use crate::simulate::{replica_seed, sample_times, ProfileEnsembleResult, Simulator};
 use logit_games::Game;
@@ -69,7 +72,8 @@ use logit_linalg::stats::RunningStats;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Mutex;
 
@@ -85,17 +89,18 @@ use std::sync::Mutex;
 /// * `channel_capacity` — in-flight batches before senders block. This is
 ///   the backpressure bound: peak snapshot memory is
 ///   `O(capacity · batch · n)`.
-/// * `workers` — step-worker threads; `0` means one per available core
-///   (capped at the replica count). The reducer runs on the calling thread
-///   in addition.
+///
+/// The step-worker count is no longer a pipeline knob: it comes from the
+/// [`Simulator`]'s [`RuntimeConfig`](crate::runtime::RuntimeConfig)
+/// (`workers`, capped at the replica count), the same notion of "how many
+/// threads" the coloured and tempered paths use. The reducer runs on the
+/// calling thread in addition.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Ticks per worker chunk (≥ 1).
     pub chunk_ticks: u64,
     /// Bounded-channel capacity in batches (≥ 1).
     pub channel_capacity: usize,
-    /// Step workers; 0 = one per available core.
-    pub workers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -103,7 +108,6 @@ impl Default for PipelineConfig {
         Self {
             chunk_ticks: 4096,
             channel_capacity: 64,
-            workers: 0,
         }
     }
 }
@@ -115,19 +119,6 @@ impl PipelineConfig {
             self.channel_capacity >= 1,
             "channel_capacity must be at least 1"
         );
-    }
-
-    /// Resolved worker count for `jobs` parallel jobs.
-    pub(crate) fn worker_count(&self, jobs: usize) -> usize {
-        let auto = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let requested = if self.workers == 0 {
-            auto
-        } else {
-            self.workers
-        };
-        requested.max(1).min(jobs.max(1))
     }
 }
 
@@ -144,19 +135,79 @@ pub struct SnapshotBatch {
     pub profiles: Vec<Vec<usize>>,
 }
 
-/// The farm stage driver: spawns `workers` step workers over `jobs` jobs
-/// (claimed through a shared atomic counter) that push messages into a
-/// bounded channel, while `reduce` drains the channel on the calling thread
-/// concurrently. Returns the reducer's result once every worker has finished
-/// and the channel is drained.
+/// One farm-channel message: either a worker payload or a job-completion
+/// marker. The reducer exits after observing one [`FarmMsg::JobDone`] per
+/// job, so farm termination never depends on channel disconnection (the
+/// farm's sender outlives the reduction).
+pub(crate) enum FarmMsg<M> {
+    /// A worker-produced message.
+    Payload(M),
+    /// One job (panicked, skipped or completed) has finished.
+    JobDone,
+}
+
+/// The sending half handed to farm workers: wraps the payload in
+/// [`FarmMsg::Payload`] so workers cannot forge completion markers.
+pub(crate) struct FarmSender<M> {
+    tx: SyncSender<FarmMsg<M>>,
+}
+
+impl<M> FarmSender<M> {
+    /// Sends one payload to the reducer; `Err` means the reducer hung up
+    /// (the worker should stop producing).
+    pub(crate) fn send(&self, message: M) -> Result<(), M> {
+        self.tx.send(FarmMsg::Payload(message)).map_err(|e| {
+            match e.0 {
+                FarmMsg::Payload(m) => m,
+                // We only ever send Payload here.
+                FarmMsg::JobDone => unreachable!("payload send returned a marker"),
+            }
+        })
+    }
+}
+
+/// The receiving half handed to the reducer: iterates worker payloads and
+/// ends (returns `None`) once every job has reported done.
+pub(crate) struct FarmReceiver<M> {
+    rx: Receiver<FarmMsg<M>>,
+    jobs_remaining: usize,
+}
+
+impl<M> Iterator for FarmReceiver<M> {
+    type Item = M;
+
+    fn next(&mut self) -> Option<M> {
+        while self.jobs_remaining > 0 {
+            match self.rx.recv() {
+                Ok(FarmMsg::Payload(message)) => return Some(message),
+                Ok(FarmMsg::JobDone) => self.jobs_remaining -= 1,
+                // Defensive: the farm keeps a sender alive for the whole
+                // reduction, so disconnection before the last JobDone
+                // cannot happen.
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+}
+
+/// The farm stage driver: dispatches `jobs` jobs to up to `workers` of the
+/// persistent pool's threads (claimed through the pool's chunk-stealing
+/// counter — no per-run thread spawns) that push messages into a bounded
+/// channel, while `reduce` drains the channel on the calling thread
+/// concurrently. Returns the reducer's result once every worker has
+/// finished and the channel is drained.
 ///
 /// A worker returns `false` when the reducer hung up (its sends fail); the
-/// spawning loop then stops claiming jobs. Panic propagation favours root
-/// causes: a panicking worker drops its sender, the reducer's incomplete
-/// stream panic is caught here, and the scope re-raises the *worker's*
-/// payload; a panicking reducer lets workers drain out normally and is then
-/// re-raised itself.
+/// farm then skips the remaining jobs. Every job — completed, skipped or
+/// panicked — posts exactly one [`FarmMsg::JobDone`], so the reducer's exit
+/// is count-based and can never deadlock on a truncated stream. Panic
+/// propagation favours root causes: a panicking worker's payload is
+/// re-raised on the caller ahead of the reducer's own (typically
+/// consequent, e.g. "incomplete reduction") panic; a panicking reducer
+/// lets workers drain out and is then re-raised itself.
 pub(crate) fn farm<M, W, F, R>(
+    pool: &WorkerPool,
     jobs: usize,
     workers: usize,
     capacity: usize,
@@ -165,36 +216,52 @@ pub(crate) fn farm<M, W, F, R>(
 ) -> R
 where
     M: Send,
-    W: Fn(usize, &SyncSender<M>) -> bool + Sync,
-    F: FnOnce(Receiver<M>) -> R,
+    W: Fn(usize, &FarmSender<M>) -> bool + Sync,
+    F: FnOnce(FarmReceiver<M>) -> R,
 {
-    let (tx, rx) = sync_channel::<M>(capacity);
-    let next = AtomicUsize::new(0);
-    let next = &next;
-    let worker = &worker;
-    let outcome = rayon::scope(move |s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            s.spawn(move |_| loop {
-                let job = next.fetch_add(1, Ordering::Relaxed);
-                if job >= jobs {
-                    break;
+    assert!(jobs >= 1, "farm needs at least one job");
+    let (tx, rx) = sync_channel::<FarmMsg<M>>(capacity.max(1));
+    let stop = AtomicBool::new(false);
+    let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let job_fn = |job: usize| {
+        if !stop.load(Ordering::Relaxed) {
+            let sender = FarmSender { tx: tx.clone() };
+            match catch_unwind(AssertUnwindSafe(|| worker(job, &sender))) {
+                Ok(true) => {}
+                // The reducer hung up: stop claiming real work, drain the
+                // remaining jobs as no-ops.
+                Ok(false) => stop.store(true, Ordering::Relaxed),
+                Err(payload) => {
+                    stop.store(true, Ordering::Relaxed);
+                    let mut slot = worker_panic.lock().expect("panic slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
                 }
-                if !worker(job, &tx) {
-                    break;
-                }
-            });
+            }
         }
-        // The scope's own sender must drop before the reducer loop, or the
-        // receiver would never observe disconnection. The reducer's panic is
-        // deferred past the scope so a simultaneous worker panic (the likely
-        // root cause of a truncated stream) wins the propagation race.
-        drop(tx);
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reduce(rx)))
+        // Exactly one completion marker per job, whatever happened above:
+        // the reducer's exit counts these. A failed send means the reducer
+        // is gone, and with it the need for the marker.
+        let _ = tx.send(FarmMsg::JobDone);
+    };
+
+    let reduced = pool.execute_with(jobs, workers, &job_fn, || {
+        catch_unwind(AssertUnwindSafe(|| {
+            reduce(FarmReceiver {
+                rx,
+                jobs_remaining: jobs,
+            })
+        }))
     });
-    match outcome {
+
+    if let Some(payload) = worker_panic.into_inner().expect("panic slot poisoned") {
+        resume_unwind(payload);
+    }
+    match reduced {
         Ok(result) => result,
-        Err(payload) => std::panic::resume_unwind(payload),
+        Err(payload) => resume_unwind(payload),
     }
 }
 
@@ -500,14 +567,14 @@ impl Simulator {
 
         let times = sample_times(steps, sample_every);
         let replicas = self.replicas();
-        let workers = config.worker_count(replicas);
+        let workers = self.runtime().farm_workers(replicas);
         let seed = self.master_seed();
         let times_ref = &times;
         // Snapshot buffers flow worker → reducer → (return channel) → worker.
         let pool = SnapshotPool::new();
         let pool = &pool;
 
-        let worker = |replica: usize, tx: &SyncSender<SnapshotBatch>| {
+        let worker = |replica: usize, tx: &FarmSender<SnapshotBatch>| {
             // Same stream derivation as the sequential path: bit-identity
             // starts at the seed.
             let mut rng = ChaCha8Rng::seed_from_u64(replica_seed(seed, replica));
@@ -555,8 +622,13 @@ impl Simulator {
             true
         };
 
-        let (series, final_values): (Vec<RunningStats>, Vec<f64>) =
-            farm(replicas, workers, config.channel_capacity, worker, |rx| {
+        let (series, final_values): (Vec<RunningStats>, Vec<f64>) = farm(
+            self.pool(),
+            replicas,
+            workers,
+            config.channel_capacity,
+            worker,
+            |rx| {
                 let mut reducer = OrderedSeriesReducer::new(times_ref.len(), replicas);
                 for batch in rx {
                     for (j, snapshot) in batch.profiles.iter().enumerate() {
@@ -570,7 +642,8 @@ impl Simulator {
                     pool.recycle(batch.profiles);
                 }
                 reducer.finish().into_series_and_finals()
-            });
+            },
+        );
 
         ProfileEnsembleResult {
             replicas,
@@ -590,9 +663,31 @@ mod tests {
     use crate::dynamics::LogitDynamics;
     use crate::observables::{PotentialObservable, StrategyFraction};
     use crate::rules::{MetropolisLogit, NoisyBestResponse};
+    use crate::runtime::RuntimeConfig;
     use crate::schedules::{AllLogit, SystematicSweep};
     use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
     use logit_graphs::GraphBuilder;
+
+    /// A `Simulator` with an explicit worker count (the knob that used to
+    /// live on `PipelineConfig`).
+    fn simulator_with_workers(seed: u64, replicas: usize, workers: usize) -> Simulator {
+        Simulator::with_runtime(
+            seed,
+            replicas,
+            RuntimeConfig {
+                workers,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    /// A small pool for driving `farm` directly in tests.
+    fn test_pool(workers: usize) -> WorkerPool {
+        WorkerPool::new(&RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
+        })
+    }
 
     /// Bitwise equality of two ensemble results — the bit-identity contract.
     fn assert_results_identical(a: &ProfileEnsembleResult, b: &ProfileEnsembleResult) {
@@ -626,24 +721,31 @@ mod tests {
         let obs = StrategyFraction::new(1, "adopters");
         let sequential = sim.run_profiles(&d, &[0; 6], 205, 50, &obs);
         // Chunking, capacity and worker count are unobservable in the result.
-        for config in [
-            PipelineConfig::default(),
-            PipelineConfig {
-                chunk_ticks: 1,
-                channel_capacity: 1,
-                workers: 1,
-            },
-            PipelineConfig {
-                chunk_ticks: 7,
-                channel_capacity: 2,
-                workers: 3,
-            },
-            PipelineConfig {
-                chunk_ticks: 1_000_000,
-                channel_capacity: 64,
-                workers: 0,
-            },
+        for (workers, config) in [
+            (0, PipelineConfig::default()),
+            (
+                1,
+                PipelineConfig {
+                    chunk_ticks: 1,
+                    channel_capacity: 1,
+                },
+            ),
+            (
+                3,
+                PipelineConfig {
+                    chunk_ticks: 7,
+                    channel_capacity: 2,
+                },
+            ),
+            (
+                0,
+                PipelineConfig {
+                    chunk_ticks: 1_000_000,
+                    channel_capacity: 64,
+                },
+            ),
         ] {
+            let sim = simulator_with_workers(42, 24, workers);
             let pipelined = sim.run_profiles_pipelined_with(&d, &[0; 6], 205, 50, &obs, &config);
             assert_results_identical(&sequential, &pipelined);
         }
@@ -652,12 +754,11 @@ mod tests {
     #[test]
     fn pipelined_scheduled_paths_are_bit_identical() {
         let d = ring_dynamics(5);
-        let sim = Simulator::new(9, 16);
+        let sim = simulator_with_workers(9, 16, 2);
         let obs = StrategyFraction::new(0, "zeros");
         let config = PipelineConfig {
             chunk_ticks: 13,
             channel_capacity: 3,
-            workers: 2,
         };
         let seq_sweep = sim.run_profiles_scheduled(&d, &SystematicSweep, &[1; 5], 77, 20, &obs);
         let pipe_sweep = sim.run_profiles_scheduled_pipelined_with(
@@ -682,12 +783,11 @@ mod tests {
             GraphBuilder::ring(5),
             CoordinationGame::from_deltas(2.0, 1.0),
         );
-        let sim = Simulator::new(3, 12);
+        let sim = simulator_with_workers(3, 12, 2);
         let obs = PotentialObservable::new(game.clone());
         let config = PipelineConfig {
             chunk_ticks: 11,
             channel_capacity: 2,
-            workers: 2,
         };
 
         let logit = DynamicsEngine::with_rule(game.clone(), crate::rules::Logit, 0.9);
@@ -795,7 +895,6 @@ mod tests {
         let config = PipelineConfig {
             chunk_ticks: 0,
             channel_capacity: 1,
-            workers: 1,
         };
         let _ = sim.run_profiles_pipelined_with(&d, &[0; 4], 10, 5, &obs, &config);
     }
@@ -830,7 +929,7 @@ mod tests {
         // sample_every = 1 maximises snapshot traffic, so the recycled
         // buffers are exercised hard; the results must not notice.
         let d = ring_dynamics(6);
-        let sim = Simulator::new(77, 12);
+        let sim = simulator_with_workers(77, 12, 2);
         let obs = StrategyFraction::new(1, "adopters");
         let sequential = sim.run_profiles(&d, &[0; 6], 120, 1, &obs);
         for config in [
@@ -838,7 +937,6 @@ mod tests {
             PipelineConfig {
                 chunk_ticks: 3,
                 channel_capacity: 1,
-                workers: 2,
             },
         ] {
             let pipelined = sim.run_profiles_pipelined_with(&d, &[0; 6], 120, 1, &obs, &config);
@@ -848,12 +946,14 @@ mod tests {
 
     #[test]
     fn farm_streams_every_message_and_reduces_on_the_caller() {
+        let pool = test_pool(4);
         let sum = farm(
+            &pool,
             100,
             4,
             8,
-            |job, tx: &SyncSender<usize>| tx.send(job * job).is_ok(),
-            |rx| rx.iter().sum::<usize>(),
+            |job, tx: &FarmSender<usize>| tx.send(job * job).is_ok(),
+            |rx| rx.sum::<usize>(),
         );
         assert_eq!(sum, (0..100).map(|j| j * j).sum::<usize>());
     }
@@ -862,18 +962,20 @@ mod tests {
     fn farm_propagates_the_reducer_panic_after_workers_drain() {
         // A dying reducer must not deadlock blocked senders, and its panic —
         // the root cause — must reach the caller.
-        let caught = std::panic::catch_unwind(|| {
+        let pool = test_pool(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             farm(
+                &pool,
                 50,
                 2,
                 1,
-                |job, tx: &SyncSender<usize>| tx.send(job).is_ok(),
-                |rx| {
-                    let first = rx.iter().next();
+                |job, tx: &FarmSender<usize>| tx.send(job).is_ok(),
+                |mut rx| {
+                    let first = rx.next();
                     panic!("reducer rejected {first:?}");
                 },
             )
-        });
+        }));
         let payload = caught.expect_err("the reducer panic must propagate");
         let message = payload
             .downcast_ref::<String>()
@@ -889,23 +991,25 @@ mod tests {
     fn farm_propagates_a_worker_panic_as_the_root_cause() {
         // A dying worker truncates the stream; the reducer's incomplete-fold
         // panic must not mask the worker's payload.
-        let caught = std::panic::catch_unwind(|| {
+        let pool = test_pool(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             farm(
+                &pool,
                 4,
                 2,
                 2,
-                |job, _tx: &SyncSender<usize>| {
+                |job, _tx: &FarmSender<usize>| {
                     if job == 1 {
                         panic!("worker {job} exploded");
                     }
                     true
                 },
                 |rx| {
-                    let drained: Vec<usize> = rx.iter().collect();
+                    let drained: Vec<usize> = rx.collect();
                     panic!("stream truncated after {} messages", drained.len());
                 },
             )
-        });
+        }));
         let payload = caught.expect_err("the worker panic must propagate");
         let message = payload
             .downcast_ref::<String>()
@@ -915,6 +1019,26 @@ mod tests {
             message.contains("worker 1 exploded"),
             "expected the worker's panic as root cause, got {message:?}"
         );
+    }
+
+    #[test]
+    fn farm_reuses_the_pool_across_many_runs_without_thread_churn() {
+        // The whole point of the persistent pool: many short farm runs on
+        // one pool, registry stable, no respawns.
+        let pool = test_pool(3);
+        let registry_size = pool.registry().len();
+        for round in 0..50usize {
+            let total = farm(
+                &pool,
+                6,
+                3,
+                4,
+                move |job, tx: &FarmSender<usize>| tx.send(job + round).is_ok(),
+                |rx| rx.sum::<usize>(),
+            );
+            assert_eq!(total, (0..6).map(|j| j + round).sum::<usize>());
+        }
+        assert_eq!(pool.registry().len(), registry_size);
     }
 
     #[test]
@@ -934,12 +1058,13 @@ mod tests {
         assert_eq!(a.swap_stats, b.swap_stats);
         assert_eq!(a.times, vec![20, 40, 48]);
         assert!(a.series.iter().all(|s| s.count() == 10));
-        // Explicit pipeline knobs cannot change the tempered result either.
+        // Explicit pipeline knobs — and a different worker count — cannot
+        // change the tempered result either.
         let tight = PipelineConfig {
             chunk_ticks: 1,
             channel_capacity: 1,
-            workers: 1,
         };
+        let sim = simulator_with_workers(31, 10, 1);
         let c = sim.run_tempered_with(&ensemble, &UniformSingle, &[0; 4], 12, 4, 5, &obs, &tight);
         assert_eq!(a.final_values, c.final_values);
         assert_eq!(a.swap_stats, c.swap_stats);

@@ -1,0 +1,280 @@
+//! Persistent parallel runtime: a worker pool spawned once and reused for
+//! every tick, plus the configuration knobs shared by all parallel paths.
+//!
+//! PR 5's coloured independent-set engine and PR 4's pipelined farm both
+//! paid a fresh `rayon::scope` (one OS-thread spawn per worker) on every
+//! tick or run, which is why the committed coloured `par_over_seq` sat at
+//! 0.66–0.77 and narrow colour classes could never amortise parallelism.
+//! This module replaces per-tick thread creation with the skeleton-library
+//! shape (spawn once, park on a wait policy, drive per-tick work through a
+//! claim counter and a completion barrier):
+//!
+//! * [`RuntimeConfig`] — the single notion of "how many threads" (worker
+//!   count, wait policy, core pinning, narrow-class threshold), threaded
+//!   through [`Simulator`](crate::Simulator) and overridable from the
+//!   environment for benches (`LOGIT_WORKERS`, `LOGIT_WAIT_POLICY`,
+//!   `LOGIT_PIN_CORES`, `LOGIT_MIN_CLASS_SIZE`).
+//! * [`WorkerPool`] — the persistent pool itself: chunked work
+//!   distribution ([`WorkerPool::run`], [`WorkerPool::for_each_chunk`]),
+//!   a concurrent caller lane for farm shapes
+//!   ([`WorkerPool::execute_with`]), per-dispatch barrier synchronisation,
+//!   and first-panic propagation.
+//! * [`ThreadRegistry`] — worker ids and pinning outcomes, observable so
+//!   tests can assert the pool neither leaks nor respawns threads.
+//!
+//! Work distribution is a shared atomic claim counter, so chunk→worker
+//! assignment is dynamic (idle workers steal whatever chunk is next); the
+//! counter-derived per-player draw scheme makes the *results*
+//! worker-count-independent and bit-identical to the sequential class
+//! sweep regardless of which worker executes which chunk.
+
+mod pool;
+mod registry;
+
+pub use pool::WorkerPool;
+pub use registry::{ThreadRegistry, WorkerEntry};
+
+/// How idle pool workers wait for the next dispatch. The policy sets how
+/// long a worker stays *hot* between dispatches; every policy escalates to
+/// parking on a condvar after a bounded idle window, so an idle pool never
+/// taxes the host no matter the policy.
+///
+/// * [`Spin`](WaitPolicy::Spin) — busy-wait (with a periodic `yield_now`
+///   safety valve) for ≈ a millisecond of idleness before parking. Lowest
+///   dispatch latency; right for dense back-to-back ticks where the pool
+///   is the only thing running.
+/// * [`Yield`](WaitPolicy::Yield) — `yield_now` between polls, parking
+///   after the idle budget. A good default: near-spin latency when cores
+///   are free, cooperative when the host is oversubscribed (including
+///   single-core CI).
+/// * [`Park`](WaitPolicy::Park) — block on the condvar immediately.
+///   Highest wake latency but zero idle CPU from the first moment; right
+///   for service-style workloads where dispatches are sparse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WaitPolicy {
+    /// Busy-wait (with a periodic yield safety valve), then park.
+    Spin,
+    /// Yield the CPU between polls, then park.
+    #[default]
+    Yield,
+    /// Park on a condvar until a dispatch or shutdown wakes the worker.
+    Park,
+}
+
+impl WaitPolicy {
+    /// Stable lower-case name (used in bench JSON and env parsing).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitPolicy::Spin => "spin",
+            WaitPolicy::Yield => "yield",
+            WaitPolicy::Park => "park",
+        }
+    }
+
+    /// Parses the lower-case name emitted by [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "spin" => Some(WaitPolicy::Spin),
+            "yield" => Some(WaitPolicy::Yield),
+            "park" => Some(WaitPolicy::Park),
+            _ => None,
+        }
+    }
+
+    /// All policies, for exhaustive test sweeps.
+    pub const ALL: [WaitPolicy; 3] = [WaitPolicy::Spin, WaitPolicy::Yield, WaitPolicy::Park];
+}
+
+/// The one shared notion of "how parallel": worker count, wait policy,
+/// pinning, and the narrow-class amortisation guard. Replaces the former
+/// `PipelineConfig::workers` knob and `step_coloured_par`'s implicit
+/// per-call worker argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Total stepping threads (including the calling thread for coloured
+    /// sweeps; pool participants for farm shapes). `0` means "one per
+    /// available core".
+    pub workers: usize,
+    /// How idle pool workers wait between dispatches.
+    pub wait_policy: WaitPolicy,
+    /// Pin each pool worker to a distinct core at spawn (Linux only;
+    /// silently a no-op elsewhere). See the registry for outcomes.
+    pub pin_cores: bool,
+    /// Colour classes (or chunked work sets) smaller than this run inline
+    /// on the calling thread: below the threshold, dispatch overhead beats
+    /// any parallel win.
+    pub min_class_size: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 0,
+            wait_policy: WaitPolicy::Yield,
+            pin_cores: false,
+            min_class_size: 256,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Reads the config from the environment, falling back to defaults for
+    /// unset or unparseable variables: `LOGIT_WORKERS` (integer, 0 = auto),
+    /// `LOGIT_WAIT_POLICY` (`spin` | `yield` | `park`), `LOGIT_PIN_CORES`
+    /// (`1` | `true`), `LOGIT_MIN_CLASS_SIZE` (integer).
+    pub fn from_env() -> Self {
+        Self::from_lookup(|key| std::env::var(key).ok())
+    }
+
+    /// [`from_env`](Self::from_env) with an injectable variable source, so
+    /// parsing is testable without mutating process-global state.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let defaults = RuntimeConfig::default();
+        RuntimeConfig {
+            workers: lookup("LOGIT_WORKERS")
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(defaults.workers),
+            wait_policy: lookup("LOGIT_WAIT_POLICY")
+                .and_then(|v| WaitPolicy::parse(&v))
+                .unwrap_or(defaults.wait_policy),
+            pin_cores: lookup("LOGIT_PIN_CORES")
+                .map(|v| matches!(v.trim(), "1" | "true" | "TRUE" | "yes"))
+                .unwrap_or(defaults.pin_cores),
+            min_class_size: lookup("LOGIT_MIN_CLASS_SIZE")
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(defaults.min_class_size),
+        }
+    }
+
+    /// The worker count with `0` resolved to the host's available
+    /// parallelism; never less than 1.
+    ///
+    /// The host's parallelism is read once and cached:
+    /// `std::thread::available_parallelism` re-reads cgroup limits on
+    /// every call (syscalls on the Linux hot path), and this resolver sits
+    /// inside per-tick worker-count decisions.
+    pub fn resolved_workers(&self) -> usize {
+        static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let requested = if self.workers == 0 {
+            *CORES.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+        } else {
+            self.workers
+        };
+        requested.max(1)
+    }
+
+    /// Total stepping threads for a colour class of `class_size` players:
+    /// 1 (inline on the caller) when the class is narrower than
+    /// [`min_class_size`](Self::min_class_size), otherwise the resolved
+    /// worker count capped by the class size.
+    pub fn class_workers(&self, class_size: usize) -> usize {
+        if class_size < self.min_class_size {
+            1
+        } else {
+            self.resolved_workers().min(class_size).max(1)
+        }
+    }
+
+    /// Pool-participant count for a farm of `jobs` independent jobs (the
+    /// caller runs the reducer, so it is not counted here).
+    pub fn farm_workers(&self, jobs: usize) -> usize {
+        self.resolved_workers().min(jobs).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup_from<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |key| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn wait_policy_names_round_trip() {
+        for policy in WaitPolicy::ALL {
+            assert_eq!(WaitPolicy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(WaitPolicy::parse(" SPIN "), Some(WaitPolicy::Spin));
+        assert_eq!(WaitPolicy::parse("busy"), None);
+    }
+
+    #[test]
+    fn env_lookup_parses_every_knob_and_falls_back_on_garbage() {
+        let cfg = RuntimeConfig::from_lookup(lookup_from(&[
+            ("LOGIT_WORKERS", "3"),
+            ("LOGIT_WAIT_POLICY", "park"),
+            ("LOGIT_PIN_CORES", "1"),
+            ("LOGIT_MIN_CLASS_SIZE", "64"),
+        ]));
+        assert_eq!(
+            cfg,
+            RuntimeConfig {
+                workers: 3,
+                wait_policy: WaitPolicy::Park,
+                pin_cores: true,
+                min_class_size: 64,
+            }
+        );
+
+        let garbage = RuntimeConfig::from_lookup(lookup_from(&[
+            ("LOGIT_WORKERS", "lots"),
+            ("LOGIT_WAIT_POLICY", "busy"),
+            ("LOGIT_PIN_CORES", "maybe"),
+        ]));
+        assert_eq!(garbage, RuntimeConfig::default());
+
+        let unset = RuntimeConfig::from_lookup(|_| None);
+        assert_eq!(unset, RuntimeConfig::default());
+    }
+
+    #[test]
+    fn class_workers_applies_the_narrow_class_guard() {
+        let cfg = RuntimeConfig {
+            workers: 4,
+            min_class_size: 100,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(cfg.class_workers(99), 1, "narrow classes stay inline");
+        assert_eq!(cfg.class_workers(100), 4, "wide classes get the pool");
+        assert_eq!(cfg.class_workers(2), 1, "threshold dominates the cap");
+
+        let tiny = RuntimeConfig {
+            workers: 8,
+            min_class_size: 0,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(tiny.class_workers(3), 3, "class size caps the workers");
+    }
+
+    #[test]
+    fn farm_workers_caps_at_the_job_count() {
+        let cfg = RuntimeConfig {
+            workers: 8,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(cfg.farm_workers(3), 3);
+        assert_eq!(cfg.farm_workers(100), 8);
+        assert_eq!(cfg.farm_workers(1), 1);
+    }
+
+    #[test]
+    fn resolved_workers_never_returns_zero() {
+        let auto = RuntimeConfig::default();
+        assert!(auto.resolved_workers() >= 1);
+        let explicit = RuntimeConfig {
+            workers: 5,
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(explicit.resolved_workers(), 5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Worker thread registry: one entry per pool worker, recording its index
+//! and whether the optional core pin took effect.
+//!
+//! Pinning goes through a raw `sched_setaffinity` syscall (no libc
+//! dependency): pid 0 targets the calling thread, and each worker asks for
+//! core `worker_index % advertised_cores` at spawn. On non-Linux targets —
+//! or when the kernel rejects the mask (cgroup cpuset restrictions,
+//! offline cores) — the pin silently degrades to "not pinned" and the
+//! registry records the outcome, so callers can observe what actually
+//! happened rather than what was requested.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One pool worker's registry row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerEntry {
+    /// Pool-local worker index (0-based, dense).
+    pub index: usize,
+    /// The core this worker was pinned to, if pinning was requested and
+    /// the kernel accepted the mask.
+    pub pinned_core: Option<usize>,
+}
+
+/// Registry of the pool's worker threads. Workers insert their entry once
+/// at spawn; the pool constructor blocks until every worker has checked
+/// in, so a constructed pool always exposes a complete, stable registry.
+#[derive(Debug, Clone)]
+pub struct ThreadRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    entries: Mutex<Vec<WorkerEntry>>,
+    all_in: Condvar,
+    expected: usize,
+}
+
+impl ThreadRegistry {
+    pub(crate) fn new(expected: usize) -> Self {
+        ThreadRegistry {
+            inner: Arc::new(RegistryInner {
+                entries: Mutex::new(Vec::with_capacity(expected)),
+                all_in: Condvar::new(),
+                expected,
+            }),
+        }
+    }
+
+    /// Called by each worker exactly once at spawn.
+    pub(crate) fn check_in(&self, entry: WorkerEntry) {
+        let mut entries = self.inner.entries.lock().expect("registry poisoned");
+        entries.push(entry);
+        if entries.len() == self.inner.expected {
+            self.inner.all_in.notify_all();
+        }
+    }
+
+    /// Blocks until every expected worker has checked in (used by the pool
+    /// constructor so `registry()` is complete from the first dispatch).
+    pub(crate) fn wait_complete(&self) {
+        let mut entries = self.inner.entries.lock().expect("registry poisoned");
+        while entries.len() < self.inner.expected {
+            entries = self.inner.all_in.wait(entries).expect("registry poisoned");
+        }
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.inner.entries.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether the registry is empty (a pool can legitimately have zero
+    /// workers when the caller does all the work inline).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the registry rows, sorted by worker index.
+    pub fn entries(&self) -> Vec<WorkerEntry> {
+        let mut rows = self
+            .inner
+            .entries
+            .lock()
+            .expect("registry poisoned")
+            .clone();
+        rows.sort_by_key(|e| e.index);
+        rows
+    }
+
+    /// How many workers ended up actually pinned.
+    pub fn pinned_count(&self) -> usize {
+        self.inner
+            .entries
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .filter(|e| e.pinned_core.is_some())
+            .count()
+    }
+}
+
+/// Pins the calling thread to `core`, returning whether the kernel
+/// accepted the mask. Linux-only; other targets always return `false`.
+pub(crate) fn pin_current_thread(core: usize) -> bool {
+    pin_impl(core)
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn pin_impl(core: usize) -> bool {
+    // cpu_set_t is 1024 bits; one u64 limb per 64 cores.
+    let mut mask = [0u64; 16];
+    let limb = core / 64;
+    if limb >= mask.len() {
+        return false;
+    }
+    mask[limb] = 1u64 << (core % 64);
+    let mask_bytes = std::mem::size_of_val(&mask);
+    // SAFETY: sched_setaffinity(pid = 0 → calling thread, cpusetsize,
+    // *mask) only reads `mask_bytes` bytes from the pointer, which points
+    // at a live, correctly sized stack array. No memory is written.
+    let ret: isize;
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") mask_bytes,
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        let nr: usize = 122; // __NR_sched_setaffinity
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") 0isize => ret,
+            in("x1") mask_bytes,
+            in("x2") mask.as_ptr(),
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn pin_impl(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_collects_and_sorts_entries() {
+        let registry = ThreadRegistry::new(3);
+        registry.check_in(WorkerEntry {
+            index: 2,
+            pinned_core: None,
+        });
+        registry.check_in(WorkerEntry {
+            index: 0,
+            pinned_core: Some(0),
+        });
+        registry.check_in(WorkerEntry {
+            index: 1,
+            pinned_core: None,
+        });
+        registry.wait_complete();
+        assert_eq!(registry.len(), 3);
+        assert!(!registry.is_empty());
+        let rows = registry.entries();
+        assert_eq!(rows.iter().map(|e| e.index).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(registry.pinned_count(), 1);
+    }
+
+    #[test]
+    fn pinning_the_current_thread_reports_a_boolean_outcome() {
+        // The outcome depends on the host (cgroup cpusets can reject any
+        // mask), so assert only that the call returns and, if it claims
+        // success, that re-pinning to the same core also succeeds.
+        let ok = pin_current_thread(0);
+        if ok {
+            assert!(pin_current_thread(0), "re-pinning to core 0 must hold");
+        }
+        // An out-of-range core must never report success.
+        assert!(!pin_current_thread(16 * 64 + 1));
+    }
+}

@@ -364,22 +364,61 @@ impl TemperedEnsembleResult {
 }
 
 /// Reproducible parallel ensemble simulator.
+///
+/// Parallel execution (the pipelined farm, tempered runs) goes through one
+/// persistent [`WorkerPool`](crate::runtime::WorkerPool) per simulator,
+/// spawned lazily on the first parallel run and configured by the
+/// simulator's [`RuntimeConfig`] — worker counts, wait policy and pinning
+/// never affect results (the bit-identity contract), only throughput.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     seed: u64,
     replicas: usize,
+    runtime: crate::runtime::RuntimeConfig,
+    pool: std::sync::OnceLock<std::sync::Arc<crate::runtime::WorkerPool>>,
 }
 
 impl Simulator {
-    /// Creates a simulator with a master seed and a number of independent replicas.
+    /// Creates a simulator with a master seed and a number of independent
+    /// replicas. The parallel runtime is read from the environment
+    /// ([`RuntimeConfig::from_env`](crate::runtime::RuntimeConfig::from_env):
+    /// `LOGIT_WORKERS`, `LOGIT_WAIT_POLICY`, `LOGIT_PIN_CORES`,
+    /// `LOGIT_MIN_CLASS_SIZE`), defaults when unset.
     pub fn new(seed: u64, replicas: usize) -> Self {
+        Self::with_runtime(seed, replicas, crate::runtime::RuntimeConfig::from_env())
+    }
+
+    /// [`new`](Self::new) with an explicit parallel-runtime configuration.
+    pub fn with_runtime(
+        seed: u64,
+        replicas: usize,
+        runtime: crate::runtime::RuntimeConfig,
+    ) -> Self {
         assert!(replicas > 0, "need at least one replica");
-        Self { seed, replicas }
+        Self {
+            seed,
+            replicas,
+            runtime,
+            pool: std::sync::OnceLock::new(),
+        }
     }
 
     /// Number of replicas.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// The parallel-runtime configuration.
+    pub fn runtime(&self) -> &crate::runtime::RuntimeConfig {
+        &self.runtime
+    }
+
+    /// The simulator's persistent worker pool, spawned on first use and
+    /// reused by every subsequent parallel run (cloned simulators share an
+    /// already-spawned pool).
+    pub fn pool(&self) -> &crate::runtime::WorkerPool {
+        self.pool
+            .get_or_init(|| std::sync::Arc::new(crate::runtime::WorkerPool::new(&self.runtime)))
     }
 
     /// The master seed replica streams are derived from (shared with the
@@ -624,11 +663,12 @@ impl Simulator {
     }
 
     /// [`Self::run_tempered`] with explicit
-    /// [`PipelineConfig`](crate::pipeline::PipelineConfig) knobs (worker
-    /// count, channel capacity; `chunk_ticks` has no effect here — the
-    /// tempering round structure already chunks the stream at sample
-    /// rounds). The knobs affect throughput and memory only, never the
-    /// result.
+    /// [`PipelineConfig`](crate::pipeline::PipelineConfig) knobs (channel
+    /// capacity; `chunk_ticks` has no effect here — the tempering round
+    /// structure already chunks the stream at sample rounds; the worker
+    /// count comes from the simulator's
+    /// [`RuntimeConfig`](crate::runtime::RuntimeConfig)). The knobs affect
+    /// throughput and memory only, never the result.
     #[allow(clippy::too_many_arguments)]
     pub fn run_tempered_with<G, U, S, O>(
         &self,
@@ -647,7 +687,7 @@ impl Simulator {
         S: SelectionSchedule,
         O: ProfileObservable + Sync,
     {
-        use crate::pipeline::{farm, OrderedSeriesReducer, SnapshotBatch};
+        use crate::pipeline::{farm, FarmSender, OrderedSeriesReducer, SnapshotBatch};
 
         assert!(rounds >= 1, "need at least one round");
         assert!(sweep_ticks >= 1, "need at least one tick per round");
@@ -659,7 +699,7 @@ impl Simulator {
 
         let sample_rounds = sample_times(rounds, sample_every);
         let sample_rounds_ref = &sample_rounds;
-        let workers = config.worker_count(self.replicas);
+        let workers = self.runtime.farm_workers(self.replicas);
 
         // Cold-replica snapshots stream through the shared stage type; the
         // swap diagnostics ride behind them once per ensemble.
@@ -671,7 +711,7 @@ impl Simulator {
             },
         }
 
-        let worker = |e: usize, tx: &std::sync::mpsc::SyncSender<TemperMsg>| {
+        let worker = |e: usize, tx: &FarmSender<TemperMsg>| {
             let mut state = ensemble.init_state(start, ensemble_seed(self.seed, e));
             let mut r = 0u64;
             for (k, &target) in sample_rounds_ref.iter().enumerate() {
@@ -698,6 +738,7 @@ impl Simulator {
         };
 
         let (acc, per_ensemble_stats) = farm(
+            self.pool(),
             self.replicas,
             workers,
             config.channel_capacity,

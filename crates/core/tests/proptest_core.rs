@@ -473,13 +473,16 @@ proptest! {
         channel_capacity in 1usize..6,
         workers in 1usize..5,
     ) {
-        use logit_core::PipelineConfig;
+        use logit_core::{PipelineConfig, RuntimeConfig};
 
         let mut game_rng = StdRng::seed_from_u64(seed);
         let game = TablePotentialGame::random(vec![2, 3, 2], 2.0, &mut game_rng);
-        let sim = Simulator::new(seed ^ 0x9192, 16);
+        // Worker count now lives on the Simulator's RuntimeConfig (the farm
+        // draws its participants from the persistent pool).
+        let runtime = RuntimeConfig { workers, ..RuntimeConfig::default() };
+        let sim = Simulator::with_runtime(seed ^ 0x9192, 16, runtime);
         let obs = PotentialObservable::new(game.clone());
-        let config = PipelineConfig { chunk_ticks, channel_capacity, workers };
+        let config = PipelineConfig { chunk_ticks, channel_capacity };
 
         fn assert_identical(
             a: &logit_core::ProfileEnsembleResult,
@@ -702,9 +705,11 @@ proptest! {
     }
 
     /// Coloured-engine bit-identity, the tentpole pin (satellite proptest):
-    /// `step_coloured_par` — frozen-profile staged block, per-player RNG
-    /// streams, any worker count — walks exactly the trajectory of the
-    /// sequential in-place class sweep `step_coloured`, for every update
+    /// `step_coloured_par` (per-tick scoped threads) and
+    /// `step_coloured_pooled` (persistent worker pool) — frozen-profile
+    /// staged block, per-player RNG streams, any worker count, any wait
+    /// policy, any narrow-class threshold — walk exactly the trajectory of
+    /// the sequential in-place class sweep `step_coloured`, for every update
     /// rule on random graph topologies. This is the non-neighbours-commute
     /// argument made executable.
     #[test]
@@ -714,7 +719,11 @@ proptest! {
         p in 0.2f64..0.9,
         beta in 0.0f64..4.0,
         workers in 1usize..5,
+        policy_index in 0usize..3,
+        min_class_size in 0usize..8,
     ) {
+        use logit_core::{RuntimeConfig, WaitPolicy, WorkerPool};
+
         let mut graph_rng = StdRng::seed_from_u64(seed);
         let graph = GraphBuilder::connected_erdos_renyi(n, p, &mut graph_rng, 20);
         let game = GraphicalCoordinationGame::new(
@@ -722,7 +731,17 @@ proptest! {
             logit_games::CoordinationGame::from_deltas(2.0, 1.0),
         );
         let coloring = coloring_for_game(&game);
+        // Random chunking: the threshold decides which classes stay inline,
+        // the worker count decides the chunk granularity of the rest.
+        let config = RuntimeConfig {
+            workers,
+            wait_policy: WaitPolicy::ALL[policy_index],
+            min_class_size,
+            ..RuntimeConfig::default()
+        };
+        let pool = WorkerPool::new(&config);
 
+        #[allow(clippy::too_many_arguments)]
         fn check<U: UpdateRule>(
             game: &GraphicalCoordinationGame,
             coloring: &logit_graphs::Coloring,
@@ -730,28 +749,58 @@ proptest! {
             beta: f64,
             seed: u64,
             workers: usize,
+            pool: &WorkerPool,
+            config: &RuntimeConfig,
         ) -> Result<(), TestCaseError> {
             let d = DynamicsEngine::with_rule(game.clone(), rule, beta);
             let n = game.num_players();
             let mut scratch = Scratch::for_game(game);
+            let mut pooled_scratch = Scratch::for_game(game);
             let mut staged = Vec::new();
+            let mut pooled_staged = Vec::new();
             let mut seq = vec![0usize; n];
             let mut par = vec![0usize; n];
+            let mut pooled = vec![0usize; n];
             for t in 0..2 * coloring.num_classes() as u64 + 3 {
                 let moved_seq = d.step_coloured(coloring, t, seed, &mut seq, &mut scratch);
                 let moved_par =
                     d.step_coloured_par(coloring, t, seed, &mut par, &mut staged, workers);
-                prop_assert_eq!(&seq, &par, "diverged at t = {} ({} workers)", t, workers);
+                let moved_pooled = d.step_coloured_pooled(
+                    coloring,
+                    t,
+                    seed,
+                    &mut pooled,
+                    &mut pooled_scratch,
+                    &mut pooled_staged,
+                    pool,
+                    config,
+                );
+                prop_assert_eq!(&seq, &par, "scoped diverged at t = {} ({} workers)", t, workers);
+                prop_assert_eq!(
+                    &seq, &pooled,
+                    "pooled diverged at t = {} ({} workers, {} policy, threshold {})",
+                    t, workers, config.wait_policy.name(), config.min_class_size
+                );
                 prop_assert_eq!(moved_seq, moved_par);
+                prop_assert_eq!(moved_seq, moved_pooled);
             }
             Ok(())
         }
 
-        check(&game, &coloring, Logit, beta, seed, workers)?;
-        check(&game, &coloring, MetropolisLogit, beta, seed, workers)?;
-        check(&game, &coloring, logit_core::NoisyBestResponse::new(0.15), beta, seed, workers)?;
-        check(&game, &coloring, Fermi, beta, seed, workers)?;
-        check(&game, &coloring, ImitateBetter::new(0.1), beta, seed, workers)?;
+        check(&game, &coloring, Logit, beta, seed, workers, &pool, &config)?;
+        check(&game, &coloring, MetropolisLogit, beta, seed, workers, &pool, &config)?;
+        check(
+            &game,
+            &coloring,
+            logit_core::NoisyBestResponse::new(0.15),
+            beta,
+            seed,
+            workers,
+            &pool,
+            &config,
+        )?;
+        check(&game, &coloring, Fermi, beta, seed, workers, &pool, &config)?;
+        check(&game, &coloring, ImitateBetter::new(0.1), beta, seed, workers, &pool, &config)?;
     }
 
     /// Coloured-round exactness, satellite check: on small random graphical
