@@ -1,9 +1,11 @@
-//! Criterion benches: cutwidth computation and the potential barrier ζ.
+//! Criterion benches: cutwidth computation, the potential barrier ζ, and
+//! the CSR-vs-nested-`Vec` neighbour-iteration race behind the
+//! memory-locality engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use logit_core::zeta;
 use logit_games::{CoordinationGame, GraphicalCoordinationGame, WellGame};
-use logit_graphs::{cutwidth_exact, cutwidth_heuristic, GraphBuilder};
+use logit_graphs::{cutwidth_exact, cutwidth_heuristic, CsrGraph, GraphBuilder, VertexOrdering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,10 +59,64 @@ fn bench_zeta(c: &mut Criterion) {
     group.finish();
 }
 
+/// The representation race the CSR layer exists to win: a full
+/// gather-sweep over every vertex's neighbourhood (the access pattern of
+/// one coloured revision round) through the two adjacency layouts, on a
+/// label-shuffled circulant so the gathers are cache-hostile. `Graph`
+/// stores `Vec<Vec<usize>>` rows (one heap allocation per vertex, 8-byte
+/// ids); `CsrGraph` is two contiguous `u32` arrays. Same instance, same
+/// iteration order, same accumulator — only the layout differs.
+fn bench_neighbour_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbour_iteration");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let graph = {
+            let g = GraphBuilder::circulant(n, 4);
+            let mut rng = StdRng::seed_from_u64(21);
+            g.relabelled(&VertexOrdering::random(n, &mut rng))
+        };
+        let csr = CsrGraph::from_graph(&graph);
+        let strategies: Vec<u8> = (0..n).map(|v| (v % 2) as u8).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("vec_of_vecs", n),
+            &(&graph, &strategies),
+            |b, (g, s)| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for v in 0..g.num_vertices() {
+                        for &u in g.neighbors(v) {
+                            acc += s[u] as usize;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csr", n),
+            &(&csr, &strategies),
+            |b, (g, s)| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for v in 0..g.num_vertices() {
+                        for &u in g.neighbors(v) {
+                            acc += s[u as usize] as usize;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cutwidth_exact,
     bench_cutwidth_heuristic,
-    bench_zeta
+    bench_zeta,
+    bench_neighbour_iteration
 );
 criterion_main!(benches);

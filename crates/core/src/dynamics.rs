@@ -57,6 +57,11 @@ pub struct Scratch {
     players: Vec<usize>,
     /// Strategies staged by a parallel block update before they are applied.
     staged: Vec<usize>,
+    /// Byte-packed staged strategies for the SoA coloured sweeps
+    /// (`step_coloured_pooled_bytes` in [`crate::locality`]): one byte per
+    /// staged player instead of a `usize`, an 8× cut in the write stream
+    /// that keeps a cache-blocked chunk's working set L2-resident.
+    pub(crate) staged_bytes: Vec<u8>,
 }
 
 impl Scratch {
@@ -78,6 +83,7 @@ impl Scratch {
             profile: Vec::with_capacity(n),
             players: Vec::with_capacity(1),
             staged: Vec::new(),
+            staged_bytes: Vec::new(),
         }
     }
 
@@ -86,6 +92,13 @@ impl Scratch {
     /// [`DynamicsEngine::step_profile`] call.
     pub fn probs(&self) -> &[f64] {
         &self.probs
+    }
+
+    /// Splits out the utility and probability buffers together (the
+    /// borrow-checker-friendly handle the in-crate byte sweeps use to fill
+    /// utilities and rule probabilities without an extra allocation).
+    pub(crate) fn rule_buffers(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        (&mut self.utils, &mut self.probs)
     }
 }
 

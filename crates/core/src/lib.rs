@@ -29,6 +29,12 @@
 //!   the genuinely parallel independent-set engine path
 //!   (`step_coloured_par`, per-player RNG streams, bit-identical to the
 //!   sequential class sweep) and the exact coloured block/round chains,
+//! * [`locality`] — the memory-locality layer for `n = 10⁶`–`10⁷`:
+//!   reverse-Cuthill–McKee player relabelling ([`locality::LocalityLayout`],
+//!   a pure view — draws stay keyed by original ids, so trajectories are
+//!   bit-identical after the inverse permutation), byte (SoA) strategy
+//!   profiles over CSR adjacency, and cache-blocked pooled class sweeps
+//!   sized by [`runtime::RuntimeConfig`]`::block_players`,
 //! * [`gibbs`] — numerically stable Gibbs measures and partition functions,
 //! * [`simulate`] — trajectory simulation, parallel replica ensembles and
 //!   empirical-distribution estimation (rayon-based),
@@ -64,6 +70,7 @@ pub mod coupling;
 pub mod dynamics;
 pub mod estimate;
 pub mod gibbs;
+pub mod locality;
 pub mod observables;
 pub mod parallel;
 pub mod pipeline;
@@ -81,11 +88,14 @@ pub use estimate::{
     exact_mixing_time, exact_mixing_time_with_rule, spectral_mixing_bounds, MixingMeasurement,
 };
 pub use gibbs::{gibbs_distribution, log_partition_function};
+pub use locality::LocalityLayout;
 pub use observables::{
     ensemble_time_series, HammingToProfile, NamedObservable, Observable, PotentialObservable,
     ProfileObservable, SeriesAccumulator, TimeSeries,
 };
-pub use parallel::{coloring_for_game, player_tick_seed, ColouredBlocks, RandomBlock};
+pub use parallel::{
+    coloring_for_game, coloring_for_graph, player_tick_seed, ColouredBlocks, RandomBlock,
+};
 pub use pipeline::{OrderedSeriesReducer, PipelineConfig, SnapshotBatch};
 pub use rules::{Fermi, ImitateBetter, Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
 pub use runtime::{RuntimeConfig, ThreadRegistry, WaitPolicy, WorkerEntry, WorkerPool};

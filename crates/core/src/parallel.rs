@@ -199,14 +199,26 @@ impl SelectionSchedule for ColouredBlocks {
 /// are deterministic, so the choice depends only on the graph, never the
 /// host.
 pub fn coloring_for_game<G: LocalGame>(game: &G) -> Coloring {
-    let graph = interaction_graph(game);
-    // ~4M bookkeeping entries: covers every exact-analysis instance while
-    // keeping the table comfortably in cache-adjacent memory.
-    let dsatur_cells = graph.num_vertices().saturating_mul(graph.max_degree() + 1);
-    if dsatur_cells <= 1 << 22 {
-        dsatur_coloring(&graph)
+    coloring_for_graph(&interaction_graph(game))
+}
+
+/// The scale-aware colouring choice of [`coloring_for_game`] on an already
+/// materialised graph — the entry point when the caller holds the
+/// interaction graph anyway (the locality layout does, to avoid bridging
+/// a `10⁷`-vertex game twice).
+pub fn coloring_for_graph(graph: &logit_graphs::Graph) -> Coloring {
+    // Two caps gate DSATUR. The cell bound (~4M bookkeeping entries) keeps
+    // its saturation table in cache-adjacent memory; the vertex bound caps
+    // its O(n²) selection scan — a low-degree graph like a 10⁶-vertex ring
+    // passes the cell bound but would spend hours in the scan. 2¹⁴ vertices
+    // (≤ ~270M comparisons, tens of milliseconds) covers every
+    // exact-analysis instance with a wide margin.
+    let n = graph.num_vertices();
+    let dsatur_cells = n.saturating_mul(graph.max_degree() + 1);
+    if dsatur_cells <= 1 << 22 && n <= 1 << 14 {
+        dsatur_coloring(graph)
     } else {
-        greedy_coloring(&graph)
+        greedy_coloring(graph)
     }
 }
 
@@ -458,7 +470,13 @@ impl<G: LocalGame + Sync, U: UpdateRule> DynamicsEngine<G, U> {
 
         staged.clear();
         staged.resize(players.len(), 0);
-        let chunk = players.len().div_ceil(workers);
+        // Cache-blocked sweep: the even split is capped at
+        // `RuntimeConfig::block_players` so every chunk's working set
+        // (strategy bytes + staged slots + the neighbour rows it touches)
+        // stays L2-resident; the pool's dynamic claim counter load-balances
+        // the surplus chunks. Chunking never changes results — every draw is
+        // keyed by `(seed, player, t)` alone.
+        let chunk = config.sweep_chunk(players.len(), workers);
         let frozen: &[usize] = profile;
         pool.for_each_chunk(staged, chunk, workers, &|index, out| {
             let start = index * chunk;
@@ -486,7 +504,7 @@ std::thread_local! {
     /// once per thread instead of allocating per dispatch (the former
     /// per-call `Vec::with_capacity` in `stage_class` was a measurable part
     /// of the scoped path's orchestration overhead).
-    static STAGE_BUFFERS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+    pub(crate) static STAGE_BUFFERS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
         const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 

@@ -13,7 +13,7 @@
 //!   count, wait policy, core pinning, narrow-class threshold), threaded
 //!   through [`Simulator`](crate::Simulator) and overridable from the
 //!   environment for benches (`LOGIT_WORKERS`, `LOGIT_WAIT_POLICY`,
-//!   `LOGIT_PIN_CORES`, `LOGIT_MIN_CLASS_SIZE`).
+//!   `LOGIT_PIN_CORES`, `LOGIT_MIN_CLASS_SIZE`, `LOGIT_BLOCK_PLAYERS`).
 //! * [`WorkerPool`] — the persistent pool itself: chunked work
 //!   distribution ([`WorkerPool::run`], [`WorkerPool::for_each_chunk`]),
 //!   a concurrent caller lane for farm shapes
@@ -104,6 +104,14 @@ pub struct RuntimeConfig {
     /// on the calling thread: below the threshold, dispatch overhead beats
     /// any parallel win.
     pub min_class_size: usize,
+    /// Cache-block size of the coloured sweeps, in players per chunk: a
+    /// colour class is cut into blocks of at most this many players, so
+    /// each block's working set (staged strategies + the bandwidth-wide
+    /// profile window it reads after relabelling) stays L2-resident while
+    /// the pool's claim counter load-balances the blocks dynamically.
+    /// `0` disables blocking (one chunk per worker, the pre-locality
+    /// behaviour). The default suits a 1–2 MiB L2.
+    pub block_players: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -113,6 +121,7 @@ impl Default for RuntimeConfig {
             wait_policy: WaitPolicy::Yield,
             pin_cores: false,
             min_class_size: 256,
+            block_players: 32_768,
         }
     }
 }
@@ -121,7 +130,8 @@ impl RuntimeConfig {
     /// Reads the config from the environment, falling back to defaults for
     /// unset or unparseable variables: `LOGIT_WORKERS` (integer, 0 = auto),
     /// `LOGIT_WAIT_POLICY` (`spin` | `yield` | `park`), `LOGIT_PIN_CORES`
-    /// (`1` | `true`), `LOGIT_MIN_CLASS_SIZE` (integer).
+    /// (`1` | `true`), `LOGIT_MIN_CLASS_SIZE` (integer),
+    /// `LOGIT_BLOCK_PLAYERS` (integer, 0 = no cache blocking).
     pub fn from_env() -> Self {
         Self::from_lookup(|key| std::env::var(key).ok())
     }
@@ -143,6 +153,23 @@ impl RuntimeConfig {
             min_class_size: lookup("LOGIT_MIN_CLASS_SIZE")
                 .and_then(|v| v.trim().parse().ok())
                 .unwrap_or(defaults.min_class_size),
+            block_players: lookup("LOGIT_BLOCK_PLAYERS")
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(defaults.block_players),
+        }
+    }
+
+    /// The chunk size a coloured sweep should use for a class of
+    /// `class_size` players split across `workers` stepping threads: an
+    /// even split capped at [`block_players`](Self::block_players) (when
+    /// non-zero), never below 1. More chunks than workers is fine — the
+    /// pool's claim counter load-balances them.
+    pub fn sweep_chunk(&self, class_size: usize, workers: usize) -> usize {
+        let even = class_size.div_ceil(workers.max(1)).max(1);
+        if self.block_players == 0 {
+            even
+        } else {
+            even.min(self.block_players)
         }
     }
 
@@ -215,6 +242,7 @@ mod tests {
             ("LOGIT_WAIT_POLICY", "park"),
             ("LOGIT_PIN_CORES", "1"),
             ("LOGIT_MIN_CLASS_SIZE", "64"),
+            ("LOGIT_BLOCK_PLAYERS", "4096"),
         ]));
         assert_eq!(
             cfg,
@@ -223,6 +251,7 @@ mod tests {
                 wait_policy: WaitPolicy::Park,
                 pin_cores: true,
                 min_class_size: 64,
+                block_players: 4096,
             }
         );
 
@@ -230,6 +259,7 @@ mod tests {
             ("LOGIT_WORKERS", "lots"),
             ("LOGIT_WAIT_POLICY", "busy"),
             ("LOGIT_PIN_CORES", "maybe"),
+            ("LOGIT_BLOCK_PLAYERS", "a few"),
         ]));
         assert_eq!(garbage, RuntimeConfig::default());
 
@@ -265,6 +295,28 @@ mod tests {
         assert_eq!(cfg.farm_workers(3), 3);
         assert_eq!(cfg.farm_workers(100), 8);
         assert_eq!(cfg.farm_workers(1), 1);
+    }
+
+    #[test]
+    fn sweep_chunk_caps_the_even_split_at_the_block_size() {
+        let cfg = RuntimeConfig {
+            workers: 4,
+            block_players: 1000,
+            ..RuntimeConfig::default()
+        };
+        // Even split below the cap: unchanged.
+        assert_eq!(cfg.sweep_chunk(3000, 4), 750);
+        // Even split above the cap: blocked.
+        assert_eq!(cfg.sweep_chunk(100_000, 4), 1000);
+        // Zero disables blocking entirely.
+        let unblocked = RuntimeConfig {
+            block_players: 0,
+            ..cfg
+        };
+        assert_eq!(unblocked.sweep_chunk(100_000, 4), 25_000);
+        // Degenerate inputs never yield a zero chunk.
+        assert_eq!(cfg.sweep_chunk(0, 4), 1);
+        assert_eq!(cfg.sweep_chunk(10, 0), 10);
     }
 
     #[test]

@@ -427,6 +427,46 @@ impl Simulator {
         self.seed
     }
 
+    /// Drives `ticks` coloured block ticks of `engine` — which must be
+    /// built on the **relabelled** game of `layout` — from the
+    /// original-label profile `start`, through the simulator's persistent
+    /// pool and runtime configuration (cache-blocked byte sweeps, draws
+    /// keyed by original player ids). Returns the final profile in
+    /// original labels together with the total moved count; bit-identical
+    /// to stepping the unrelabelled engine with
+    /// [`DynamicsEngine::step_coloured`] from the same seed.
+    pub fn run_coloured_locality<G, U>(
+        &self,
+        engine: &DynamicsEngine<G, U>,
+        layout: &crate::locality::LocalityLayout,
+        start: &[usize],
+        ticks: u64,
+    ) -> (Vec<usize>, usize)
+    where
+        G: logit_games::LocalGame + Sync,
+        U: UpdateRule,
+    {
+        let mut bytes = Vec::new();
+        layout.pack_profile(start, &mut bytes);
+        let mut scratch = Scratch::for_game(engine.game());
+        let mut moved = 0;
+        for t in 0..ticks {
+            moved += engine.step_coloured_pooled_bytes(
+                layout.coloring(),
+                t,
+                self.seed,
+                Some(layout.labels()),
+                &mut bytes,
+                &mut scratch,
+                self.pool(),
+                &self.runtime,
+            );
+        }
+        let mut out = Vec::new();
+        layout.unpack_profile(&bytes, &mut out);
+        (out, moved)
+    }
+
     /// Runs every replica for `steps` steps from `start` in parallel and
     /// evaluates `observable` on each final state.
     ///

@@ -803,6 +803,131 @@ proptest! {
         check(&game, &coloring, ImitateBetter::new(0.1), beta, seed, workers, &pool, &config)?;
     }
 
+    /// Relabelled-engine bit-identity (memory-locality layer): the byte
+    /// engine on the RCM-relabelled game — sequential
+    /// (`step_coloured_bytes`) and pooled (`step_coloured_pooled_bytes`),
+    /// any worker count, any wait policy, any narrow-class threshold, any
+    /// cache-block size — replays the unrelabelled sequential class sweep
+    /// `step_coloured` exactly after the inverse permutation, for every
+    /// update rule on random connected topologies. This pins the whole
+    /// locality stack at once: colour-class transport through the
+    /// permutation, byte (SoA) utility kernels, original-id draw keys, and
+    /// blocked chunking.
+    #[test]
+    fn relabelled_csr_engine_is_bit_identical_to_the_unrelabelled_sweep(
+        seed in 0u64..10_000,
+        n in 4usize..12,
+        p in 0.2f64..0.9,
+        beta in 0.0f64..4.0,
+        workers in 1usize..5,
+        policy_index in 0usize..3,
+        min_class_size in 0usize..8,
+        block in 1usize..8,
+    ) {
+        use logit_core::{LocalityLayout, RuntimeConfig, WaitPolicy, WorkerPool};
+
+        let mut graph_rng = StdRng::seed_from_u64(seed);
+        let graph = GraphBuilder::connected_erdos_renyi(n, p, &mut graph_rng, 20);
+        let base = logit_games::CoordinationGame::from_deltas(2.0, 1.0);
+        let game = GraphicalCoordinationGame::new(graph.clone(), base);
+        let coloring = coloring_for_game(&game);
+        let layout = LocalityLayout::from_graph(&graph, &coloring);
+        // The same game, players renamed along the RCM ordering; the layout
+        // carries the colouring and the original-id draw keys across.
+        let relabelled = GraphicalCoordinationGame::new(layout.relabel_graph(&graph), base);
+        let config = RuntimeConfig {
+            workers,
+            wait_policy: WaitPolicy::ALL[policy_index],
+            min_class_size,
+            block_players: block,
+            ..RuntimeConfig::default()
+        };
+        let pool = WorkerPool::new(&config);
+
+        #[allow(clippy::too_many_arguments)]
+        fn check<U: UpdateRule + Clone>(
+            game: &GraphicalCoordinationGame,
+            relabelled: &GraphicalCoordinationGame,
+            coloring: &logit_graphs::Coloring,
+            layout: &LocalityLayout,
+            rule: U,
+            beta: f64,
+            seed: u64,
+            pool: &WorkerPool,
+            config: &RuntimeConfig,
+        ) -> Result<(), TestCaseError> {
+            let reference = DynamicsEngine::with_rule(game.clone(), rule.clone(), beta);
+            let engine = DynamicsEngine::with_rule(relabelled.clone(), rule, beta);
+            let n = game.num_players();
+            let mut ref_scratch = Scratch::for_game(game);
+            let mut seq_scratch = Scratch::for_game(relabelled);
+            let mut pooled_scratch = Scratch::for_game(relabelled);
+            let mut reference_profile = vec![0usize; n];
+            let mut seq = Vec::new();
+            layout.pack_profile(&reference_profile, &mut seq);
+            let mut pooled = seq.clone();
+            let mut unpacked = Vec::new();
+            for t in 0..2 * coloring.num_classes() as u64 + 3 {
+                let moved_ref = reference.step_coloured(
+                    coloring, t, seed, &mut reference_profile, &mut ref_scratch,
+                );
+                let moved_seq = engine.step_coloured_bytes(
+                    layout.coloring(), t, seed, Some(layout.labels()), &mut seq, &mut seq_scratch,
+                );
+                let moved_pooled = engine.step_coloured_pooled_bytes(
+                    layout.coloring(),
+                    t,
+                    seed,
+                    Some(layout.labels()),
+                    &mut pooled,
+                    &mut pooled_scratch,
+                    pool,
+                    config,
+                );
+                layout.unpack_profile(&seq, &mut unpacked);
+                prop_assert_eq!(
+                    &unpacked, &reference_profile,
+                    "sequential byte sweep diverged at t = {}", t
+                );
+                layout.unpack_profile(&pooled, &mut unpacked);
+                prop_assert_eq!(
+                    &unpacked, &reference_profile,
+                    "pooled byte sweep diverged at t = {} ({} workers, {} policy, block {})",
+                    t, config.workers, config.wait_policy.name(), config.block_players
+                );
+                prop_assert_eq!(moved_ref, moved_seq);
+                prop_assert_eq!(moved_ref, moved_pooled);
+            }
+            Ok(())
+        }
+
+        check(&game, &relabelled, &coloring, &layout, Logit, beta, seed, &pool, &config)?;
+        check(&game, &relabelled, &coloring, &layout, MetropolisLogit, beta, seed, &pool, &config)?;
+        check(
+            &game,
+            &relabelled,
+            &coloring,
+            &layout,
+            logit_core::NoisyBestResponse::new(0.15),
+            beta,
+            seed,
+            &pool,
+            &config,
+        )?;
+        check(&game, &relabelled, &coloring, &layout, Fermi, beta, seed, &pool, &config)?;
+        check(
+            &game,
+            &relabelled,
+            &coloring,
+            &layout,
+            ImitateBetter::new(0.1),
+            beta,
+            seed,
+            &pool,
+            &config,
+        )?;
+    }
+
     /// Coloured-round exactness, satellite check: on small random graphical
     /// games the coloured round chain (ordered block product over the
     /// classes) keeps the Gibbs measure stationary for every

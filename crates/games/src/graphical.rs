@@ -12,12 +12,16 @@
 
 use crate::coordination::CoordinationGame;
 use crate::game::{Game, PotentialGame};
-use logit_graphs::Graph;
+use logit_graphs::{CsrGraph, Graph};
 
 /// A graphical coordination game: one [`CoordinationGame`] per edge of a social graph.
 #[derive(Debug, Clone)]
 pub struct GraphicalCoordinationGame {
     graph: Graph,
+    /// Frozen CSR view of `graph`: the utility kernels iterate this (two
+    /// contiguous `u32` arrays) instead of the per-vertex `Vec`s, so a
+    /// colour-class sweep reads one linear neighbour stream.
+    csr: CsrGraph,
     base: CoordinationGame,
 }
 
@@ -31,12 +35,18 @@ impl GraphicalCoordinationGame {
             graph.num_vertices() > 0,
             "the social graph needs at least one player"
         );
-        Self { graph, base }
+        let csr = CsrGraph::from_graph(&graph);
+        Self { graph, csr, base }
     }
 
     /// The underlying social graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The frozen CSR view of the social graph (built at construction).
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
     }
 
     /// The basic coordination game played on every edge.
@@ -93,11 +103,31 @@ impl GraphicalCoordinationGame {
     /// profile immutably (one pass over the neighbourhood serves both
     /// strategies — only the counts of neighbours on each side matter), so
     /// the parallel frozen-profile path can share it across workers.
+    /// Iterates the CSR row — one contiguous `u32` stream per player.
     pub(crate) fn utilities_readonly(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        let row = self.csr.neighbors(player);
+        let ones: usize = row.iter().map(|&j| profile[j as usize]).sum();
+        self.utilities_from_ones(row.len(), ones, out);
+    }
+
+    /// [`Self::utilities_readonly`] against a byte-packed strategy profile —
+    /// the SoA buffer of the cache-blocked coloured sweeps. Identical
+    /// arithmetic (same neighbour-count kernel), so the two hooks agree
+    /// bitwise on corresponding profiles.
+    pub(crate) fn utilities_readonly_bytes(&self, player: usize, profile: &[u8], out: &mut [f64]) {
+        let row = self.csr.neighbors(player);
+        let ones: usize = row.iter().map(|&j| profile[j as usize] as usize).sum();
+        self.utilities_from_ones(row.len(), ones, out);
+    }
+
+    /// The shared counting kernel: only `(degree, #neighbours on 1)` enter
+    /// the payoff sums, so every profile representation funnels through the
+    /// same float expressions — the bitwise-agreement anchor of the
+    /// relabelled byte engine.
+    #[inline]
+    fn utilities_from_ones(&self, degree: usize, ones: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), 2);
-        let neighbors = self.graph.neighbors(player);
-        let ones: usize = neighbors.iter().map(|&j| profile[j]).sum();
-        let zeros = (neighbors.len() - ones) as f64;
+        let zeros = (degree - ones) as f64;
         let ones = ones as f64;
         out[0] = zeros * self.base.payoff(0, 0) + ones * self.base.payoff(0, 1);
         out[1] = zeros * self.base.payoff(1, 0) + ones * self.base.payoff(1, 1);

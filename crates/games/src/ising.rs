@@ -16,12 +16,14 @@
 //! the logit update probabilities nor the Gibbs measure.
 
 use crate::game::{Game, PotentialGame};
-use logit_graphs::Graph;
+use logit_graphs::{CsrGraph, Graph};
 
 /// Ferromagnetic Ising model on a graph, viewed as a potential game.
 #[derive(Debug, Clone)]
 pub struct IsingGame {
     graph: Graph,
+    /// Frozen CSR view of `graph`, iterated by the utility kernels.
+    csr: CsrGraph,
     coupling: f64,
     field: f64,
 }
@@ -35,8 +37,10 @@ impl IsingGame {
     pub fn new(graph: Graph, coupling: f64, field: f64) -> Self {
         assert!(coupling > 0.0, "coupling J must be positive");
         assert!(graph.num_vertices() > 0, "need at least one spin");
+        let csr = CsrGraph::from_graph(&graph);
         Self {
             graph,
+            csr,
             coupling,
             field,
         }
@@ -50,6 +54,11 @@ impl IsingGame {
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The frozen CSR view of the graph (built at construction).
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
     }
 
     /// Coupling constant `J`.
@@ -107,15 +116,30 @@ impl IsingGame {
     /// The batch evaluation behind both `utilities_for` hooks: reads the
     /// profile immutably (the neighbour spin sum is shared by both candidate
     /// spins), so the parallel frozen-profile path can share it across
-    /// workers.
+    /// workers. Iterates the CSR row and counts up-spins — the spin sum
+    /// `2·ones − deg` is an exact integer in `f64`, so the counting kernel
+    /// is bitwise equal to the former sequential `±1.0` accumulation.
     pub(crate) fn utilities_readonly(&self, player: usize, profile: &[usize], out: &mut [f64]) {
+        let row = self.csr.neighbors(player);
+        let ones: usize = row.iter().map(|&j| profile[j as usize]).sum();
+        self.utilities_from_ones(row.len(), ones, out);
+    }
+
+    /// [`Self::utilities_readonly`] against a byte-packed strategy profile
+    /// (the SoA buffer of the cache-blocked coloured sweeps), through the
+    /// same counting kernel for bitwise agreement.
+    pub(crate) fn utilities_readonly_bytes(&self, player: usize, profile: &[u8], out: &mut [f64]) {
+        let row = self.csr.neighbors(player);
+        let ones: usize = row.iter().map(|&j| profile[j as usize] as usize).sum();
+        self.utilities_from_ones(row.len(), ones, out);
+    }
+
+    /// Shared kernel: neighbour spin sum from the up-spin count, then the
+    /// two candidate utilities.
+    #[inline]
+    fn utilities_from_ones(&self, degree: usize, ones: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), 2);
-        let neighbour_sum: f64 = self
-            .graph
-            .neighbors(player)
-            .iter()
-            .map(|&j| Self::spin(profile[j]))
-            .sum();
+        let neighbour_sum = (2 * ones as i64 - degree as i64) as f64;
         out[0] = -(self.coupling * neighbour_sum + self.field);
         out[1] = self.coupling * neighbour_sum + self.field;
     }

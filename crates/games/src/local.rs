@@ -26,7 +26,7 @@ use crate::congestion::CongestionGame;
 use crate::game::Game;
 use crate::graphical::GraphicalCoordinationGame;
 use crate::ising::IsingGame;
-use logit_graphs::Graph;
+use logit_graphs::{CsrGraph, Graph};
 
 /// A game whose utilities have bounded-neighbourhood locality.
 pub trait LocalGame: Game {
@@ -49,6 +49,33 @@ pub trait LocalGame: Game {
         let mut work = profile.to_vec();
         self.utilities_for(player, &mut work, out);
     }
+
+    /// Read-only batch utilities against a **byte-packed** strategy profile
+    /// — the SoA buffer of the cache-blocked CSR sweeps in `logit-core`,
+    /// where a binary game's profile is 1 byte per player (an `n = 10⁶`
+    /// profile fits a 2 MiB L2) instead of 8. Entries are strategy indices;
+    /// the engine only routes games with `max_strategies() ≤ 256` here.
+    ///
+    /// The contract is *bitwise* agreement with
+    /// [`utilities_for_frozen`](Self::utilities_for_frozen) on the widened
+    /// profile. The default widens into a temporary and delegates — correct
+    /// for every game but `O(n)` per call; the graph-backed games override
+    /// it with one-pass CSR kernels (congestion games keep the default:
+    /// their resource loads are inherently a full-profile scan).
+    fn utilities_for_frozen_bytes(&self, player: usize, profile: &[u8], out: &mut [f64]) {
+        let wide: Vec<usize> = profile.iter().map(|&s| s as usize).collect();
+        self.utilities_for_frozen(player, &wide, out);
+    }
+
+    /// Hints the cache that the data
+    /// [`utilities_for_frozen_bytes`](Self::utilities_for_frozen_bytes)
+    /// will read for `player` is about to be needed — the byte-sweep loops
+    /// in `logit-core` call this a few players ahead of the revision so the
+    /// neighbourhood row is resident when the gather runs. Purely a
+    /// performance hint: the default is a no-op, and implementations must
+    /// have no observable effect.
+    #[inline]
+    fn prefetch_frozen_bytes(&self, _player: usize) {}
 
     /// Size of `player`'s neighbourhood.
     fn degree(&self, player: usize) -> usize {
@@ -81,6 +108,12 @@ impl<G: LocalGame + ?Sized> LocalGame for &G {
     fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
         (**self).utilities_for_frozen(player, profile, out)
     }
+    fn utilities_for_frozen_bytes(&self, player: usize, profile: &[u8], out: &mut [f64]) {
+        (**self).utilities_for_frozen_bytes(player, profile, out)
+    }
+    fn prefetch_frozen_bytes(&self, player: usize) {
+        (**self).prefetch_frozen_bytes(player)
+    }
 }
 
 /// Shared-ownership locality: a replica ensemble's engines hold the game
@@ -95,6 +128,12 @@ impl<G: LocalGame + ?Sized> LocalGame for std::sync::Arc<G> {
     fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
         (**self).utilities_for_frozen(player, profile, out)
     }
+    fn utilities_for_frozen_bytes(&self, player: usize, profile: &[u8], out: &mut [f64]) {
+        (**self).utilities_for_frozen_bytes(player, profile, out)
+    }
+    fn prefetch_frozen_bytes(&self, player: usize) {
+        (**self).prefetch_frozen_bytes(player)
+    }
 }
 
 impl LocalGame for GraphicalCoordinationGame {
@@ -104,6 +143,12 @@ impl LocalGame for GraphicalCoordinationGame {
     fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
         self.utilities_readonly(player, profile, out);
     }
+    fn utilities_for_frozen_bytes(&self, player: usize, profile: &[u8], out: &mut [f64]) {
+        self.utilities_readonly_bytes(player, profile, out);
+    }
+    fn prefetch_frozen_bytes(&self, player: usize) {
+        self.csr().prefetch_row(player);
+    }
 }
 
 impl LocalGame for IsingGame {
@@ -112,6 +157,12 @@ impl LocalGame for IsingGame {
     }
     fn utilities_for_frozen(&self, player: usize, profile: &[usize], out: &mut [f64]) {
         self.utilities_readonly(player, profile, out);
+    }
+    fn utilities_for_frozen_bytes(&self, player: usize, profile: &[u8], out: &mut [f64]) {
+        self.utilities_readonly_bytes(player, profile, out);
+    }
+    fn prefetch_frozen_bytes(&self, player: usize) {
+        self.csr().prefetch_row(player);
     }
 }
 
@@ -148,6 +199,20 @@ pub fn interaction_graph<G: LocalGame>(game: &G) -> Graph {
         }
     }
     Graph::from_edges(n, &edges)
+}
+
+/// [`interaction_graph`] frozen to CSR form — the locality-first view of
+/// any local game's interaction structure, ready for the bandwidth
+/// machinery (`logit_graphs::rcm_ordering`) and the cache-blocked engine
+/// paths. Graph-backed games expose their own cached `csr()` accessor;
+/// this bridge covers the games whose interaction graph is implicit
+/// (congestion via resource sharing).
+///
+/// # Panics
+/// Panics when the player or directed-edge count exceeds the CSR `u32`
+/// validity bound (see [`CsrGraph::from_graph`]).
+pub fn interaction_csr<G: LocalGame>(game: &G) -> CsrGraph {
+    CsrGraph::from_graph(&interaction_graph(game))
 }
 
 #[cfg(test)]
@@ -279,6 +344,42 @@ mod tests {
         check(&std::sync::Arc::new(ising), &[1, 0, 0, 1, 0, 1, 1, 0]);
     }
 
+    /// The byte-profile hook must agree bitwise with the widened frozen
+    /// hook on every concrete `LocalGame` — including the congestion
+    /// default, which widens internally — and through the forwarding
+    /// layers.
+    #[test]
+    fn byte_profile_utilities_match_the_frozen_hook_bitwise() {
+        fn check<G: LocalGame>(game: &G, profile: &[usize]) {
+            let bytes: Vec<u8> = profile.iter().map(|&s| s as u8).collect();
+            for player in 0..game.num_players() {
+                let m = game.num_strategies(player);
+                let mut frozen = vec![0.0; m];
+                let mut packed = vec![0.0; m];
+                game.utilities_for_frozen(player, profile, &mut frozen);
+                game.utilities_for_frozen_bytes(player, &bytes, &mut packed);
+                assert!(
+                    frozen
+                        .iter()
+                        .zip(&packed)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "byte hook diverged for player {player}: {frozen:?} vs {packed:?}"
+                );
+            }
+        }
+        let coord = GraphicalCoordinationGame::new(
+            GraphBuilder::torus(3, 3),
+            CoordinationGame::new(5.0, 4.0, 1.0, 2.0),
+        );
+        check(&coord, &[0, 1, 0, 1, 1, 0, 0, 1, 1]);
+        let ising = IsingGame::new(GraphBuilder::hypercube(3), 0.7, 0.2);
+        check(&ising, &[1, 0, 0, 1, 0, 1, 1, 0]);
+        let congestion = CongestionGame::load_balancing(4, 2, 1.5);
+        check(&congestion, &[0, 1, 1, 0]);
+        check(&&coord, &[1, 1, 0, 0, 1, 0, 1, 0, 1]);
+        check(&std::sync::Arc::new(ising), &[0, 1, 1, 0, 1, 0, 0, 1]);
+    }
+
     /// The bridge reproduces the social graph for graph-backed games and
     /// materialises the implicit resource-sharing graph of congestion games.
     #[test]
@@ -303,5 +404,24 @@ mod tests {
         assert!(bridged.has_edge(0, 1));
         assert_eq!(bridged.degree(2), 0);
         assert_eq!(bridged.num_edges(), 1);
+    }
+
+    /// The CSR bridge and the cached per-game CSR views agree with the
+    /// adjacency-list graph.
+    #[test]
+    fn interaction_csr_matches_the_graph_bridge() {
+        let graph = GraphBuilder::circulant(10, 2);
+        let coord =
+            GraphicalCoordinationGame::new(graph.clone(), CoordinationGame::from_deltas(2.0, 1.0));
+        let csr = interaction_csr(&coord);
+        assert_eq!(csr.num_vertices(), graph.num_vertices());
+        assert_eq!(csr.num_edges(), graph.num_edges());
+        for v in 0..10 {
+            let row: Vec<usize> = csr.neighbors(v).iter().map(|&j| j as usize).collect();
+            assert_eq!(row, graph.neighbors(v));
+        }
+        assert_eq!(coord.csr(), &csr, "cached game CSR is the same view");
+        let ising = IsingGame::zero_field(GraphBuilder::torus(3, 4), 1.0);
+        assert_eq!(interaction_csr(&ising), *ising.csr());
     }
 }

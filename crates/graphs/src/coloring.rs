@@ -118,6 +118,30 @@ impl Coloring {
         self.classes().map(|c| c.len()).max().unwrap_or(0)
     }
 
+    /// The same colouring transported along a vertex relabelling: the new
+    /// vertex `ordering.position_of(v)` gets `v`'s colour. Colour *values*
+    /// are preserved verbatim, so class `c` of the result is exactly class
+    /// `c` of `self` mapped through the permutation (same sets, same
+    /// `class_of_tick` cycle) — the property that lets a relabelled engine
+    /// replay the unrelabelled schedule tick for tick. Pairs with
+    /// `Graph::relabelled`: a colouring proper for `g` is proper for
+    /// `g.relabelled(ordering)` after this transport.
+    ///
+    /// # Panics
+    /// Panics when the ordering covers a different vertex count.
+    pub fn relabelled(&self, ordering: &crate::ordering::VertexOrdering) -> Coloring {
+        assert_eq!(
+            ordering.len(),
+            self.num_vertices(),
+            "ordering covers a different vertex count"
+        );
+        let mut colors = vec![0usize; self.colors.len()];
+        for (v, &c) in self.colors.iter().enumerate() {
+            colors[ordering.position_of(v)] = c;
+        }
+        Coloring::from_colors(colors)
+    }
+
     /// `true` when the colouring is proper for `graph`: every edge joins two
     /// distinct colours (equivalently, every class is an independent set).
     ///
@@ -319,6 +343,34 @@ mod tests {
         // The two classes are adjacent slices of the same backing array.
         let base = coloring.class(0).as_ptr();
         assert_eq!(unsafe { base.add(4) }, coloring.class(1).as_ptr());
+    }
+
+    #[test]
+    fn relabelled_colouring_transports_classes_through_the_permutation() {
+        use crate::ordering::VertexOrdering;
+        let graph = GraphBuilder::circulant(10, 2);
+        let coloring = greedy_coloring(&graph);
+        let ordering = VertexOrdering::new(vec![7, 3, 9, 0, 5, 1, 8, 2, 6, 4]).unwrap();
+        let relabelled = coloring.relabelled(&ordering);
+        assert_eq!(relabelled.num_classes(), coloring.num_classes());
+        // Vertexwise transport and exact class-set correspondence.
+        for v in 0..10 {
+            assert_eq!(
+                relabelled.color_of(ordering.position_of(v)),
+                coloring.color_of(v)
+            );
+        }
+        for c in 0..coloring.num_classes() {
+            let mut mapped: Vec<usize> = coloring
+                .class(c)
+                .iter()
+                .map(|&v| ordering.position_of(v))
+                .collect();
+            mapped.sort_unstable();
+            assert_eq!(relabelled.class(c), mapped.as_slice());
+        }
+        // Propriety survives alongside Graph::relabelled.
+        assert!(relabelled.is_proper(&graph.relabelled(&ordering)));
     }
 
     #[test]

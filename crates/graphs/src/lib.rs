@@ -13,6 +13,12 @@
 //!   ([`builders`]),
 //! * traversal utilities: BFS distances, connected components, diameter
 //!   ([`traversal`]),
+//! * a frozen **CSR adjacency** view ([`csr`]): two contiguous `u32`
+//!   arrays with a validity check, the memory-locality substrate of the
+//!   large-`n` engine paths in `logit-core`,
+//! * **bandwidth-minimising relabelling** ([`relabel`]): reverse
+//!   Cuthill–McKee orderings plus `bandwidth_of_ordering`, sharing the
+//!   [`VertexOrdering`] machinery with the cutwidth computations,
 //! * proper vertex **colourings** ([`coloring`]): greedy first-fit and
 //!   DSATUR constructions with colour classes exposed as contiguous slices —
 //!   the independent-set schedule substrate of the coloured parallel-revision
@@ -25,13 +31,17 @@
 
 pub mod builders;
 pub mod coloring;
+pub mod csr;
 pub mod cutwidth;
 pub mod graph;
 pub mod ordering;
+pub mod relabel;
 pub mod traversal;
 
 pub use builders::GraphBuilder;
 pub use coloring::{dsatur_coloring, greedy_coloring, Coloring};
+pub use csr::CsrGraph;
 pub use cutwidth::{cutwidth_exact, cutwidth_heuristic, cutwidth_of_ordering, CutwidthResult};
 pub use graph::Graph;
 pub use ordering::VertexOrdering;
+pub use relabel::{bandwidth_of_ordering, rcm_ordering};
