@@ -1,0 +1,1006 @@
+//! Pluggable channel backends for the farm's stage boundary.
+//!
+//! The farm pipeline used to hard-code `std::sync::mpsc::sync_channel`
+//! between the step workers and the reducer. This module abstracts that
+//! boundary behind the [`ChannelBackend`] trait — a bounded channel with
+//! blocking and non-blocking send/receive and an explicit disconnect story
+//! in both directions — and provides three implementations, the same shape
+//! the PPL libraries race against each other:
+//!
+//! * [`SyncChannelBackend`] — the existing `sync_channel`, the default.
+//!   Mutex/condvar based; every committed bit-identity gate was recorded
+//!   through it.
+//! * [`SpscBackend`] — a FastFlow-style lock-free bounded **SPSC** ring per
+//!   producer lane. Each pool worker owns exactly one lane (keyed by its
+//!   spawn index, a per-thread constant), so every ring has one producer
+//!   and the single reducer polls the rings round-robin. No locks, no
+//!   syscalls on the hot path; blocking ops escalate spin → yield →
+//!   bounded naps, so a blocked or idle farm never taxes the host.
+//! * [`MpmcBackend`] — a bounded lock-free **MPMC** array queue (Vyukov
+//!   sequence-counter design, the crossbeam/kanal shape): one shared slot
+//!   array, CAS-claimed positions, any number of producers and consumers.
+//!   The many-worker case where per-lane rings would multiply memory.
+//!
+//! Backends are selected at runtime through [`ChannelBackendKind`] (the
+//! [`PipelineConfig::backend`](super::PipelineConfig) knob, overridable via
+//! the `LOGIT_CHANNEL_BACKEND` environment variable), and the farm drives
+//! them through the [`AnyChannelSender`]/[`AnyChannelReceiver`] enums so
+//! worker and reducer closures stay non-generic. The dispatch cost is one
+//! branch per *batch*, noise against the `O(chunk_ticks · n)` of stepping
+//! a batch.
+//!
+//! **Disconnect story.** Dropping the receiver closes the channel: every
+//! subsequent or blocked `send` returns the message to the caller
+//! ([`TrySendError::Disconnected`] / `Err` from the blocking send).
+//! Dropping the last sender lets `recv` drain what remains and then return
+//! `None`. The farm itself never relies on the latter (its termination is
+//! JobDone-counted), but the contract is pinned by tests so backends stay
+//! interchangeable.
+
+use crate::runtime::{self, WaitPolicy};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Which [`ChannelBackend`] carries worker→reducer messages. Selection is
+/// a runtime knob ([`PipelineConfig::backend`](super::PipelineConfig)); the
+/// backends themselves are monomorphised, and all of them preserve the
+/// bit-identity contract in ordered-reducer mode (asserted by the proptest
+/// harness under every kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelBackendKind {
+    /// `std::sync::mpsc::sync_channel` — the default and the baseline
+    /// every committed throughput ratio was recorded against.
+    Sync,
+    /// Lock-free bounded SPSC ring per pool-worker lane, reducer polls.
+    Spsc,
+    /// Lock-free bounded MPMC array queue (sequence-counter design).
+    Mpmc,
+}
+
+impl Default for ChannelBackendKind {
+    /// The process-wide default: `LOGIT_CHANNEL_BACKEND` when set and
+    /// parseable (read once, cached), [`Sync`](ChannelBackendKind::Sync)
+    /// otherwise — so a CI matrix can re-run every pipeline test under
+    /// each backend without touching call sites.
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ChannelBackendKind {
+    /// All kinds, for exhaustive test sweeps and bench row-sets.
+    pub const ALL: [ChannelBackendKind; 3] = [
+        ChannelBackendKind::Sync,
+        ChannelBackendKind::Spsc,
+        ChannelBackendKind::Mpmc,
+    ];
+
+    /// Stable lower-case name (used in bench JSON and env parsing).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelBackendKind::Sync => "sync",
+            ChannelBackendKind::Spsc => "spsc",
+            ChannelBackendKind::Mpmc => "mpmc",
+        }
+    }
+
+    /// Parses the lower-case name emitted by [`name`](Self::name)
+    /// (`sync_channel` is accepted as an alias for `sync`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sync" | "sync_channel" => Some(ChannelBackendKind::Sync),
+            "spsc" => Some(ChannelBackendKind::Spsc),
+            "mpmc" => Some(ChannelBackendKind::Mpmc),
+            _ => None,
+        }
+    }
+
+    /// Reads `LOGIT_CHANNEL_BACKEND` once (cached for the process),
+    /// falling back to [`Sync`](ChannelBackendKind::Sync) — with the same
+    /// one-time stderr warning as the `LOGIT_*` runtime knobs — when the
+    /// value does not parse.
+    pub fn from_env() -> Self {
+        static KIND: OnceLock<ChannelBackendKind> = OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("LOGIT_CHANNEL_BACKEND") {
+            Err(_) => ChannelBackendKind::Sync,
+            Ok(value) => match ChannelBackendKind::parse(&value) {
+                Some(kind) => kind,
+                None => {
+                    runtime::warn_invalid_env("LOGIT_CHANNEL_BACKEND", &value);
+                    ChannelBackendKind::Sync
+                }
+            },
+        })
+    }
+
+    /// Opens a channel of this kind behind the type-erasing enums the farm
+    /// drives. See [`ChannelBackend::open`] for the parameter contract.
+    pub(crate) fn open<M: Send>(
+        self,
+        capacity: usize,
+        lanes: usize,
+        policy: WaitPolicy,
+    ) -> (AnyChannelSender<M>, AnyChannelReceiver<M>) {
+        match self {
+            ChannelBackendKind::Sync => {
+                let (tx, rx) = SyncChannelBackend::open(capacity, lanes, policy);
+                (AnyChannelSender::Sync(tx), AnyChannelReceiver::Sync(rx))
+            }
+            ChannelBackendKind::Spsc => {
+                let (tx, rx) = SpscBackend::open(capacity, lanes, policy);
+                (AnyChannelSender::Spsc(tx), AnyChannelReceiver::Spsc(rx))
+            }
+            ChannelBackendKind::Mpmc => {
+                let (tx, rx) = MpmcBackend::open(capacity, lanes, policy);
+                (AnyChannelSender::Mpmc(tx), AnyChannelReceiver::Mpmc(rx))
+            }
+        }
+    }
+}
+
+/// Error of a non-blocking bounded send: the channel was full, or the
+/// receiver hung up. The message comes back either way.
+#[derive(Debug)]
+pub enum TrySendError<M> {
+    /// Every slot is occupied; retry later (or block via `send`).
+    Full(M),
+    /// The receiver was dropped; no send can ever succeed again.
+    Disconnected(M),
+}
+
+/// The producer half of a [`ChannelBackend`]: bounded blocking and
+/// non-blocking sends. `lane` identifies the producer for backends with
+/// per-producer state (the SPSC rings); single-queue backends ignore it.
+/// A given lane must never be used by two threads concurrently.
+pub trait ChannelSender<M: Send>: Send + Sync + Clone {
+    /// Blocking bounded send: waits while the channel is full (this is the
+    /// farm's backpressure), escalating spin → yield → bounded naps so a
+    /// blocked producer never taxes the host. `Err(message)` means the
+    /// receiver hung up.
+    fn send(&self, lane: usize, message: M) -> Result<(), M>;
+
+    /// Non-blocking send.
+    fn try_send(&self, lane: usize, message: M) -> Result<(), TrySendError<M>>;
+}
+
+/// The consumer half of a [`ChannelBackend`].
+pub trait ChannelReceiver<M: Send>: Send {
+    /// Blocking receive: waits for a message (spin → yield → bounded
+    /// naps), returning `None` only once every sender has been dropped
+    /// and the channel is drained.
+    fn recv(&mut self) -> Option<M>;
+
+    /// Non-blocking receive: `None` when nothing is immediately
+    /// available.
+    fn try_recv(&mut self) -> Option<M>;
+}
+
+/// A bounded channel implementation for the farm's stage boundary.
+pub trait ChannelBackend<M: Send> {
+    /// The producer half.
+    type Sender: ChannelSender<M>;
+    /// The consumer half.
+    type Receiver: ChannelReceiver<M>;
+
+    /// Opens a channel holding about `capacity` in-flight messages in
+    /// total across `lanes` producer lanes (per-lane backends split the
+    /// capacity, keeping at least one slot per lane). `policy` seeds the
+    /// idle-wait escalation of the blocking operations with the same
+    /// hot-window philosophy as the pool's [`WaitPolicy`].
+    fn open(capacity: usize, lanes: usize, policy: WaitPolicy) -> (Self::Sender, Self::Receiver);
+}
+
+/// Escalating idle wait for the lock-free backends' blocking operations:
+/// a short hot window (sized by the pool's [`WaitPolicy`]), then yields,
+/// then bounded `sleep` naps — so a producer blocked on backpressure or a
+/// reducer waiting for the next batch costs the host nothing sustained,
+/// and a receiver hang-up is observed within one nap.
+struct Backoff {
+    policy: WaitPolicy,
+    polls: u32,
+}
+
+/// The nap length once a blocking channel op has exhausted its hot
+/// window. Long enough to cost ~zero CPU, short enough that wake latency
+/// is noise against a `chunk_ticks`-sized batch.
+const CHANNEL_NAP: Duration = Duration::from_micros(100);
+
+impl Backoff {
+    fn new(policy: WaitPolicy) -> Self {
+        Backoff { policy, polls: 0 }
+    }
+
+    /// One escalation step.
+    fn wait(&mut self) {
+        let (spins, yields) = match self.policy {
+            WaitPolicy::Spin => (1u32 << 8, 1u32 << 7),
+            WaitPolicy::Yield => (1u32 << 4, 1u32 << 7),
+            WaitPolicy::Park => (0, 1u32 << 3),
+        };
+        if self.polls < spins {
+            std::hint::spin_loop();
+            self.polls += 1;
+        } else if self.polls < spins + yields {
+            std::thread::yield_now();
+            self.polls += 1;
+        } else {
+            std::thread::sleep(CHANNEL_NAP);
+        }
+    }
+}
+
+/// Pads an atomic onto its own cache line so producer and consumer
+/// cursors never false-share.
+#[repr(align(64))]
+struct Pad<T>(T);
+
+// ---------------------------------------------------------------------------
+// sync_channel backend
+// ---------------------------------------------------------------------------
+
+/// The default backend: `std::sync::mpsc::sync_channel`. Blocking,
+/// mutex/condvar based, disconnect handled by std.
+pub struct SyncChannelBackend;
+
+/// [`SyncChannelBackend`]'s producer half.
+pub struct SyncChannelSender<M> {
+    tx: SyncSender<M>,
+}
+
+impl<M> Clone for SyncChannelSender<M> {
+    fn clone(&self) -> Self {
+        SyncChannelSender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// [`SyncChannelBackend`]'s consumer half.
+pub struct SyncChannelReceiver<M> {
+    rx: Receiver<M>,
+}
+
+impl<M: Send> ChannelBackend<M> for SyncChannelBackend {
+    type Sender = SyncChannelSender<M>;
+    type Receiver = SyncChannelReceiver<M>;
+
+    fn open(capacity: usize, _lanes: usize, _policy: WaitPolicy) -> (Self::Sender, Self::Receiver) {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        let (tx, rx) = sync_channel(capacity);
+        (SyncChannelSender { tx }, SyncChannelReceiver { rx })
+    }
+}
+
+impl<M: Send> ChannelSender<M> for SyncChannelSender<M> {
+    fn send(&self, _lane: usize, message: M) -> Result<(), M> {
+        self.tx.send(message).map_err(|e| e.0)
+    }
+
+    fn try_send(&self, _lane: usize, message: M) -> Result<(), TrySendError<M>> {
+        self.tx.try_send(message).map_err(|e| match e {
+            std::sync::mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+            std::sync::mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+        })
+    }
+}
+
+impl<M: Send> ChannelReceiver<M> for SyncChannelReceiver<M> {
+    fn recv(&mut self) -> Option<M> {
+        self.rx.recv().ok()
+    }
+
+    fn try_recv(&mut self) -> Option<M> {
+        self.rx.try_recv().ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SPSC backend: one lock-free bounded ring per producer lane
+// ---------------------------------------------------------------------------
+
+/// One single-producer/single-consumer bounded ring: monotonic head/tail
+/// cursors over a fixed slot array, no CAS anywhere — the producer owns
+/// `tail`, the consumer owns `head`, each reads the other's cursor with
+/// Acquire to pair with the Release publish.
+struct SpscRing<M> {
+    head: Pad<AtomicUsize>,
+    tail: Pad<AtomicUsize>,
+    slots: Box<[UnsafeCell<MaybeUninit<M>>]>,
+}
+
+// SAFETY: the ring moves `M` values across threads (one producer, one
+// consumer); slot access is serialised by the head/tail protocol.
+unsafe impl<M: Send> Send for SpscRing<M> {}
+unsafe impl<M: Send> Sync for SpscRing<M> {}
+
+impl<M> SpscRing<M> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        SpscRing {
+            head: Pad(AtomicUsize::new(0)),
+            tail: Pad(AtomicUsize::new(0)),
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// Producer side. Exactly one thread may push into a given ring at a
+    /// time (the lane contract).
+    fn try_push(&self, message: M) -> Result<(), M> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.slots.len() {
+            return Err(message);
+        }
+        // SAFETY: the slot at `tail` is unoccupied (tail - head < len) and
+        // no other producer exists on this ring; the Release store below
+        // publishes the write to the consumer.
+        unsafe { (*self.slots[tail % self.slots.len()].get()).write(message) };
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side (single consumer).
+    fn try_pop(&self) -> Option<M> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head < tail, so the slot holds an initialised message
+        // published by the producer's Release store; the Release below
+        // returns the slot to the producer.
+        let message = unsafe { (*self.slots[head % self.slots.len()].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(message)
+    }
+}
+
+impl<M> Drop for SpscRing<M> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+struct SpscShared<M> {
+    rings: Box<[SpscRing<M>]>,
+    /// Receiver dropped: sends fail from here on.
+    closed: AtomicBool,
+    /// Live sender clones; 0 lets `recv` report the stream's end.
+    senders: AtomicUsize,
+    policy: WaitPolicy,
+}
+
+/// [`SpscBackend`]'s producer half. Clones share the lane array; the lane
+/// passed to `send` picks the ring, and each lane must stay
+/// single-threaded at any instant (in the farm: lane = pool-worker index,
+/// a per-thread constant).
+pub struct SpscSender<M: Send> {
+    shared: Arc<SpscShared<M>>,
+}
+
+/// [`SpscBackend`]'s consumer half: polls the lanes round-robin.
+pub struct SpscReceiver<M: Send> {
+    shared: Arc<SpscShared<M>>,
+    cursor: usize,
+}
+
+/// Lock-free bounded SPSC rings, one per producer lane. See the
+/// [module docs](self) for where this wins.
+pub struct SpscBackend;
+
+impl<M: Send> ChannelBackend<M> for SpscBackend {
+    type Sender = SpscSender<M>;
+    type Receiver = SpscReceiver<M>;
+
+    fn open(capacity: usize, lanes: usize, policy: WaitPolicy) -> (Self::Sender, Self::Receiver) {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        let lanes = lanes.max(1);
+        // Split the configured total capacity across the lanes so the
+        // farm's peak-memory bound is preserved, with at least one slot
+        // per lane so every producer can always make progress.
+        let per_lane = capacity.div_ceil(lanes);
+        let shared = Arc::new(SpscShared {
+            rings: (0..lanes).map(|_| SpscRing::new(per_lane)).collect(),
+            closed: AtomicBool::new(false),
+            senders: AtomicUsize::new(1),
+            policy,
+        });
+        (
+            SpscSender {
+                shared: Arc::clone(&shared),
+            },
+            SpscReceiver { shared, cursor: 0 },
+        )
+    }
+}
+
+impl<M: Send> Clone for SpscSender<M> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        SpscSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M: Send> Drop for SpscSender<M> {
+    fn drop(&mut self) {
+        // Release pairs with the receiver's Acquire: messages pushed
+        // before the drop are visible once the count is observed.
+        self.shared.senders.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl<M: Send> Drop for SpscReceiver<M> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<M: Send> ChannelSender<M> for SpscSender<M> {
+    fn send(&self, lane: usize, message: M) -> Result<(), M> {
+        let mut backoff = Backoff::new(self.shared.policy);
+        let mut message = message;
+        loop {
+            if self.shared.closed.load(Ordering::Acquire) {
+                return Err(message);
+            }
+            match self.shared.rings[lane].try_push(message) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    message = back;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    fn try_send(&self, lane: usize, message: M) -> Result<(), TrySendError<M>> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(TrySendError::Disconnected(message));
+        }
+        self.shared.rings[lane]
+            .try_push(message)
+            .map_err(TrySendError::Full)
+    }
+}
+
+impl<M: Send> ChannelReceiver<M> for SpscReceiver<M> {
+    fn recv(&mut self) -> Option<M> {
+        let mut backoff = Backoff::new(self.shared.policy);
+        loop {
+            if let Some(message) = self.try_recv() {
+                return Some(message);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                // The count going to zero happens-after every sender's
+                // last push; one more sweep settles the race between a
+                // final push and the drop.
+                return self.try_recv();
+            }
+            backoff.wait();
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<M> {
+        let lanes = self.shared.rings.len();
+        for step in 0..lanes {
+            let lane = (self.cursor + step) % lanes;
+            if let Some(message) = self.shared.rings[lane].try_pop() {
+                // Resume at the next lane so one busy producer cannot
+                // starve the others.
+                self.cursor = (lane + 1) % lanes;
+                return Some(message);
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MPMC backend: bounded lock-free array queue (sequence counters)
+// ---------------------------------------------------------------------------
+
+struct MpmcSlot<M> {
+    /// The slot's sequence stamp: `2·pos` when free for the enqueuer of
+    /// position `pos`, `2·pos + 1` while holding that enqueue's message,
+    /// `2·(pos + capacity)` once dequeued (free for the next lap). The
+    /// factor 2 keeps occupied stamps odd and free stamps even, so
+    /// "enqueued a lap ago" can never alias "free now" — the classic
+    /// sequence-counter scheme breaks down there at capacity 1.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<M>>,
+}
+
+struct MpmcShared<M> {
+    enqueue: Pad<AtomicUsize>,
+    dequeue: Pad<AtomicUsize>,
+    slots: Box<[MpmcSlot<M>]>,
+    closed: AtomicBool,
+    senders: AtomicUsize,
+    policy: WaitPolicy,
+}
+
+// SAFETY: slot access is serialised by the sequence-counter protocol; `M`
+// values move across threads.
+unsafe impl<M: Send> Send for MpmcShared<M> {}
+unsafe impl<M: Send> Sync for MpmcShared<M> {}
+
+impl<M> MpmcShared<M> {
+    fn new(capacity: usize, policy: WaitPolicy) -> Self {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        MpmcShared {
+            enqueue: Pad(AtomicUsize::new(0)),
+            dequeue: Pad(AtomicUsize::new(0)),
+            slots: (0..capacity)
+                .map(|i| MpmcSlot {
+                    seq: AtomicUsize::new(2 * i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            closed: AtomicBool::new(false),
+            senders: AtomicUsize::new(1),
+            policy,
+        }
+    }
+
+    fn try_push(&self, message: M) -> Result<(), M> {
+        let capacity = self.slots.len();
+        let mut pos = self.enqueue.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos % capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq.wrapping_sub(pos.wrapping_mul(2)) as isize;
+            if dif == 0 {
+                match self.enqueue.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed position `pos`
+                        // exclusively and its slot is free (seq == 2·pos);
+                        // the Release below hands it to dequeuers.
+                        unsafe { (*slot.value.get()).write(message) };
+                        slot.seq
+                            .store(pos.wrapping_mul(2).wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // The slot still holds a message a full lap behind: full.
+                return Err(message);
+            } else {
+                // Another producer claimed `pos`; chase the counter.
+                pos = self.enqueue.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn try_pop(&self) -> Option<M> {
+        let capacity = self.slots.len();
+        let mut pos = self.dequeue.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos % capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq.wrapping_sub(pos.wrapping_mul(2).wrapping_add(1)) as isize;
+            if dif == 0 {
+                match self.dequeue.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed position `pos`
+                        // exclusively and its slot holds an initialised
+                        // message (seq == 2·pos + 1); the Release below
+                        // frees it for the next lap's enqueuer.
+                        let message = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(
+                            pos.wrapping_add(capacity).wrapping_mul(2),
+                            Ordering::Release,
+                        );
+                        return Some(message);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.dequeue.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<M> Drop for MpmcShared<M> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+/// [`MpmcBackend`]'s producer half; clone freely across threads.
+pub struct MpmcSender<M: Send> {
+    shared: Arc<MpmcShared<M>>,
+}
+
+/// [`MpmcBackend`]'s consumer half.
+pub struct MpmcReceiver<M: Send> {
+    shared: Arc<MpmcShared<M>>,
+}
+
+/// Bounded lock-free MPMC array queue. See the [module docs](self).
+pub struct MpmcBackend;
+
+impl<M: Send> ChannelBackend<M> for MpmcBackend {
+    type Sender = MpmcSender<M>;
+    type Receiver = MpmcReceiver<M>;
+
+    fn open(capacity: usize, _lanes: usize, policy: WaitPolicy) -> (Self::Sender, Self::Receiver) {
+        let shared = Arc::new(MpmcShared::new(capacity, policy));
+        (
+            MpmcSender {
+                shared: Arc::clone(&shared),
+            },
+            MpmcReceiver { shared },
+        )
+    }
+}
+
+impl<M: Send> Clone for MpmcSender<M> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        MpmcSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M: Send> Drop for MpmcSender<M> {
+    fn drop(&mut self) {
+        self.shared.senders.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl<M: Send> Drop for MpmcReceiver<M> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<M: Send> ChannelSender<M> for MpmcSender<M> {
+    fn send(&self, _lane: usize, message: M) -> Result<(), M> {
+        let mut backoff = Backoff::new(self.shared.policy);
+        let mut message = message;
+        loop {
+            if self.shared.closed.load(Ordering::Acquire) {
+                return Err(message);
+            }
+            match self.shared.try_push(message) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    message = back;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    fn try_send(&self, _lane: usize, message: M) -> Result<(), TrySendError<M>> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(TrySendError::Disconnected(message));
+        }
+        self.shared.try_push(message).map_err(TrySendError::Full)
+    }
+}
+
+impl<M: Send> ChannelReceiver<M> for MpmcReceiver<M> {
+    fn recv(&mut self) -> Option<M> {
+        let mut backoff = Backoff::new(self.shared.policy);
+        loop {
+            if let Some(message) = self.shared.try_pop() {
+                return Some(message);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return self.shared.try_pop();
+            }
+            backoff.wait();
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<M> {
+        self.shared.try_pop()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Type-erasing enums: runtime backend selection without generic closures
+// ---------------------------------------------------------------------------
+
+/// A sender of any backend kind; the farm's worker closures hold this so
+/// they stay non-generic over the backend.
+pub(crate) enum AnyChannelSender<M: Send> {
+    Sync(SyncChannelSender<M>),
+    Spsc(SpscSender<M>),
+    Mpmc(MpmcSender<M>),
+}
+
+impl<M: Send> AnyChannelSender<M> {
+    /// Whether sends must carry the pool-worker lane (per-lane backend).
+    pub(crate) fn is_per_lane(&self) -> bool {
+        matches!(self, AnyChannelSender::Spsc(_))
+    }
+}
+
+impl<M: Send> Clone for AnyChannelSender<M> {
+    fn clone(&self) -> Self {
+        match self {
+            AnyChannelSender::Sync(tx) => AnyChannelSender::Sync(tx.clone()),
+            AnyChannelSender::Spsc(tx) => AnyChannelSender::Spsc(tx.clone()),
+            AnyChannelSender::Mpmc(tx) => AnyChannelSender::Mpmc(tx.clone()),
+        }
+    }
+}
+
+impl<M: Send> ChannelSender<M> for AnyChannelSender<M> {
+    fn send(&self, lane: usize, message: M) -> Result<(), M> {
+        match self {
+            AnyChannelSender::Sync(tx) => tx.send(lane, message),
+            AnyChannelSender::Spsc(tx) => tx.send(lane, message),
+            AnyChannelSender::Mpmc(tx) => tx.send(lane, message),
+        }
+    }
+
+    fn try_send(&self, lane: usize, message: M) -> Result<(), TrySendError<M>> {
+        match self {
+            AnyChannelSender::Sync(tx) => tx.try_send(lane, message),
+            AnyChannelSender::Spsc(tx) => tx.try_send(lane, message),
+            AnyChannelSender::Mpmc(tx) => tx.try_send(lane, message),
+        }
+    }
+}
+
+/// A receiver of any backend kind.
+pub(crate) enum AnyChannelReceiver<M: Send> {
+    Sync(SyncChannelReceiver<M>),
+    Spsc(SpscReceiver<M>),
+    Mpmc(MpmcReceiver<M>),
+}
+
+impl<M: Send> ChannelReceiver<M> for AnyChannelReceiver<M> {
+    fn recv(&mut self) -> Option<M> {
+        match self {
+            AnyChannelReceiver::Sync(rx) => rx.recv(),
+            AnyChannelReceiver::Spsc(rx) => rx.recv(),
+            AnyChannelReceiver::Mpmc(rx) => rx.recv(),
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<M> {
+        match self {
+            AnyChannelReceiver::Sync(rx) => rx.try_recv(),
+            AnyChannelReceiver::Spsc(rx) => rx.try_recv(),
+            AnyChannelReceiver::Mpmc(rx) => rx.try_recv(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_kind<M: Send>(
+        kind: ChannelBackendKind,
+        capacity: usize,
+        lanes: usize,
+    ) -> (AnyChannelSender<M>, AnyChannelReceiver<M>) {
+        kind.open(capacity, lanes, WaitPolicy::Yield)
+    }
+
+    #[test]
+    fn backend_names_round_trip_and_alias_parses() {
+        for kind in ChannelBackendKind::ALL {
+            assert_eq!(ChannelBackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            ChannelBackendKind::parse(" SYNC_CHANNEL "),
+            Some(ChannelBackendKind::Sync)
+        );
+        assert_eq!(ChannelBackendKind::parse("lockfree"), None);
+    }
+
+    #[test]
+    fn every_backend_round_trips_messages_in_lane_order() {
+        for kind in ChannelBackendKind::ALL {
+            let (tx, mut rx) = open_kind::<usize>(kind, 8, 2);
+            for v in 0..5 {
+                tx.send(v % 2, v).expect("receiver alive");
+            }
+            let mut got: Vec<usize> = (0..5).map(|_| rx.recv().expect("message")).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3, 4], "{kind:?} lost or forged messages");
+            assert!(rx.try_recv().is_none(), "{kind:?} channel must be drained");
+        }
+    }
+
+    #[test]
+    fn every_backend_reports_full_and_preserves_the_message() {
+        for kind in ChannelBackendKind::ALL {
+            // One lane, capacity 2: the third non-blocking send must fail
+            // Full and hand the message back.
+            let (tx, mut rx) = open_kind::<u32>(kind, 2, 1);
+            tx.try_send(0, 10).expect("slot free");
+            tx.try_send(0, 11).expect("slot free");
+            match tx.try_send(0, 12) {
+                Err(TrySendError::Full(m)) => assert_eq!(m, 12, "{kind:?}"),
+                other => panic!("{kind:?}: expected Full, got {other:?}"),
+            }
+            assert_eq!(rx.try_recv(), Some(10), "{kind:?} must be FIFO per lane");
+            tx.try_send(0, 12).expect("slot freed by the receive");
+            assert_eq!(rx.recv(), Some(11));
+            assert_eq!(rx.recv(), Some(12));
+        }
+    }
+
+    #[test]
+    fn dropping_the_receiver_disconnects_every_backend() {
+        for kind in ChannelBackendKind::ALL {
+            let (tx, rx) = open_kind::<u8>(kind, 2, 1);
+            drop(rx);
+            assert!(
+                tx.send(0, 7).is_err(),
+                "{kind:?}: blocking send must fail after receiver drop"
+            );
+            match tx.try_send(0, 9) {
+                Err(TrySendError::Disconnected(m)) => assert_eq!(m, 9, "{kind:?}"),
+                other => panic!("{kind:?}: expected Disconnected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_every_sender_ends_the_stream_after_draining() {
+        for kind in ChannelBackendKind::ALL {
+            let (tx, mut rx) = open_kind::<u16>(kind, 4, 1);
+            let tx2 = tx.clone();
+            tx.send(0, 1).expect("receiver alive");
+            tx2.send(0, 2).expect("receiver alive");
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Some(1), "{kind:?} must drain before ending");
+            assert_eq!(rx.recv(), Some(2));
+            assert_eq!(rx.recv(), None, "{kind:?} must report the stream's end");
+        }
+    }
+
+    #[test]
+    fn blocking_sends_apply_backpressure_across_threads() {
+        // A real producer thread pushes far more messages than the
+        // capacity; the consumer drains with deliberate pauses, so the
+        // producer must block repeatedly — and nothing may be lost or
+        // reordered within the lane.
+        for kind in ChannelBackendKind::ALL {
+            let (tx, mut rx) = open_kind::<usize>(kind, 2, 1);
+            let producer = std::thread::spawn(move || {
+                for v in 0..200 {
+                    tx.send(0, v).expect("receiver alive");
+                }
+            });
+            let mut got = Vec::new();
+            for i in 0..200 {
+                if i % 32 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                got.push(rx.recv().expect("producer sends 200"));
+            }
+            producer.join().expect("producer thread");
+            assert_eq!(got, (0..200).collect::<Vec<_>>(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn spsc_lanes_are_independent_rings() {
+        // 3 lanes, total capacity 3 → one slot per lane: filling lane 0
+        // must not block lane 2, and draining interleaves fairly.
+        let (tx, mut rx) = SpscBackend::open(3, 3, WaitPolicy::Yield);
+        tx.try_send(0, 'a').expect("lane 0 has a slot");
+        match tx.try_send(0, 'b') {
+            Err(TrySendError::Full('b')) => {}
+            other => panic!("lane 0 must be full, got {other:?}"),
+        }
+        tx.try_send(2, 'c').expect("lane 2 has its own slot");
+        let first = rx.recv().expect("message");
+        let second = rx.recv().expect("message");
+        let mut both = [first, second];
+        both.sort_unstable();
+        assert_eq!(both, ['a', 'c']);
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn mpmc_supports_concurrent_producers() {
+        let (tx, mut rx) = MpmcBackend::open(4, 1, WaitPolicy::Yield);
+        let handles: Vec<_> = (0..3)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50usize {
+                        tx.send(0, p * 1000 + i).expect("receiver alive");
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        for _ in 0..150 {
+            got.push(rx.recv().expect("producers send 150"));
+        }
+        for handle in handles {
+            handle.join().expect("producer thread");
+        }
+        got.sort_unstable();
+        let mut expected: Vec<usize> = (0..3)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn mpmc_works_at_capacity_one() {
+        // Regression: with plain `pos`-valued stamps, "enqueued last lap"
+        // and "free this lap" alias at capacity 1 and a producer would
+        // overwrite the undequeued slot. The 2· stamp scheme must report
+        // Full instead.
+        let (tx, mut rx) = MpmcBackend::open(1, 1, WaitPolicy::Yield);
+        for lap in 0..100u32 {
+            tx.try_send(0, lap).expect("slot free");
+            match tx.try_send(0, lap + 1000) {
+                Err(TrySendError::Full(m)) => assert_eq!(m, lap + 1000),
+                other => panic!("lap {lap}: expected Full, got {other:?}"),
+            }
+            assert_eq!(rx.try_recv(), Some(lap));
+            assert!(rx.try_recv().is_none());
+        }
+    }
+
+    #[test]
+    fn mpmc_sequence_counters_survive_many_wraparound_laps() {
+        let (tx, mut rx) = MpmcBackend::open(2, 1, WaitPolicy::Yield);
+        for lap in 0..1000u32 {
+            tx.try_send(0, lap * 2).expect("slot free");
+            tx.try_send(0, lap * 2 + 1).expect("slot free");
+            assert_eq!(rx.try_recv(), Some(lap * 2));
+            assert_eq!(rx.try_recv(), Some(lap * 2 + 1));
+        }
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn dropped_channels_drop_undelivered_messages_exactly_once() {
+        // Leak/double-free check for the unsafe slot code: Arc'd payloads
+        // left in flight must be dropped exactly once with the channel.
+        for kind in ChannelBackendKind::ALL {
+            let payload = Arc::new(());
+            let (tx, rx) = open_kind::<Arc<()>>(kind, 4, 2);
+            tx.send(0, Arc::clone(&payload)).expect("receiver alive");
+            tx.send(1, Arc::clone(&payload)).expect("receiver alive");
+            assert_eq!(Arc::strong_count(&payload), 3, "{kind:?}");
+            drop(tx);
+            drop(rx);
+            assert_eq!(
+                Arc::strong_count(&payload),
+                1,
+                "{kind:?}: in-flight messages must be dropped with the channel"
+            );
+        }
+    }
+}

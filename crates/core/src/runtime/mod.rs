@@ -31,8 +31,35 @@
 mod pool;
 mod registry;
 
+pub(crate) use pool::current_worker_index;
 pub use pool::WorkerPool;
 pub use registry::{ThreadRegistry, WorkerEntry};
+
+/// Records that a warning for `var` has been emitted; returns `true` the
+/// first time a given variable name is seen in this process. Split from
+/// [`warn_invalid_env`] so the once-per-variable bookkeeping is testable
+/// without capturing stderr.
+fn first_warning(var: &str) -> bool {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("warning set poisoned")
+        .insert(var.to_string())
+}
+
+/// Emits a one-time stderr warning that the environment variable `var`
+/// carried the unparseable `value` and the built-in default is used
+/// instead. The fallback behaviour is unchanged from the silent era — a
+/// bad value never aborts a run — but a typo like `LOGIT_WORKERS=for`
+/// is no longer indistinguishable from the variable being unset.
+pub(crate) fn warn_invalid_env(var: &str, value: &str) {
+    if first_warning(var) {
+        eprintln!("warning: ignoring unparseable {var}={value:?}; using the built-in default");
+    }
+}
 
 /// How idle pool workers wait for the next dispatch. The policy sets how
 /// long a worker stays *hot* between dispatches; every policy escalates to
@@ -137,25 +164,81 @@ impl RuntimeConfig {
     }
 
     /// [`from_env`](Self::from_env) with an injectable variable source, so
-    /// parsing is testable without mutating process-global state.
+    /// parsing is testable without mutating process-global state. A set but
+    /// unparseable variable falls back to the default *and* emits a
+    /// one-time stderr warning naming the variable and the rejected value
+    /// (see [`from_lookup_with`](Self::from_lookup_with) for the injectable
+    /// warning sink the tests use).
     pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        Self::from_lookup_with(lookup, warn_invalid_env)
+    }
+
+    /// [`from_lookup`](Self::from_lookup) with an injectable warning sink:
+    /// `warn(var, value)` is called for every set-but-unparseable variable
+    /// (no once-per-process dedup at this layer — that lives in the real
+    /// stderr sink), and the default is used in its place.
+    pub fn from_lookup_with(
+        lookup: impl Fn(&str) -> Option<String>,
+        mut warn: impl FnMut(&str, &str),
+    ) -> Self {
+        /// One knob: unset → default, parseable → parsed, anything else →
+        /// default plus a warning naming the variable and the value.
+        fn knob<T>(
+            lookup: &impl Fn(&str) -> Option<String>,
+            warn: &mut impl FnMut(&str, &str),
+            var: &str,
+            default: T,
+            parse: impl Fn(&str) -> Option<T>,
+        ) -> T {
+            match lookup(var) {
+                None => default,
+                Some(value) => match parse(value.trim()) {
+                    Some(parsed) => parsed,
+                    None => {
+                        warn(var, &value);
+                        default
+                    }
+                },
+            }
+        }
+
         let defaults = RuntimeConfig::default();
         RuntimeConfig {
-            workers: lookup("LOGIT_WORKERS")
-                .and_then(|v| v.trim().parse().ok())
-                .unwrap_or(defaults.workers),
-            wait_policy: lookup("LOGIT_WAIT_POLICY")
-                .and_then(|v| WaitPolicy::parse(&v))
-                .unwrap_or(defaults.wait_policy),
-            pin_cores: lookup("LOGIT_PIN_CORES")
-                .map(|v| matches!(v.trim(), "1" | "true" | "TRUE" | "yes"))
-                .unwrap_or(defaults.pin_cores),
-            min_class_size: lookup("LOGIT_MIN_CLASS_SIZE")
-                .and_then(|v| v.trim().parse().ok())
-                .unwrap_or(defaults.min_class_size),
-            block_players: lookup("LOGIT_BLOCK_PLAYERS")
-                .and_then(|v| v.trim().parse().ok())
-                .unwrap_or(defaults.block_players),
+            workers: knob(&lookup, &mut warn, "LOGIT_WORKERS", defaults.workers, |v| {
+                v.parse().ok()
+            }),
+            wait_policy: knob(
+                &lookup,
+                &mut warn,
+                "LOGIT_WAIT_POLICY",
+                defaults.wait_policy,
+                WaitPolicy::parse,
+            ),
+            pin_cores: knob(
+                &lookup,
+                &mut warn,
+                "LOGIT_PIN_CORES",
+                defaults.pin_cores,
+                |v| match v {
+                    "1" | "true" | "TRUE" | "yes" => Some(true),
+                    "0" | "false" | "FALSE" | "no" | "" => Some(false),
+                    _ => None,
+                },
+            ),
+            min_class_size: knob(
+                &lookup,
+                &mut warn,
+                "LOGIT_MIN_CLASS_SIZE",
+                defaults.min_class_size,
+                |v| v.parse().ok(),
+            ),
+            block_players: knob(
+                &lookup,
+                &mut warn,
+                "LOGIT_BLOCK_PLAYERS",
+                defaults.block_players,
+                |v| v.parse().ok(),
+            ),
         }
     }
 
@@ -265,6 +348,66 @@ mod tests {
 
         let unset = RuntimeConfig::from_lookup(|_| None);
         assert_eq!(unset, RuntimeConfig::default());
+    }
+
+    #[test]
+    fn unparseable_env_values_warn_with_variable_and_rejected_value() {
+        let mut warnings: Vec<(String, String)> = Vec::new();
+        let cfg = RuntimeConfig::from_lookup_with(
+            lookup_from(&[
+                ("LOGIT_WORKERS", "lots"),
+                ("LOGIT_WAIT_POLICY", "busy"),
+                ("LOGIT_PIN_CORES", "maybe"),
+                ("LOGIT_MIN_CLASS_SIZE", "64"),
+                ("LOGIT_BLOCK_PLAYERS", "a few"),
+            ]),
+            |var, value| warnings.push((var.to_string(), value.to_string())),
+        );
+        // The fallback behaviour is unchanged: bad values become defaults.
+        assert_eq!(
+            cfg,
+            RuntimeConfig {
+                min_class_size: 64,
+                ..RuntimeConfig::default()
+            }
+        );
+        // ...but every rejected value is reported, naming the variable.
+        assert_eq!(
+            warnings,
+            vec![
+                ("LOGIT_WORKERS".to_string(), "lots".to_string()),
+                ("LOGIT_WAIT_POLICY".to_string(), "busy".to_string()),
+                ("LOGIT_PIN_CORES".to_string(), "maybe".to_string()),
+                ("LOGIT_BLOCK_PLAYERS".to_string(), "a few".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parseable_and_unset_env_values_never_warn() {
+        let mut warned = 0usize;
+        let cfg = RuntimeConfig::from_lookup_with(
+            lookup_from(&[
+                ("LOGIT_WORKERS", " 3 "),
+                ("LOGIT_WAIT_POLICY", "PARK"),
+                ("LOGIT_PIN_CORES", "no"),
+            ]),
+            |_, _| warned += 1,
+        );
+        assert_eq!(warned, 0);
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.wait_policy, WaitPolicy::Park);
+        assert!(!cfg.pin_cores);
+    }
+
+    #[test]
+    fn stderr_warnings_are_deduplicated_per_variable() {
+        assert!(super::first_warning("LOGIT_TEST_DEDUP_KNOB"));
+        assert!(
+            !super::first_warning("LOGIT_TEST_DEDUP_KNOB"),
+            "a second warning for the same variable must be suppressed"
+        );
+        assert!(super::first_warning("LOGIT_TEST_DEDUP_KNOB_TWO"));
     }
 
     #[test]

@@ -53,6 +53,22 @@ use super::{RuntimeConfig, WaitPolicy};
 /// counter into one u64 (far beyond any realistic per-tick chunking).
 const CHUNK_LIMIT: u64 = u32::MAX as u64;
 
+thread_local! {
+    /// The pool-worker index of the current thread, set once at spawn.
+    /// `None` on every thread that is not a pool worker (callers, tests).
+    static POOL_WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The spawn-time index of the pool worker running the current thread, or
+/// `None` off the pool. This is the stable per-thread lane key the SPSC
+/// channel backend needs: each pool worker owns exactly one producer lane,
+/// so single-producer ring invariants hold whatever job the chunk-stealing
+/// counter hands the thread.
+pub(crate) fn current_worker_index() -> Option<usize> {
+    POOL_WORKER_INDEX.with(|cell| cell.get())
+}
+
 /// The type-erased job descriptor. `data` points at the caller's closure
 /// (alive for the whole dispatch: the caller blocks on the barrier);
 /// `call` reconstitutes its concrete type. `joined`/`limit` implement
@@ -275,6 +291,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("logit-pool-{index}"))
                     .spawn(move || {
+                        POOL_WORKER_INDEX.with(|cell| cell.set(Some(index)));
                         let pinned_core = if pin {
                             let core = index % cores;
                             pin_current_thread(core).then_some(core)
@@ -670,6 +687,31 @@ mod tests {
             );
             assert_eq!(pool.dispatches(), rounds);
         }
+    }
+
+    #[test]
+    fn pool_workers_expose_a_stable_lane_index_and_callers_do_not() {
+        use std::collections::BTreeSet;
+        let pool = pool_with(3, WaitPolicy::Yield);
+        assert_eq!(
+            super::current_worker_index(),
+            None,
+            "the calling thread is not a pool lane"
+        );
+        let seen = Mutex::new(BTreeSet::new());
+        pool.run(64, 4, &|_| {
+            // The caller participates in `run` too, reporting `None`; every
+            // pool worker reports its spawn index.
+            if let Some(lane) = super::current_worker_index() {
+                seen.lock().expect("lane set poisoned").insert(lane);
+            }
+            std::thread::yield_now();
+        });
+        let seen = seen.into_inner().expect("lane set poisoned");
+        assert!(
+            seen.iter().all(|&lane| lane < pool.workers()),
+            "lane indices must stay within the spawned worker range"
+        );
     }
 
     #[test]

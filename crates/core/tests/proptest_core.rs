@@ -482,7 +482,7 @@ proptest! {
         let runtime = RuntimeConfig { workers, ..RuntimeConfig::default() };
         let sim = Simulator::with_runtime(seed ^ 0x9192, 16, runtime);
         let obs = PotentialObservable::new(game.clone());
-        let config = PipelineConfig { chunk_ticks, channel_capacity };
+        let config = PipelineConfig { chunk_ticks, channel_capacity, ..PipelineConfig::default() };
 
         fn assert_identical(
             a: &logit_core::ProfileEnsembleResult,
