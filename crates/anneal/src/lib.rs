@@ -31,6 +31,7 @@ pub use optimize::{
     anneal_minimize, anneal_minimize_with_rule, tempering_minimize, AnnealingOutcome,
 };
 pub use schedule::{
-    BetaLadder, BetaSchedule, ConstantSchedule, GeometricSchedule, LinearRamp, LogarithmicSchedule,
+    BetaLadder, BetaSchedule, ConstantSchedule, GeometricSchedule, LadderError, LinearRamp,
+    LogarithmicSchedule,
 };
 pub use welfare::{expected_social_welfare, optimal_social_welfare, welfare_ratio};

@@ -202,6 +202,40 @@ pub struct BetaLadder {
     betas: Vec<f64>,
 }
 
+/// Why a [`BetaLadder`] description was rejected: the typed counterpart of
+/// the constructors' `assert!`s, for admission-time validation in service
+/// contexts where a malformed ladder must surface as an error value rather
+/// than a panic on a shared worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderError {
+    /// `k` was zero.
+    NoRungs,
+    /// An endpoint was NaN or infinite.
+    NonFiniteEndpoint,
+    /// An endpoint was negative.
+    NegativeBeta,
+    /// A geometric ladder with `k ≥ 2` needs `β_min > 0`.
+    NonPositiveHotEndpoint,
+    /// `β_min ≥ β_max` with `k ≥ 2`: the ladder cannot strictly increase.
+    NotIncreasing,
+}
+
+impl std::fmt::Display for LadderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LadderError::NoRungs => write!(f, "a ladder needs at least one rung"),
+            LadderError::NonFiniteEndpoint => write!(f, "ladder endpoints must be finite"),
+            LadderError::NegativeBeta => write!(f, "beta must stay non-negative"),
+            LadderError::NonPositiveHotEndpoint => {
+                write!(f, "geometric ladders need a positive hot endpoint")
+            }
+            LadderError::NotIncreasing => write!(f, "the ladder must have room to increase"),
+        }
+    }
+}
+
+impl std::error::Error for LadderError {}
+
 impl BetaLadder {
     /// Geometric ladder: `k` rungs with a constant ratio between adjacent
     /// rungs, `β_i = β_min · (β_max/β_min)^{i/(k−1)}`. The default choice —
@@ -210,30 +244,45 @@ impl BetaLadder {
     /// # Panics
     /// Panics unless `0 < β_min < β_max` (strict — the ensemble needs a
     /// strictly increasing ladder), both finite, and `k ≥ 1` (with `k = 1`
-    /// requiring nothing of `β_min`; the ladder is just `[β_max]`).
+    /// requiring nothing of `β_min`; the ladder is just `[β_max]`). Use
+    /// [`try_geometric`](Self::try_geometric) where the failure must be a
+    /// value instead.
     pub fn geometric(beta_min: f64, beta_max: f64, k: usize) -> Self {
-        assert!(k >= 1, "a ladder needs at least one rung");
-        assert!(
-            beta_min.is_finite() && beta_max.is_finite(),
-            "ladder endpoints must be finite"
-        );
-        if k == 1 {
-            assert!(beta_max >= 0.0, "beta must be non-negative");
-            return Self {
-                betas: vec![beta_max],
-            };
+        match Self::try_geometric(beta_min, beta_max, k) {
+            Ok(ladder) => ladder,
+            Err(e) => panic!("{e}"),
         }
-        assert!(
-            beta_min > 0.0,
-            "geometric ladders need a positive hot endpoint"
-        );
-        assert!(beta_min < beta_max, "the ladder must have room to increase");
+    }
+
+    /// The fallible form of [`geometric`](Self::geometric): `Err` with a
+    /// typed [`LadderError`] instead of panicking on a malformed ladder.
+    pub fn try_geometric(beta_min: f64, beta_max: f64, k: usize) -> Result<Self, LadderError> {
+        if k < 1 {
+            return Err(LadderError::NoRungs);
+        }
+        if !(beta_min.is_finite() && beta_max.is_finite()) {
+            return Err(LadderError::NonFiniteEndpoint);
+        }
+        if k == 1 {
+            if beta_max < 0.0 {
+                return Err(LadderError::NegativeBeta);
+            }
+            return Ok(Self {
+                betas: vec![beta_max],
+            });
+        }
+        if beta_min <= 0.0 {
+            return Err(LadderError::NonPositiveHotEndpoint);
+        }
+        if beta_min >= beta_max {
+            return Err(LadderError::NotIncreasing);
+        }
         let ratio = (beta_max / beta_min).powf(1.0 / (k - 1) as f64);
         let mut betas: Vec<f64> = (0..k).map(|i| beta_min * ratio.powi(i as i32)).collect();
         // Pin the endpoints exactly despite floating-point drift.
         betas[0] = beta_min;
         betas[k - 1] = beta_max;
-        Self { betas }
+        Ok(Self { betas })
     }
 
     /// Linear ladder: `k` evenly spaced rungs from `β_min` to `β_max`.
@@ -241,26 +290,43 @@ impl BetaLadder {
     /// # Panics
     /// Panics unless `0 ≤ β_min < β_max` (strict for `k ≥ 2` — the ensemble
     /// needs a strictly increasing ladder), both finite, and `k ≥ 1`
-    /// (`k = 1` gives `[β_max]`).
+    /// (`k = 1` gives `[β_max]`). Use [`try_linear`](Self::try_linear)
+    /// where the failure must be a value instead.
     pub fn linear(beta_min: f64, beta_max: f64, k: usize) -> Self {
-        assert!(k >= 1, "a ladder needs at least one rung");
-        assert!(
-            beta_min.is_finite() && beta_max.is_finite(),
-            "ladder endpoints must be finite"
-        );
-        assert!(beta_min >= 0.0, "beta must stay non-negative");
-        if k == 1 {
-            assert!(beta_max >= 0.0, "beta must stay non-negative");
-            return Self {
-                betas: vec![beta_max],
-            };
+        match Self::try_linear(beta_min, beta_max, k) {
+            Ok(ladder) => ladder,
+            Err(e) => panic!("{e}"),
         }
-        assert!(beta_min < beta_max, "the ladder must have room to increase");
+    }
+
+    /// The fallible form of [`linear`](Self::linear): `Err` with a typed
+    /// [`LadderError`] instead of panicking on a malformed ladder.
+    pub fn try_linear(beta_min: f64, beta_max: f64, k: usize) -> Result<Self, LadderError> {
+        if k < 1 {
+            return Err(LadderError::NoRungs);
+        }
+        if !(beta_min.is_finite() && beta_max.is_finite()) {
+            return Err(LadderError::NonFiniteEndpoint);
+        }
+        if beta_min < 0.0 {
+            return Err(LadderError::NegativeBeta);
+        }
+        if k == 1 {
+            if beta_max < 0.0 {
+                return Err(LadderError::NegativeBeta);
+            }
+            return Ok(Self {
+                betas: vec![beta_max],
+            });
+        }
+        if beta_min >= beta_max {
+            return Err(LadderError::NotIncreasing);
+        }
         let step = (beta_max - beta_min) / (k - 1) as f64;
         let mut betas: Vec<f64> = (0..k).map(|i| beta_min + step * i as f64).collect();
         betas[0] = beta_min;
         betas[k - 1] = beta_max;
-        Self { betas }
+        Ok(Self { betas })
     }
 
     /// The rungs, hot to cold (strictly increasing).
@@ -408,6 +474,53 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn single_rung_geometric_ladder_rejects_negative_cold_beta() {
         let _ = BetaLadder::geometric(0.1, -5.0, 1);
+    }
+
+    #[test]
+    fn try_ladders_match_the_panicking_constructors_on_valid_input() {
+        assert_eq!(
+            BetaLadder::try_geometric(0.25, 4.0, 5).expect("valid ladder"),
+            BetaLadder::geometric(0.25, 4.0, 5)
+        );
+        assert_eq!(
+            BetaLadder::try_linear(0.0, 3.0, 4).expect("valid ladder"),
+            BetaLadder::linear(0.0, 3.0, 4)
+        );
+        assert_eq!(
+            BetaLadder::try_geometric(0.1, 3.0, 1).expect("single rung"),
+            BetaLadder::geometric(0.1, 3.0, 1)
+        );
+    }
+
+    #[test]
+    fn try_ladders_reject_malformed_descriptions_with_typed_errors() {
+        use LadderError::*;
+        assert_eq!(BetaLadder::try_geometric(0.1, 1.0, 0), Err(NoRungs));
+        assert_eq!(BetaLadder::try_linear(0.1, 1.0, 0), Err(NoRungs));
+        assert_eq!(
+            BetaLadder::try_geometric(f64::NAN, 1.0, 3),
+            Err(NonFiniteEndpoint)
+        );
+        assert_eq!(
+            BetaLadder::try_linear(0.0, f64::INFINITY, 3),
+            Err(NonFiniteEndpoint)
+        );
+        assert_eq!(
+            BetaLadder::try_geometric(0.0, 2.0, 3),
+            Err(NonPositiveHotEndpoint)
+        );
+        // The non-increasing case the ISSUE singles out: β_min ≥ β_max.
+        assert_eq!(BetaLadder::try_geometric(2.0, 1.0, 3), Err(NotIncreasing));
+        assert_eq!(BetaLadder::try_linear(2.0, 2.0, 3), Err(NotIncreasing));
+        assert_eq!(BetaLadder::try_linear(-0.5, 2.0, 3), Err(NegativeBeta));
+        assert_eq!(BetaLadder::try_linear(0.0, -5.0, 1), Err(NegativeBeta));
+        assert_eq!(BetaLadder::try_geometric(0.1, -5.0, 1), Err(NegativeBeta));
+        // Typed errors render the strings the panic pins expect.
+        assert_eq!(
+            NotIncreasing.to_string(),
+            "the ladder must have room to increase"
+        );
+        assert_eq!(NoRungs.to_string(), "a ladder needs at least one rung");
     }
 
     #[test]

@@ -1140,6 +1140,135 @@ fn rule_rows<U: UpdateRule>(rule: U, sizes: &[usize], steps: u64) -> String {
     )
 }
 
+/// Service row-set: the `logit-server` job server under a concurrent mixed
+/// batch, measured as admission-to-DONE latency per job plus aggregate
+/// throughput. The in-process gate is the service's whole contract: every
+/// streamed series must be **byte-identical** (as wire frames, i.e. f64 bit
+/// patterns) to an offline `run_direct` replay of the same description on a
+/// fresh `Simulator` — across cache hits, concurrent tenants and a
+/// cancellation racing the batch. A diverging stream panics before any row
+/// is emitted.
+fn service_rows(steps: u64) -> String {
+    use logit_server::{
+        prepare, run_direct, submit_job, ArtifactCache, ClientOutcome, JobSpec, RunningServer,
+        ServerConfig,
+    };
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+    use std::sync::Arc;
+
+    let steps = steps.min(200_000);
+    let job_text = |seed: u64, flavour: usize| -> String {
+        match flavour {
+            0 => format!(
+                "game=graphical\ntopology=ring\nn=1000\ndelta0=2.0\ndelta1=1.0\n\
+                 rule=logit\nschedule=uniform\nmode=pipelined\nbeta=1.2\nsteps={steps}\n\
+                 sample_every={}\nobservable=fraction1\nreplicas=8\nseed={seed}",
+                steps / 8
+            ),
+            1 => format!(
+                "game=ising\ntopology=torus\nrows=24\ncols=24\ncoupling=0.8\n\
+                 rule=metropolis\nschedule=sweep\nmode=pipelined\nbeta=0.9\nsteps={steps}\n\
+                 sample_every={}\nobservable=potential\nreplicas=6\nseed={seed}",
+                steps / 8
+            ),
+            _ => format!(
+                "game=ising\ntopology=circulant\nn=600\nk=3\ncoupling=1.0\n\
+                 rule=logit\nschedule=coloured\nmode=pipelined\nbeta=1.5\nsteps={}\n\
+                 sample_every={}\nobservable=fraction0\nreplicas=4\nseed={seed}",
+                steps / 4,
+                steps / 16
+            ),
+        }
+    };
+
+    let server = RunningServer::start(0, ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr();
+    let jobs = 12usize;
+    let clients = 4usize;
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = std::time::Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                scope.spawn(move || {
+                    let mut secs = Vec::new();
+                    loop {
+                        let j = next.fetch_add(1, AtomicOrdering::Relaxed);
+                        if j >= jobs {
+                            return secs;
+                        }
+                        let text = job_text(j as u64, j % 3);
+                        let (outcome, timing) =
+                            submit_job(addr, &text, None).expect("service bench client io");
+                        let streamed = match outcome {
+                            ClientOutcome::Done(s) => s,
+                            other => panic!("service bench job must complete, got {other:?}"),
+                        };
+                        // The gate: streamed bytes == offline replay bytes.
+                        let spec = JobSpec::parse(&text).expect("bench job parses");
+                        let offline_cache = ArtifactCache::new(4);
+                        let direct =
+                            run_direct(&prepare(spec, &offline_cache).expect("bench job admits"));
+                        assert_eq!(
+                            streamed.wire_text(),
+                            direct.wire_text(),
+                            "service stream diverged from the offline replay"
+                        );
+                        secs.push(timing.total_secs);
+                    }
+                })
+            })
+            .collect();
+        // A cancellation in flight alongside the measured batch: it must
+        // end cleanly without disturbing any measured job.
+        let cancel_text = job_text(999, 0);
+        let cancelled = submit_job(addr, &cancel_text, Some(0)).expect("cancel client io");
+        assert!(
+            matches!(
+                cancelled.0,
+                ClientOutcome::Cancelled(_) | ClientOutcome::Done(_)
+            ),
+            "in-flight cancel must end the stream cleanly"
+        );
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("service bench client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(stats.internal_errors, 0, "no job may panic a pool worker");
+    assert_eq!(latencies.len(), jobs);
+    assert!(
+        stats.artifact_cache.hits >= 1,
+        "repeated game descriptions must hit the artifact cache"
+    );
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = latencies[latencies.len() / 2];
+    let p95 = latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)];
+    let jobs_per_sec = jobs as f64 / wall;
+    eprintln!(
+        "service: {jobs} jobs / {clients} clients, {jobs_per_sec:.2} jobs/s, p50 = {:.1} ms, p95 = {:.1} ms, cache {} hits / {} misses",
+        p50 * 1e3,
+        p95 * 1e3,
+        stats.artifact_cache.hits,
+        stats.artifact_cache.misses
+    );
+    format!(
+        "  \"service\": {{\n    \"what\": \"logit-serve job server: {jobs} mixed jobs (graphical-uniform, ising-sweep, coloured-circulant) over {clients} concurrent clients with one cancellation in flight, {steps} steps per pipelined job; every streamed series asserted byte-identical (f64 bit patterns) to an offline run_direct replay before emission; latency is client-side submit-to-DONE\",\n    \"jobs\": {jobs},\n    \"concurrent_clients\": {clients},\n    \"jobs_per_sec\": {jobs_per_sec:.2},\n    \"latency_p50_ms\": {:.1},\n    \"latency_p95_ms\": {:.1},\n    \"artifact_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n    \"accepted\": {},\n    \"completed\": {},\n    \"cancelled\": {}\n  }}",
+        p50 * 1e3,
+        p95 * 1e3,
+        stats.artifact_cache.hits,
+        stats.artifact_cache.misses,
+        stats.artifact_cache.evictions,
+        stats.accepted,
+        stats.completed,
+        stats.cancelled,
+    )
+}
+
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let steps: u64 = if fast { 200_000 } else { 2_000_000 };
@@ -1200,8 +1329,12 @@ fn main() {
     // larger instances exist to measure DRAM behaviour, not to smoke-test).
     let large_n = large_n_rows(steps, !fast);
 
+    // Service rows: the job server end-to-end, gated on streamed-vs-direct
+    // bit-identity for every completed job.
+    let service = service_rows(steps);
+
     println!(
-        "{{\n  \"benchmark\": \"revision-dynamics step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"legacy_parity\": {{\n    \"what\": \"generic engine (Logit rule) vs verbatim pre-refactor inline loop, same host, same process, n = {parity_n}, median of 5 interleaved rounds\",\n    \"legacy_steps_per_sec\": {legacy:.0},\n    \"engine_steps_per_sec\": {engine:.0},\n    \"engine_over_legacy\": {ratio:.3}\n  }},\n{tempered},\n{pipelined},\n{channel_backends},\n{coloured},\n{large_n},\n  \"rules\": [\n{}\n  ]\n}}",
+        "{{\n  \"benchmark\": \"revision-dynamics step throughput, ring coordination game (delta0=1, delta1=2, beta=1.5)\",\n  \"engines\": {{\n    \"flat\": \"decode flat usize index, step, re-encode (capped at n = {FLAT_LIMIT} binary players)\",\n    \"profile\": \"in-place profile update with reused Scratch buffers\"\n  }},\n  \"steps_per_measurement\": {steps},\n  \"legacy_parity\": {{\n    \"what\": \"generic engine (Logit rule) vs verbatim pre-refactor inline loop, same host, same process, n = {parity_n}, median of 5 interleaved rounds\",\n    \"legacy_steps_per_sec\": {legacy:.0},\n    \"engine_steps_per_sec\": {engine:.0},\n    \"engine_over_legacy\": {ratio:.3}\n  }},\n{tempered},\n{pipelined},\n{channel_backends},\n{coloured},\n{large_n},\n{service},\n  \"rules\": [\n{}\n  ]\n}}",
         rule_sets.join(",\n")
     );
 }

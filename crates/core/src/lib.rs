@@ -91,13 +91,14 @@ pub use gibbs::{gibbs_distribution, log_partition_function};
 pub use locality::LocalityLayout;
 pub use observables::{
     ensemble_time_series, HammingToProfile, NamedObservable, Observable, PotentialObservable,
-    ProfileObservable, SeriesAccumulator, TimeSeries,
+    ProfileObservable, SeriesAccumulator, StrategyFraction, TimeSeries,
 };
 pub use parallel::{
     coloring_for_game, coloring_for_graph, player_tick_seed, ColouredBlocks, RandomBlock,
 };
 pub use pipeline::{
-    ChannelBackendKind, OrderedSeriesReducer, PipelineConfig, ReducerMode, SnapshotBatch,
+    CancelToken, ChannelBackendKind, OrderedSeriesReducer, PipelineConfig, PipelineConfigError,
+    ReducerMode, SnapshotBatch,
 };
 pub use rules::{Fermi, ImitateBetter, Logit, MetropolisLogit, NoisyBestResponse, UpdateRule};
 pub use runtime::{RuntimeConfig, ThreadRegistry, WaitPolicy, WorkerEntry, WorkerPool};

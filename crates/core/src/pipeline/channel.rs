@@ -117,6 +117,28 @@ impl ChannelBackendKind {
         })
     }
 
+    /// The number of in-flight messages a channel opened with
+    /// (`capacity`, `lanes`) can actually hold — the honest version of the
+    /// `capacity` knob at the [`ChannelBackend::open`] seam.
+    ///
+    /// The single-queue backends hold exactly `capacity`. The SPSC backend
+    /// splits the total across its per-producer lanes with floor division
+    /// and a ≥ 1 slot-per-lane clamp (a zero-slot ring would deadlock its
+    /// producer), so its effective total is
+    /// `(capacity / lanes).max(1) * lanes`: **never more** than `capacity`
+    /// when `capacity >= lanes`, and exactly `lanes` in the degenerate
+    /// `capacity < lanes` regime — the only case where the requested bound
+    /// is exceeded, and the caller can read that exceedance off this
+    /// function instead of discovering it in a memory profile.
+    pub fn effective_capacity(self, capacity: usize, lanes: usize) -> usize {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        let lanes = lanes.max(1);
+        match self {
+            ChannelBackendKind::Sync | ChannelBackendKind::Mpmc => capacity,
+            ChannelBackendKind::Spsc => (capacity / lanes).max(1) * lanes,
+        }
+    }
+
     /// Opens a channel of this kind behind the type-erasing enums the farm
     /// drives. See [`ChannelBackend::open`] for the parameter contract.
     pub(crate) fn open<M: Send>(
@@ -186,9 +208,12 @@ pub trait ChannelBackend<M: Send> {
     /// The consumer half.
     type Receiver: ChannelReceiver<M>;
 
-    /// Opens a channel holding about `capacity` in-flight messages in
-    /// total across `lanes` producer lanes (per-lane backends split the
-    /// capacity, keeping at least one slot per lane). `policy` seeds the
+    /// Opens a channel holding at most `capacity` in-flight messages in
+    /// total across `lanes` producer lanes. Per-lane backends split the
+    /// capacity with floor division, keeping at least one slot per lane —
+    /// so the total bound is honoured whenever `capacity >= lanes` and is
+    /// `lanes` otherwise; the exact figure is
+    /// [`ChannelBackendKind::effective_capacity`]. `policy` seeds the
     /// idle-wait escalation of the blocking operations with the same
     /// hot-window philosophy as the pool's [`WaitPolicy`].
     fn open(capacity: usize, lanes: usize, policy: WaitPolicy) -> (Self::Sender, Self::Receiver);
@@ -401,10 +426,16 @@ impl<M: Send> ChannelBackend<M> for SpscBackend {
     fn open(capacity: usize, lanes: usize, policy: WaitPolicy) -> (Self::Sender, Self::Receiver) {
         assert!(capacity >= 1, "channel capacity must be at least 1");
         let lanes = lanes.max(1);
-        // Split the configured total capacity across the lanes so the
-        // farm's peak-memory bound is preserved, with at least one slot
-        // per lane so every producer can always make progress.
-        let per_lane = capacity.div_ceil(lanes);
+        // Split the configured total capacity across the lanes with FLOOR
+        // division so the farm's peak-memory bound is honest: the lane
+        // total `(capacity / lanes).max(1) * lanes` never exceeds the
+        // requested capacity once `capacity >= lanes`. The old `div_ceil`
+        // split silently granted up to `lanes - 1` extra slots. Below
+        // `capacity < lanes` the ≥ 1 slot-per-lane clamp still wins — a
+        // zero-slot ring would deadlock its producer — and the documented
+        // effective capacity is `lanes`; see
+        // [`ChannelBackendKind::effective_capacity`].
+        let per_lane = (capacity / lanes).max(1);
         let shared = Arc::new(SpscShared {
             rings: (0..lanes).map(|_| SpscRing::new(per_lane)).collect(),
             closed: AtomicBool::new(false),
@@ -1002,5 +1033,73 @@ mod tests {
                 "{kind:?}: in-flight messages must be dropped with the channel"
             );
         }
+    }
+
+    #[test]
+    fn effective_capacity_is_honest_at_the_open_seam() {
+        // Single-queue backends: the knob is the bound, whatever the lanes.
+        for kind in [ChannelBackendKind::Sync, ChannelBackendKind::Mpmc] {
+            assert_eq!(kind.effective_capacity(64, 7), 64);
+            assert_eq!(kind.effective_capacity(2, 8), 2);
+        }
+        let spsc = ChannelBackendKind::Spsc;
+        // The per-lane split never exceeds the requested total once the
+        // capacity covers the lanes (the old div_ceil split granted 70
+        // slots for capacity 64 over 7 lanes).
+        assert_eq!(spsc.effective_capacity(64, 7), 63);
+        assert_eq!(spsc.effective_capacity(64, 8), 64);
+        assert_eq!(spsc.effective_capacity(64, 1), 64);
+        for capacity in 1..=40usize {
+            for lanes in 1..=10usize {
+                let effective = spsc.effective_capacity(capacity, lanes);
+                if capacity >= lanes {
+                    assert!(
+                        effective <= capacity,
+                        "spsc({capacity}, {lanes}) grants {effective} slots"
+                    );
+                } else {
+                    // The documented degenerate regime: one slot per lane.
+                    assert_eq!(effective, lanes);
+                }
+                assert!(effective >= lanes, "every lane keeps a slot");
+            }
+        }
+    }
+
+    #[test]
+    fn spsc_rings_hold_exactly_the_effective_capacity() {
+        // Behavioural pin of `effective_capacity` against the real rings:
+        // fill every lane with non-blocking sends and count the accepted
+        // messages. capacity 7 over 3 lanes used to admit ceil(7/3)·3 = 9.
+        for (capacity, lanes) in [(7usize, 3usize), (8, 3), (3, 3), (2, 5), (6, 1)] {
+            let (tx, _rx) = SpscBackend::open(capacity, lanes, WaitPolicy::Yield);
+            let mut accepted = 0usize;
+            for lane in 0..lanes {
+                while tx.try_send(lane, 0u8).is_ok() {
+                    accepted += 1;
+                }
+            }
+            assert_eq!(
+                accepted,
+                ChannelBackendKind::Spsc.effective_capacity(capacity, lanes),
+                "spsc({capacity}, {lanes}) admitted a different total than documented"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_env_is_parsed_once_and_cached_for_the_process() {
+        // The parse is pinned behind a OnceLock so per-job farm setup in a
+        // service stays off the env/syscall path: after the first read, a
+        // mutated environment must be invisible. (`get_or_init` is
+        // idempotent, so this holds however tests interleave.)
+        let first = ChannelBackendKind::from_env();
+        std::env::set_var("LOGIT_CHANNEL_BACKEND", "mpmc");
+        let second = ChannelBackendKind::from_env();
+        std::env::set_var("LOGIT_CHANNEL_BACKEND", "definitely-not-a-backend");
+        let third = ChannelBackendKind::from_env();
+        std::env::remove_var("LOGIT_CHANNEL_BACKEND");
+        assert_eq!(first, second, "a cached parse cannot follow env writes");
+        assert_eq!(first, third, "a cached parse cannot re-warn or re-read");
     }
 }

@@ -121,7 +121,10 @@ pub struct PipelineConfig {
     /// up.
     pub chunk_ticks: u64,
     /// Bounded-channel capacity in batches (≥ 1). Per-lane backends split
-    /// this total across the lanes (at least one slot per lane).
+    /// this total across the lanes (floor division, at least one slot per
+    /// lane — see
+    /// [`ChannelBackendKind::effective_capacity`](channel::ChannelBackendKind::effective_capacity)
+    /// for the honest bound).
     pub channel_capacity: usize,
     /// Which channel implementation carries worker→reducer batches.
     /// Defaults to [`ChannelBackendKind::from_env`] (`sync_channel` unless
@@ -167,13 +170,84 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Why a [`PipelineConfig`] was rejected. The service layer admits jobs
+/// carrying client-supplied pipeline knobs, so the validation that used to
+/// live only in `assert!`s is also available as a typed error a server can
+/// return instead of panicking a shared worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineConfigError {
+    /// `chunk_ticks` was zero.
+    ZeroChunkTicks,
+    /// `channel_capacity` was zero.
+    ZeroChannelCapacity,
+}
+
+impl std::fmt::Display for PipelineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineConfigError::ZeroChunkTicks => write!(f, "chunk_ticks must be at least 1"),
+            PipelineConfigError::ZeroChannelCapacity => {
+                write!(f, "channel_capacity must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineConfigError {}
+
 impl PipelineConfig {
+    /// Checks the knobs without panicking — the admission-time counterpart
+    /// of the entry-path `assert!`s, for callers (like a job server) that
+    /// must turn a malformed configuration into a typed rejection rather
+    /// than a panic.
+    pub fn try_validate(&self) -> Result<(), PipelineConfigError> {
+        if self.chunk_ticks < 1 {
+            return Err(PipelineConfigError::ZeroChunkTicks);
+        }
+        if self.channel_capacity < 1 {
+            return Err(PipelineConfigError::ZeroChannelCapacity);
+        }
+        Ok(())
+    }
+
     pub(crate) fn validate(&self) {
-        assert!(self.chunk_ticks >= 1, "chunk_ticks must be at least 1");
-        assert!(
-            self.channel_capacity >= 1,
-            "channel_capacity must be at least 1"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// A shareable cancellation flag for pipelined runs: clone it, hand one
+/// clone to [`Simulator::run_profiles_pipelined_cancellable_with`] and keep
+/// the other; [`cancel`](CancelToken::cancel) from any thread makes the
+/// farm's workers stop claiming work at their next chunk boundary (the
+/// emitter drains the remaining replicas as no-ops) and the run return
+/// `None` instead of a result.
+///
+/// Cancellation is cooperative and chunk-granular: a worker mid-chunk
+/// finishes the chunk it is stepping first. Cancelling an already-finished
+/// run is a no-op on the workers but still makes the runner report `None` —
+/// "cancelled" wins over "completed" whenever both raced, so callers see
+/// one consistent outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: std::sync::Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
     }
 }
 
@@ -560,6 +634,76 @@ impl Simulator {
             observable,
             None,
             config,
+            None,
+        )
+        .expect("uncancellable runs always complete")
+    }
+
+    /// [`run_profiles_pipelined_with`](Simulator::run_profiles_pipelined_with)
+    /// with a cooperative [`CancelToken`]: returns `None` — and stops the
+    /// farm's workers from claiming further chunks — once the token is
+    /// cancelled, `Some(result)` (bit-identical to the uncancelled path)
+    /// otherwise. The service layer runs every job through this entry so a
+    /// client hang-up can never strand a long ensemble on the shared pool.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_profiles_pipelined_cancellable_with<G, U, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+        config: &PipelineConfig,
+        cancel: &CancelToken,
+    ) -> Option<ProfileEnsembleResult>
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_pipelined_inner::<G, U, UniformSingle, O>(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            None,
+            config,
+            Some(cancel),
+        )
+    }
+
+    /// The cancellable counterpart of
+    /// [`run_profiles_scheduled_pipelined_with`](Simulator::run_profiles_scheduled_pipelined_with);
+    /// see [`run_profiles_pipelined_cancellable_with`](Simulator::run_profiles_pipelined_cancellable_with)
+    /// for the cancellation semantics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_profiles_scheduled_pipelined_cancellable_with<G, U, S, O>(
+        &self,
+        dynamics: &DynamicsEngine<G, U>,
+        start: &[usize],
+        steps: u64,
+        sample_every: u64,
+        observable: &O,
+        schedule: &S,
+        config: &PipelineConfig,
+        cancel: &CancelToken,
+    ) -> Option<ProfileEnsembleResult>
+    where
+        G: Game + Sync,
+        U: UpdateRule,
+        S: SelectionSchedule,
+        O: ProfileObservable + Sync,
+    {
+        self.run_profiles_pipelined_inner(
+            dynamics,
+            start,
+            steps,
+            sample_every,
+            observable,
+            Some(schedule),
+            config,
+            Some(cancel),
         )
     }
 
@@ -619,9 +763,17 @@ impl Simulator {
             observable,
             Some(schedule),
             config,
+            None,
         )
+        .expect("uncancellable runs always complete")
     }
 
+    /// The one farm-backed runner behind every pipelined entry point.
+    /// `cancel` is the cooperative kill switch: workers re-check it before
+    /// every chunk they step (skipping the claim entirely once set, which
+    /// drains the emitter's remaining replicas as no-ops), and the reducer
+    /// returns `None` instead of asserting stream completeness — a
+    /// cancelled run is the *only* way a partial stream is legal.
     #[allow(clippy::too_many_arguments)]
     fn run_profiles_pipelined_inner<G, U, S, O>(
         &self,
@@ -632,7 +784,8 @@ impl Simulator {
         observable: &O,
         schedule: Option<&S>,
         config: &PipelineConfig,
-    ) -> ProfileEnsembleResult
+        cancel: Option<&CancelToken>,
+    ) -> Option<ProfileEnsembleResult>
     where
         G: Game + Sync,
         U: UpdateRule,
@@ -664,6 +817,12 @@ impl Simulator {
         let controller = &controller;
 
         let worker = |replica: usize, tx: &FarmSender<SnapshotBatch>| {
+            // A cancelled job stops claiming work before seeding anything:
+            // returning `false` trips the farm's stop flag, so the emitter
+            // drains every remaining replica as a no-op.
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                return false;
+            }
             // Same stream derivation as the sequential path: bit-identity
             // starts at the seed.
             let mut rng = ChaCha8Rng::seed_from_u64(replica_seed(seed, replica));
@@ -673,6 +832,12 @@ impl Simulator {
             let mut t = 0u64;
             let mut next_sample = 0usize;
             while t < steps {
+                if cancel.is_some_and(|c| c.is_cancelled()) {
+                    // Mid-replica cancellation: abandon the stream at a
+                    // chunk boundary. The reducer tolerates the partial
+                    // stream because the token explains it.
+                    return false;
+                }
                 let chunk_end = (t + controller.chunk_ticks()).min(steps);
                 let first_sample = next_sample;
                 let mut batch: Vec<Vec<usize>> = Vec::new();
@@ -713,7 +878,7 @@ impl Simulator {
         };
 
         let reducer_mode = config.reducer;
-        let (series, final_values): (Vec<RunningStats>, Vec<f64>) = farm(
+        let reduced: Option<(Vec<RunningStats>, Vec<f64>)> = farm(
             self.pool(),
             config.backend,
             replicas,
@@ -735,7 +900,13 @@ impl Simulator {
                         // The snapshots are spent: recycle their buffers.
                         pool.recycle(batch.profiles);
                     }
-                    reducer.finish().into_series_and_finals()
+                    // "Cancelled" wins over "completed": even a stream that
+                    // happens to be whole is discarded once the token is
+                    // set, so racing callers observe one outcome.
+                    if cancel.is_some_and(|c| c.is_cancelled()) {
+                        return None;
+                    }
+                    Some(reducer.finish().into_series_and_finals())
                 }
                 ReducerMode::Unordered => {
                     // Merge-on-arrival: fold each batch into its own small
@@ -757,16 +928,20 @@ impl Simulator {
                         acc.merge(part);
                         pool.recycle(batch.profiles);
                     }
+                    if cancel.is_some_and(|c| c.is_cancelled()) {
+                        return None;
+                    }
                     assert!(
                         acc.series().iter().all(|s| s.count() == replicas as u64),
                         "reduction is incomplete: not every replica reported every sample"
                     );
-                    acc.into_series_and_finals()
+                    Some(acc.into_series_and_finals())
                 }
             },
         );
 
-        ProfileEnsembleResult {
+        let (series, final_values) = reduced?;
+        Some(ProfileEnsembleResult {
             replicas,
             steps,
             sample_every,
@@ -774,7 +949,7 @@ impl Simulator {
             times,
             series,
             final_values,
-        }
+        })
     }
 }
 
@@ -1298,6 +1473,145 @@ mod tests {
             let pipelined = sim.run_profiles_pipelined_with(&d, &[0; 6], 150, 10, &obs, &config);
             assert_results_identical(&sequential, &pipelined);
         }
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors_and_validate_still_panics() {
+        let good = PipelineConfig::default();
+        assert_eq!(good.try_validate(), Ok(()));
+        let zero_chunk = PipelineConfig {
+            chunk_ticks: 0,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(
+            zero_chunk.try_validate(),
+            Err(PipelineConfigError::ZeroChunkTicks)
+        );
+        let zero_capacity = PipelineConfig {
+            channel_capacity: 0,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(
+            zero_capacity.try_validate(),
+            Err(PipelineConfigError::ZeroChannelCapacity)
+        );
+        // The typed errors render the exact strings the entry-path panics
+        // (and their should_panic pins) rely on.
+        assert_eq!(
+            PipelineConfigError::ZeroChunkTicks.to_string(),
+            "chunk_ticks must be at least 1"
+        );
+        assert_eq!(
+            PipelineConfigError::ZeroChannelCapacity.to_string(),
+            "channel_capacity must be at least 1"
+        );
+    }
+
+    #[test]
+    fn a_pre_cancelled_run_returns_none_without_stepping() {
+        let d = ring_dynamics(6);
+        let sim = simulator_with_workers(42, 16, 2);
+        let obs = StrategyFraction::new(1, "adopters");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let result = sim.run_profiles_pipelined_cancellable_with(
+            &d,
+            &[0; 6],
+            1_000,
+            100,
+            &obs,
+            &PipelineConfig::default(),
+            &cancel,
+        );
+        assert!(
+            result.is_none(),
+            "a cancelled run must not produce a result"
+        );
+    }
+
+    #[test]
+    fn mid_run_cancellation_ends_the_farm_cleanly() {
+        // Tiny chunks so workers hit the cancellation check often; the
+        // token is tripped by the reducer side-channel after the first
+        // batch lands, which is guaranteed to be mid-run because replicas
+        // far outnumber workers.
+        let d = ring_dynamics(6);
+        let sim = simulator_with_workers(7, 64, 2);
+        let cancel = CancelToken::new();
+        let trip = cancel.clone();
+        let obs = crate::observables::NamedObservable::new("tripwire", move |p: &[usize]| {
+            trip.cancel();
+            p[0] as f64
+        });
+        let config = PipelineConfig {
+            chunk_ticks: 2,
+            channel_capacity: 2,
+            ..PipelineConfig::default()
+        };
+        let result = sim
+            .run_profiles_pipelined_cancellable_with(&d, &[0; 6], 400, 10, &obs, &config, &cancel);
+        assert!(result.is_none());
+        // The pool survives the cancelled farm: the next run is normal and
+        // bit-identical to the sequential path.
+        let obs = StrategyFraction::new(1, "adopters");
+        let sequential = sim.run_profiles(&d, &[0; 6], 120, 30, &obs);
+        let fresh = CancelToken::new();
+        let rerun = sim
+            .run_profiles_pipelined_cancellable_with(&d, &[0; 6], 120, 30, &obs, &config, &fresh)
+            .expect("uncancelled rerun completes");
+        assert_results_identical(&sequential, &rerun);
+    }
+
+    #[test]
+    fn an_uncancelled_token_changes_nothing() {
+        let d = ring_dynamics(6);
+        let sim = simulator_with_workers(13, 20, 3);
+        let obs = StrategyFraction::new(1, "adopters");
+        let sequential = sim.run_profiles(&d, &[0; 6], 205, 50, &obs);
+        let cancel = CancelToken::new();
+        let cancellable = sim
+            .run_profiles_pipelined_cancellable_with(
+                &d,
+                &[0; 6],
+                205,
+                50,
+                &obs,
+                &PipelineConfig::default(),
+                &cancel,
+            )
+            .expect("run completes");
+        assert_results_identical(&sequential, &cancellable);
+        // The scheduled entry honours the token the same way.
+        let seq_sweep = sim.run_profiles_scheduled(&d, &SystematicSweep, &[1; 6], 77, 20, &obs);
+        let pipe_sweep = sim
+            .run_profiles_scheduled_pipelined_cancellable_with(
+                &d,
+                &[1; 6],
+                77,
+                20,
+                &obs,
+                &SystematicSweep,
+                &PipelineConfig::default(),
+                &cancel,
+            )
+            .expect("run completes");
+        assert_results_identical(&seq_sweep, &pipe_sweep);
+    }
+
+    #[test]
+    fn reseeded_simulators_share_one_pool_and_replay_bit_identically() {
+        let d = ring_dynamics(6);
+        let base = simulator_with_workers(1, 4, 2);
+        let shared_registry = base.pool().registry().entries();
+        let job = base.reseeded(99, 12);
+        // Same threads, no respawn: the registry is the pool's identity.
+        assert_eq!(job.pool().registry().entries(), shared_registry);
+        let obs = StrategyFraction::new(1, "adopters");
+        let served = job.run_profiles_pipelined(&d, &[0; 6], 150, 30, &obs);
+        // The offline replay contract: a fresh Simulator with the job's
+        // seed and replica count reproduces the served bytes.
+        let offline = Simulator::new(99, 12).run_profiles(&d, &[0; 6], 150, 30, &obs);
+        assert_results_identical(&offline, &served);
     }
 
     #[test]

@@ -427,6 +427,25 @@ impl Simulator {
         self.seed
     }
 
+    /// A simulator with its own master seed and replica count that shares
+    /// this one's runtime configuration **and** its already-spawned worker
+    /// pool — the per-job view a long-running service needs: every job gets
+    /// independent, reproducible streams (`Simulator::new(seed, replicas)`
+    /// replays them offline) while the pool threads are spawned exactly
+    /// once for the process.
+    pub fn reseeded(&self, seed: u64, replicas: usize) -> Simulator {
+        assert!(replicas > 0, "need at least one replica");
+        // Force the pool into existence first: cloning an empty OnceLock
+        // would hand the job its own private pool.
+        let _ = self.pool();
+        Simulator {
+            seed,
+            replicas,
+            runtime: self.runtime,
+            pool: self.pool.clone(),
+        }
+    }
+
     /// Drives `ticks` coloured block ticks of `engine` — which must be
     /// built on the **relabelled** game of `layout` — from the
     /// original-label profile `start`, through the simulator's persistent

@@ -35,22 +35,70 @@ pub struct CoordinationGame {
     d: f64,
 }
 
+/// Why a payoff matrix was rejected as a coordination game: the typed
+/// counterpart of the constructor `assert!`s, so admission-time validation
+/// (e.g. in a job server) can return the failure instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinationError {
+    /// `δ₀ = a - d` was not strictly positive (or not a number).
+    NonPositiveDelta0,
+    /// `δ₁ = b - c` was not strictly positive (or not a number).
+    NonPositiveDelta1,
+}
+
+impl std::fmt::Display for CoordinationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordinationError::NonPositiveDelta0 => {
+                write!(f, "coordination requires delta0 = a - d > 0")
+            }
+            CoordinationError::NonPositiveDelta1 => {
+                write!(f, "coordination requires delta1 = b - c > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordinationError {}
+
 impl CoordinationGame {
     /// Creates the game from the four payoffs of matrix (10).
     ///
     /// # Panics
     /// Panics unless `δ₀ = a - d > 0` and `δ₁ = b - c > 0`, i.e. unless the game
-    /// really is a coordination game.
+    /// really is a coordination game. Use [`try_new`](Self::try_new) where the
+    /// failure must be a value instead.
     pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
-        assert!(a - d > 0.0, "coordination requires delta0 = a - d > 0");
-        assert!(b - c > 0.0, "coordination requires delta1 = b - c > 0");
-        Self { a, b, c, d }
+        match Self::try_new(a, b, c, d) {
+            Ok(game) => game,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`new`](Self::new): `Err` with a typed
+    /// [`CoordinationError`] instead of panicking when the payoffs do not
+    /// describe a coordination game.
+    pub fn try_new(a: f64, b: f64, c: f64, d: f64) -> Result<Self, CoordinationError> {
+        let delta0 = a - d;
+        if delta0.is_nan() || delta0 <= 0.0 {
+            return Err(CoordinationError::NonPositiveDelta0);
+        }
+        let delta1 = b - c;
+        if delta1.is_nan() || delta1 <= 0.0 {
+            return Err(CoordinationError::NonPositiveDelta1);
+        }
+        Ok(Self { a, b, c, d })
     }
 
     /// Convenience constructor directly from `(δ₀, δ₁)`, with the off-diagonal
     /// payoffs set to zero (`a = δ₀`, `b = δ₁`, `c = d = 0`).
     pub fn from_deltas(delta0: f64, delta1: f64) -> Self {
         Self::new(delta0, delta1, 0.0, 0.0)
+    }
+
+    /// The fallible form of [`from_deltas`](Self::from_deltas).
+    pub fn try_from_deltas(delta0: f64, delta1: f64) -> Result<Self, CoordinationError> {
+        Self::try_new(delta0, delta1, 0.0, 0.0)
     }
 
     /// The symmetric case with no risk-dominant equilibrium (`δ₀ = δ₁ = δ`),

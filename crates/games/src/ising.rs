@@ -28,22 +28,59 @@ pub struct IsingGame {
     field: f64,
 }
 
+/// Why an Ising description was rejected: the typed counterpart of the
+/// constructor `assert!`s, for admission-time validation in service
+/// contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsingError {
+    /// The coupling `J` was not strictly positive (or not a number) — the
+    /// paper's logit/Glauber correspondence is for the ferromagnetic case.
+    NonPositiveCoupling,
+    /// The graph had no vertices.
+    NoSpins,
+}
+
+impl std::fmt::Display for IsingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsingError::NonPositiveCoupling => write!(f, "coupling J must be positive"),
+            IsingError::NoSpins => write!(f, "need at least one spin"),
+        }
+    }
+}
+
+impl std::error::Error for IsingError {}
+
 impl IsingGame {
     /// Creates an Ising game with coupling `J > 0` and external field `h`.
     ///
     /// # Panics
     /// Panics when `coupling <= 0` (the logit/Glauber correspondence in the paper
-    /// is for the ferromagnetic case) or when the graph is empty.
+    /// is for the ferromagnetic case) or when the graph is empty. Use
+    /// [`try_new`](Self::try_new) where the failure must be a value instead.
     pub fn new(graph: Graph, coupling: f64, field: f64) -> Self {
-        assert!(coupling > 0.0, "coupling J must be positive");
-        assert!(graph.num_vertices() > 0, "need at least one spin");
+        match Self::try_new(graph, coupling, field) {
+            Ok(game) => game,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`new`](Self::new): `Err` with a typed
+    /// [`IsingError`] instead of panicking on a malformed description.
+    pub fn try_new(graph: Graph, coupling: f64, field: f64) -> Result<Self, IsingError> {
+        if coupling.is_nan() || coupling <= 0.0 {
+            return Err(IsingError::NonPositiveCoupling);
+        }
+        if graph.num_vertices() == 0 {
+            return Err(IsingError::NoSpins);
+        }
         let csr = CsrGraph::from_graph(&graph);
-        Self {
+        Ok(Self {
             graph,
             csr,
             coupling,
             field,
-        }
+        })
     }
 
     /// Zero-field Ising model.

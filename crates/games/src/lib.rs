@@ -53,11 +53,11 @@ pub use analysis::{
     is_pure_nash, verify_exact_potential,
 };
 pub use congestion::CongestionGame;
-pub use coordination::CoordinationGame;
+pub use coordination::{CoordinationError, CoordinationGame};
 pub use dominant::AllZeroDominantGame;
 pub use game::{Game, PotentialGame};
 pub use graphical::GraphicalCoordinationGame;
-pub use ising::IsingGame;
+pub use ising::{IsingError, IsingGame};
 pub use local::{interaction_csr, interaction_graph, LocalGame};
 pub use matrix_game::TwoPlayerGame;
 pub use profile::ProfileSpace;
