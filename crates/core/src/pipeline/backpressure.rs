@@ -63,6 +63,14 @@ pub(crate) struct LagController {
     raises: AtomicUsize,
     shrinks: AtomicUsize,
     stalls: AtomicUsize,
+    /// Live instruments mirroring the above plus the chunk trajectory
+    /// (`pipeline.send_throttle_stalls`, `pipeline.chunk_raises`,
+    /// `pipeline.chunk_shrinks`, `pipeline.chunk_ticks`). Zero-sized
+    /// no-ops without the `telemetry` feature.
+    stall_counter: logit_telemetry::Counter,
+    raise_counter: logit_telemetry::Counter,
+    shrink_counter: logit_telemetry::Counter,
+    chunk_gauge: logit_telemetry::Gauge,
 }
 
 impl LagController {
@@ -71,6 +79,7 @@ impl LagController {
     pub(crate) fn new(enabled: bool, base_chunk: u64, capacity: usize, workers: usize) -> Self {
         assert!(base_chunk >= 1, "chunk_ticks must be at least 1");
         assert!(capacity >= 1, "channel_capacity must be at least 1");
+        let registry = logit_telemetry::global();
         LagController {
             enabled,
             base_chunk,
@@ -84,6 +93,10 @@ impl LagController {
             raises: AtomicUsize::new(0),
             shrinks: AtomicUsize::new(0),
             stalls: AtomicUsize::new(0),
+            stall_counter: registry.counter("pipeline.send_throttle_stalls"),
+            raise_counter: registry.counter("pipeline.chunk_raises"),
+            shrink_counter: registry.counter("pipeline.chunk_shrinks"),
+            chunk_gauge: registry.gauge("pipeline.chunk_ticks"),
         }
     }
 
@@ -112,6 +125,7 @@ impl LagController {
                 // configured buffering is actually used, and proceed to
                 // the real send rather than spinning forever.
                 self.stalls.fetch_add(1, Ordering::Relaxed);
+                self.stall_counter.inc();
                 let cap = self.soft_cap.load(Ordering::Relaxed);
                 let widened = (cap * 2).clamp(1, self.capacity);
                 self.soft_cap.store(widened, Ordering::Relaxed);
@@ -135,18 +149,22 @@ impl LagController {
             // its per-batch overhead with bigger chunks.
             let chunk = self.chunk.load(Ordering::Relaxed);
             if chunk < self.max_chunk {
-                self.chunk
-                    .store((chunk * 2).min(self.max_chunk), Ordering::Relaxed);
+                let raised = (chunk * 2).min(self.max_chunk);
+                self.chunk.store(raised, Ordering::Relaxed);
                 self.raises.fetch_add(1, Ordering::Relaxed);
+                self.raise_counter.inc();
+                self.chunk_gauge.set(raised as f64);
             }
         } else if occupancy <= 1 {
             // The queue ran dry: the workers are the bottleneck; shrink
             // back toward the configured base for snapshot latency.
             let chunk = self.chunk.load(Ordering::Relaxed);
             if chunk > self.base_chunk {
-                self.chunk
-                    .store((chunk / 2).max(self.base_chunk), Ordering::Relaxed);
+                let shrunk = (chunk / 2).max(self.base_chunk);
+                self.chunk.store(shrunk, Ordering::Relaxed);
                 self.shrinks.fetch_add(1, Ordering::Relaxed);
+                self.shrink_counter.inc();
+                self.chunk_gauge.set(shrunk as f64);
             }
         }
     }

@@ -282,13 +282,15 @@ pub(crate) enum FarmMsg<M> {
 pub(crate) struct FarmSender<M: Send> {
     tx: AnyChannelSender<FarmMsg<M>>,
     lane: usize,
+    telemetry: FarmTelemetry,
 }
 
 impl<M: Send> FarmSender<M> {
     /// Sends one payload to the reducer; `Err` means the reducer hung up
     /// (the worker should stop producing).
     pub(crate) fn send(&self, message: M) -> Result<(), M> {
-        self.tx
+        let sent = self
+            .tx
             .send(self.lane, FarmMsg::Payload(message))
             .map_err(|e| {
                 match e {
@@ -296,7 +298,40 @@ impl<M: Send> FarmSender<M> {
                     // We only ever send Payload here.
                     FarmMsg::JobDone => unreachable!("payload send returned a marker"),
                 }
-            })
+            });
+        if sent.is_ok() {
+            self.telemetry.batches_sent.inc();
+            self.telemetry.in_flight.add(1.0);
+        }
+        sent
+    }
+}
+
+/// Farm-channel instruments, registered once per [`farm`] call and cloned
+/// (Arc-cheap, per job — never per message) into each sender. Zero-sized
+/// without the `telemetry` feature.
+#[derive(Clone)]
+struct FarmTelemetry {
+    /// `pipeline.batches_sent{backend="..."}` — payloads accepted by the
+    /// channel, per backend (completion markers are not payloads).
+    batches_sent: logit_telemetry::Counter,
+    /// `pipeline.channel_in_flight` — payloads sent but not yet consumed
+    /// by the reducer: the live channel occupancy.
+    in_flight: logit_telemetry::Gauge,
+    /// `pipeline.reducer_lag` — occupancy observed at each consume: the
+    /// backlog the reducer was behind by when it picked up a payload.
+    reducer_lag: logit_telemetry::Histogram,
+}
+
+impl FarmTelemetry {
+    fn register(backend: ChannelBackendKind) -> Self {
+        let registry = logit_telemetry::global();
+        FarmTelemetry {
+            batches_sent: registry
+                .counter_labelled("pipeline.batches_sent", ("backend", backend.name())),
+            in_flight: registry.gauge("pipeline.channel_in_flight"),
+            reducer_lag: registry.histogram("pipeline.reducer_lag"),
+        }
     }
 }
 
@@ -318,6 +353,7 @@ fn farm_lane<M: Send>(tx: &AnyChannelSender<FarmMsg<M>>) -> usize {
 pub(crate) struct FarmReceiver<M: Send> {
     rx: AnyChannelReceiver<FarmMsg<M>>,
     jobs_remaining: usize,
+    telemetry: FarmTelemetry,
 }
 
 impl<M: Send> Iterator for FarmReceiver<M> {
@@ -326,7 +362,18 @@ impl<M: Send> Iterator for FarmReceiver<M> {
     fn next(&mut self) -> Option<M> {
         while self.jobs_remaining > 0 {
             match self.rx.recv() {
-                Some(FarmMsg::Payload(message)) => return Some(message),
+                Some(FarmMsg::Payload(message)) => {
+                    // The occupancy *before* this consume is the backlog
+                    // the reducer was behind by. Guarded so the disabled
+                    // path never even loads the gauge cell.
+                    if logit_telemetry::enabled() {
+                        self.telemetry
+                            .reducer_lag
+                            .record(self.telemetry.in_flight.value());
+                        self.telemetry.in_flight.add(-1.0);
+                    }
+                    return Some(message);
+                }
                 Some(FarmMsg::JobDone) => self.jobs_remaining -= 1,
                 // Defensive: the farm keeps a sender alive for the whole
                 // reduction, so disconnection before the last JobDone
@@ -370,6 +417,7 @@ where
     assert!(jobs >= 1, "farm needs at least one job");
     assert!(capacity >= 1, "channel capacity must be at least 1");
     let (tx, rx) = backend.open::<FarmMsg<M>>(capacity, pool.workers().max(1), pool.wait_policy());
+    let telemetry = FarmTelemetry::register(backend);
     let stop = AtomicBool::new(false);
     let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
@@ -379,6 +427,7 @@ where
             let sender = FarmSender {
                 tx: tx.clone(),
                 lane,
+                telemetry: telemetry.clone(),
             };
             match catch_unwind(AssertUnwindSafe(|| worker(job, &sender))) {
                 Ok(true) => {}
@@ -405,6 +454,7 @@ where
             reduce(FarmReceiver {
                 rx,
                 jobs_remaining: jobs,
+                telemetry: telemetry.clone(),
             })
         }))
     });

@@ -36,18 +36,13 @@ pub use pool::WorkerPool;
 pub use registry::{ThreadRegistry, WorkerEntry};
 
 /// Records that a warning for `var` has been emitted; returns `true` the
-/// first time a given variable name is seen in this process. Split from
-/// [`warn_invalid_env`] so the once-per-variable bookkeeping is testable
-/// without capturing stderr.
+/// first time a given variable name is seen in this process. Delegates to
+/// the workspace-wide dedup set in `logit-telemetry`, so the runtime's
+/// `LOGIT_*` knobs and the telemetry layer's `LOGIT_TELEMETRY` read share
+/// one once-per-variable ledger no matter which crate reads first.
+#[cfg(test)]
 fn first_warning(var: &str) -> bool {
-    use std::collections::BTreeSet;
-    use std::sync::{Mutex, OnceLock};
-    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
-    WARNED
-        .get_or_init(|| Mutex::new(BTreeSet::new()))
-        .lock()
-        .expect("warning set poisoned")
-        .insert(var.to_string())
+    logit_telemetry::first_warning(var)
 }
 
 /// Emits a one-time stderr warning that the environment variable `var`
@@ -56,9 +51,7 @@ fn first_warning(var: &str) -> bool {
 /// bad value never aborts a run — but a typo like `LOGIT_WORKERS=for`
 /// is no longer indistinguishable from the variable being unset.
 pub(crate) fn warn_invalid_env(var: &str, value: &str) {
-    if first_warning(var) {
-        eprintln!("warning: ignoring unparseable {var}={value:?}; using the built-in default");
-    }
+    logit_telemetry::warn_invalid_env(var, value);
 }
 
 /// How idle pool workers wait for the next dispatch. The policy sets how
@@ -408,6 +401,13 @@ mod tests {
             "a second warning for the same variable must be suppressed"
         );
         assert!(super::first_warning("LOGIT_TEST_DEDUP_KNOB_TWO"));
+        // The ledger is the workspace-wide one: a variable the telemetry
+        // layer already warned for stays suppressed here, and vice versa.
+        assert!(logit_telemetry::first_warning("LOGIT_TEST_DEDUP_SHARED"));
+        assert!(
+            !super::first_warning("LOGIT_TEST_DEDUP_SHARED"),
+            "runtime and telemetry share one once-per-variable ledger"
+        );
     }
 
     #[test]

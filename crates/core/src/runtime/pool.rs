@@ -98,6 +98,36 @@ impl JobSlot {
     }
 }
 
+/// Pool instruments, registered once at spawn so the hot paths touch
+/// only the atomic cells behind these handles (zero-sized no-ops without
+/// the `telemetry` feature).
+struct PoolTelemetry {
+    /// `runtime.dispatch_ns` — wall time of a full pooled dispatch
+    /// (install → chunks → barrier → finish), caller-side.
+    dispatch_ns: logit_telemetry::Histogram,
+    /// `runtime.parks` — workers escalating to the condvar after their
+    /// idle poll budget ran dry.
+    parks: logit_telemetry::Counter,
+    /// `runtime.wakes` — parked workers woken by a dispatch (shutdown
+    /// wakes are not counted).
+    wakes: logit_telemetry::Counter,
+    /// `runtime.inline_fallbacks` — `run` calls that bypassed the pool
+    /// (single participant or single chunk).
+    inline_fallbacks: logit_telemetry::Counter,
+}
+
+impl PoolTelemetry {
+    fn register() -> Self {
+        let registry = logit_telemetry::global();
+        PoolTelemetry {
+            dispatch_ns: registry.histogram("runtime.dispatch_ns"),
+            parks: registry.counter("runtime.parks"),
+            wakes: registry.counter("runtime.wakes"),
+            inline_fallbacks: registry.counter("runtime.inline_fallbacks"),
+        }
+    }
+}
+
 struct Shared {
     /// Latest dispatched job id; strictly increasing, 0 = "none yet".
     epoch: AtomicU64,
@@ -119,6 +149,7 @@ struct Shared {
     wait_policy: WaitPolicy,
     park_lock: Mutex<()>,
     park_cv: Condvar,
+    telemetry: PoolTelemetry,
 }
 
 /// Empty polls before a Spin worker stops burning cycles and parks —
@@ -166,6 +197,7 @@ impl Shared {
         // Sustained idleness (or Park from the start): block on the
         // condvar. Dispatch and shutdown notify under the same lock, so
         // re-checking the epoch while holding it closes the wakeup race.
+        self.telemetry.parks.inc();
         let mut guard = self.park_lock.lock().expect("park lock poisoned");
         loop {
             if self.shutdown.load(Ordering::Acquire) {
@@ -173,6 +205,7 @@ impl Shared {
             }
             let epoch = self.epoch.load(Ordering::Acquire);
             if epoch != last_epoch {
+                self.telemetry.wakes.inc();
                 return Some(epoch);
             }
             guard = self.park_cv.wait(guard).expect("park lock poisoned");
@@ -185,14 +218,15 @@ impl Shared {
     fn work_chunks(&self, job: &JobSlot) {
         let call = job.call.expect("job dispatched without a kernel");
         let tag = (job.epoch & CHUNK_LIMIT) << 32;
+        let mut stolen = 0u64;
         loop {
             let current = self.claim.load(Ordering::Acquire);
             if (current & !CHUNK_LIMIT) != tag {
-                return;
+                break;
             }
             let next = current & CHUNK_LIMIT;
             if next >= job.chunks {
-                return;
+                break;
             }
             if self
                 .claim
@@ -215,7 +249,25 @@ impl Shared {
                     *slot = Some(payload);
                 }
             }
+            stolen += 1;
             self.completed.fetch_add(1, Ordering::Release);
+        }
+        // Once per job per participant (never per chunk): attribute the
+        // chunks this thread stole to its lane. The `enabled` guard keeps
+        // the label formatting and registry lookup off the recording-off
+        // path entirely.
+        if stolen > 0 && logit_telemetry::enabled() {
+            let lane;
+            let worker = match current_worker_index() {
+                Some(index) => {
+                    lane = index.to_string();
+                    lane.as_str()
+                }
+                None => "caller",
+            };
+            logit_telemetry::global()
+                .counter_labelled("runtime.chunks_stolen", ("worker", worker))
+                .add(stolen);
         }
     }
 }
@@ -278,6 +330,7 @@ impl WorkerPool {
             wait_policy: config.wait_policy,
             park_lock: Mutex::new(()),
             park_cv: Condvar::new(),
+            telemetry: PoolTelemetry::register(),
         });
         let registry = ThreadRegistry::new(workers);
         let cores = std::thread::available_parallelism()
@@ -351,11 +404,13 @@ impl WorkerPool {
             .min(self.workers())
             .min(chunks.saturating_sub(1));
         if helpers == 0 {
+            self.shared.telemetry.inline_fallbacks.inc();
             for chunk in 0..chunks {
                 f(chunk);
             }
             return;
         }
+        let _dispatch_span = self.shared.telemetry.dispatch_ns.span();
         let job = self.install(chunks, helpers, f);
         self.shared.work_chunks(&job);
         self.barrier(chunks as u64);
@@ -378,6 +433,7 @@ impl WorkerPool {
         // `WorkerPool::new` spawns at least one worker, so there is always
         // a pool participant to run the chunks while the caller reduces.
         let participants = limit.max(1).min(self.workers()).min(chunks);
+        let _dispatch_span = self.shared.telemetry.dispatch_ns.span();
         let job = self.install(chunks, participants, f);
         debug_assert_eq!(job.chunks, chunks as u64);
         let result = catch_unwind(AssertUnwindSafe(caller_work));

@@ -327,6 +327,23 @@ impl<G: PotentialGame, U: UpdateRule> TemperingEnsemble<G, U> {
                     accepted += 1;
                 }
             }
+            // Publish the live acceptance picture once per swap phase (K-1
+            // gauge stores, never per proposal). Guarded so the disabled
+            // path pays neither the label formatting nor registry lookups.
+            if logit_telemetry::enabled() {
+                let registry = logit_telemetry::global();
+                registry
+                    .counter("tempering.swaps_attempted")
+                    .add((k - 1) as u64);
+                registry
+                    .counter("tempering.swaps_accepted")
+                    .add(accepted as u64);
+                for pair in 0..k - 1 {
+                    registry
+                        .gauge_labelled("tempering.swap_rate", ("pair", &pair.to_string()))
+                        .set(state.stats.rate(pair));
+                }
+            }
         }
         accepted
     }

@@ -16,8 +16,8 @@
 //! shuts down cleanly. Exit code 0 means the contract held.
 
 use logit_server::{
-    prepare, run_direct, submit_job, submit_raw, ArtifactCache, ClientOutcome, JobSpec,
-    RunningServer, ServerConfig,
+    prepare, request_stats, run_direct, submit_job, submit_raw, ArtifactCache, ClientOutcome,
+    JobSpec, RunningServer, ServerConfig,
 };
 use std::net::SocketAddr;
 use std::thread;
@@ -137,6 +137,20 @@ fn self_test() {
     });
     let garbage_client = thread::spawn(move || garbage_probe(addr));
 
+    // A live STATS probe *mid-chaos*: the snapshot must come back and
+    // parse while jobs are in flight — probes bypass the queue.
+    let mid_chaos = request_stats(addr).expect("mid-chaos STATS probe io");
+    let mid_samples =
+        logit_telemetry::parse_prometheus(&mid_chaos).expect("mid-chaos snapshot must parse");
+    assert!(
+        mid_samples.contains_key("server_jobs_accepted"),
+        "the snapshot carries the job counters"
+    );
+    println!(
+        "  stats: mid-chaos snapshot parsed ({} samples)",
+        mid_samples.len()
+    );
+
     for (kind, text, handle) in clients {
         let (outcome, timing) = handle.join().expect("client thread");
         match outcome {
@@ -186,18 +200,42 @@ fn self_test() {
     }
     println!("  post-chaos: pool workers survived, job still bit-identical");
 
+    // The quiescent STATS frame: every client has joined, so the parsed
+    // snapshot must agree exactly with the server's ground-truth
+    // counters. This is the registry-backed replacement for the old
+    // bespoke `stats: ...` printout.
+    let final_stats = request_stats(addr).expect("final STATS probe io");
+    let samples =
+        logit_telemetry::parse_prometheus(&final_stats).expect("final snapshot must parse");
     let stats = server.shutdown();
-    println!(
-        "  stats: accepted={} rejected={} completed={} cancelled={} internal_errors={} \
-         cache hits={} misses={}",
-        stats.accepted,
-        stats.rejected,
-        stats.completed,
-        stats.cancelled,
-        stats.internal_errors,
-        stats.artifact_cache.hits,
-        stats.artifact_cache.misses,
-    );
+    for (name, truth) in [
+        ("server_jobs_accepted", stats.accepted),
+        ("server_jobs_rejected", stats.rejected),
+        ("server_jobs_completed", stats.completed),
+        ("server_jobs_cancelled", stats.cancelled),
+        ("server_internal_errors", stats.internal_errors),
+        ("server_artifact_hits", stats.artifact_cache.hits),
+        ("server_artifact_misses", stats.artifact_cache.misses),
+    ] {
+        assert_eq!(
+            samples.get(name).copied(),
+            Some(truth as f64),
+            "STATS sample `{name}` must match the chaos-batch ground truth"
+        );
+    }
+    if logit_telemetry::enabled() {
+        // Feature builds running with LOGIT_TELEMETRY=1 must also carry
+        // non-empty per-job latency histograms in the same snapshot.
+        for family in ["server_job_wall_ns", "server_job_exec_ns"] {
+            let count = samples.get(&format!("{family}_count")).copied();
+            assert!(
+                count.unwrap_or(0.0) >= 1.0,
+                "live histogram `{family}` must have recorded jobs, got {count:?}"
+            );
+        }
+        println!("  stats: live latency histograms populated");
+    }
+    print!("{final_stats}");
     assert_eq!(stats.internal_errors, 0, "no job may panic a pool worker");
     assert!(stats.rejected >= 2, "malformed + garbage clients rejected");
     assert!(

@@ -38,6 +38,31 @@ struct LruInner<K, V> {
 pub struct LruCache<K: Eq + Hash + Clone, V: Clone> {
     inner: Mutex<LruInner<K, V>>,
     capacity: usize,
+    /// Live registry counters mirroring [`CacheStats`]
+    /// (`server.cache.{hits,misses,evictions}{cache="<name>"}`), present
+    /// only on caches built with [`named`](Self::named). The mutex-held
+    /// `stats` stay the ground truth — they exist in every build; these
+    /// feed the STATS surface.
+    telemetry: Option<CacheTelemetry>,
+}
+
+/// The registered per-cache instruments (zero-sized without the
+/// `telemetry` feature).
+struct CacheTelemetry {
+    hits: logit_telemetry::Counter,
+    misses: logit_telemetry::Counter,
+    evictions: logit_telemetry::Counter,
+}
+
+impl CacheTelemetry {
+    fn register(name: &str) -> Self {
+        let registry = logit_telemetry::global();
+        CacheTelemetry {
+            hits: registry.counter_labelled("server.cache.hits", ("cache", name)),
+            misses: registry.counter_labelled("server.cache.misses", ("cache", name)),
+            evictions: registry.counter_labelled("server.cache.evictions", ("cache", name)),
+        }
+    }
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -51,6 +76,16 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 stats: CacheStats::default(),
             }),
             capacity,
+            telemetry: None,
+        }
+    }
+
+    /// [`new`](Self::new), additionally mirroring the hit/miss/eviction
+    /// counters into the telemetry registry under `{cache="<name>"}`.
+    pub fn named(capacity: usize, name: &str) -> Self {
+        Self {
+            telemetry: Some(CacheTelemetry::register(name)),
+            ..Self::new(capacity)
         }
     }
 
@@ -71,9 +106,15 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 *touched = tick;
                 let value = value.clone();
                 inner.stats.hits += 1;
+                if let Some(t) = &self.telemetry {
+                    t.hits.inc();
+                }
                 return Ok((value, true));
             }
             inner.stats.misses += 1;
+            if let Some(t) = &self.telemetry {
+                t.misses.inc();
+            }
         }
         let built = build()?;
         let mut inner = self.inner.lock().unwrap();
@@ -93,6 +134,9 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             {
                 inner.map.remove(&oldest);
                 inner.stats.evictions += 1;
+                if let Some(t) = &self.telemetry {
+                    t.evictions.inc();
+                }
             }
         }
         inner.map.insert(key, (built.clone(), tick));
@@ -145,8 +189,8 @@ impl ArtifactCache {
     /// proportionally small ladder cache.
     pub fn new(games_capacity: usize) -> Self {
         Self {
-            games: LruCache::new(games_capacity),
-            ladders: LruCache::new(games_capacity.max(4)),
+            games: LruCache::named(games_capacity, "games"),
+            ladders: LruCache::named(games_capacity.max(4), "ladders"),
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod exec;
 pub mod job;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 
 pub use cache::{ArtifactCache, CacheStats, GameArtifacts, LruCache};
 pub use error::AdmissionError;
@@ -38,6 +39,7 @@ pub use job::{
 };
 pub use protocol::{SeriesPoint, StreamedResult};
 pub use server::{
-    submit_job, submit_raw, ClientOutcome, ClientTiming, RunningServer, ServerConfig, ServerStats,
-    StatsSnapshot,
+    request_stats, submit_job, submit_raw, ClientOutcome, ClientTiming, RunningServer,
+    ServerConfig, ServerStats, StatsSnapshot,
 };
+pub use stats::render_stats;

@@ -35,6 +35,11 @@ pub const DONE: u8 = b'D';
 pub const CANCELLED: u8 = b'X';
 /// Server → client: the job died inside the executor backstop.
 pub const ERROR: u8 = b'!';
+/// Bidirectional: as a client's *first* frame, requests a live metrics
+/// snapshot instead of submitting a job; the server answers with one
+/// STATS frame whose payload is the Prometheus-text snapshot
+/// ([`render_stats`](crate::stats::render_stats)) and closes.
+pub const STATS: u8 = b'T';
 
 /// Upper bound on a frame body (kind + payload); a peer announcing more is
 /// a protocol violation, not an allocation request.

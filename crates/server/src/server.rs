@@ -36,7 +36,7 @@ use crate::exec::{prepare, run_prepared, PreparedJob};
 use crate::job::JobSpec;
 use crate::protocol::{
     read_frame, write_frame, SeriesPoint, StreamedResult, ACCEPTED, CANCEL, CANCELLED, DONE, ERROR,
-    FINAL, REJECTED, SERIES, SUBMIT,
+    FINAL, REJECTED, SERIES, STATS, SUBMIT,
 };
 use logit_core::{CancelToken, Simulator};
 use std::io;
@@ -89,6 +89,60 @@ pub struct StatsSnapshot {
     pub cancelled: u64,
     pub internal_errors: u64,
     pub artifact_cache: CacheStats,
+}
+
+/// The server's registered instruments, resolved once per process
+/// (zero-sized no-ops without the `telemetry` feature).
+struct ServerTelemetry {
+    /// `server.queue_depth` — jobs admitted but not yet picked up by the
+    /// executor.
+    queue_depth: logit_telemetry::Gauge,
+    /// `server.job_wall_ns` — ACCEPTED frame to terminal frame: queue
+    /// wait + execution + streaming, as the client experiences it.
+    job_wall_ns: logit_telemetry::Histogram,
+    /// `server.job_exec_ns` — the executor's `run_prepared` alone.
+    job_exec_ns: logit_telemetry::Histogram,
+    /// `server.job_stream_ns` — writing the result frames back out.
+    job_stream_ns: logit_telemetry::Histogram,
+}
+
+fn telemetry() -> &'static ServerTelemetry {
+    use std::sync::OnceLock;
+    static TELEMETRY: OnceLock<ServerTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| {
+        let registry = logit_telemetry::global();
+        ServerTelemetry {
+            queue_depth: registry.gauge("server.queue_depth"),
+            job_wall_ns: registry.histogram("server.job_wall_ns"),
+            job_exec_ns: registry.histogram("server.job_exec_ns"),
+            job_stream_ns: registry.histogram("server.job_stream_ns"),
+        }
+    })
+}
+
+/// Bumps the ground-truth reject counter and mirrors the rejection into
+/// the registry under its stable admission code
+/// (`server.admission_rejects{code="..."}`).
+fn count_rejected(stats: &ServerStats, code: &'static str) {
+    stats.rejected.fetch_add(1, Ordering::Relaxed);
+    if logit_telemetry::enabled() {
+        logit_telemetry::global()
+            .counter_labelled("server.admission_rejects", ("code", code))
+            .inc();
+    }
+}
+
+/// Builds the counter snapshot from the live parts — shared between
+/// [`RunningServer::stats`] and the in-handler STATS frame.
+fn snapshot(stats: &ServerStats, cache: &ArtifactCache) -> StatsSnapshot {
+    StatsSnapshot {
+        accepted: stats.accepted.load(Ordering::Relaxed),
+        rejected: stats.rejected.load(Ordering::Relaxed),
+        completed: stats.completed.load(Ordering::Relaxed),
+        cancelled: stats.cancelled.load(Ordering::Relaxed),
+        internal_errors: stats.internal_errors.load(Ordering::Relaxed),
+        artifact_cache: cache.games.stats(),
+    }
 }
 
 /// One queued unit of work: everything the executor needs plus the
@@ -171,14 +225,7 @@ impl RunningServer {
 
     /// Snapshot of the monotonic counters.
     pub fn stats(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            accepted: self.stats.accepted.load(Ordering::Relaxed),
-            rejected: self.stats.rejected.load(Ordering::Relaxed),
-            completed: self.stats.completed.load(Ordering::Relaxed),
-            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
-            internal_errors: self.stats.internal_errors.load(Ordering::Relaxed),
-            artifact_cache: self.cache.games.stats(),
-        }
+        snapshot(&self.stats, &self.cache)
     }
 
     /// Stops accepting connections, waits for in-flight handlers and the
@@ -202,10 +249,14 @@ impl RunningServer {
 
 fn executor_loop(queue_rx: Receiver<ExecRequest>, base: Simulator, stats: &ServerStats) {
     while let Ok(req) = queue_rx.recv() {
+        telemetry().queue_depth.add(-1.0);
         let sim = base.reseeded(req.job.spec.seed, req.job.spec.replicas);
-        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        let exec_span = telemetry().job_exec_ns.span();
+        let run = catch_unwind(AssertUnwindSafe(|| {
             run_prepared(&sim, &req.job, &req.cancel)
-        })) {
+        }));
+        drop(exec_span);
+        let outcome = match run {
             Ok(Some(result)) => {
                 stats.completed.fetch_add(1, Ordering::Relaxed);
                 ExecOutcome::Finished(Box::new(result))
@@ -272,17 +323,24 @@ fn handle_connection(
 ) -> io::Result<()> {
     let submit = match read_frame(&mut stream) {
         Ok(Some((SUBMIT, payload))) => payload,
+        Ok(Some((STATS, _))) => {
+            // A metrics probe, not a job: answer with one snapshot frame
+            // and close. Probes never touch the queue or the counters.
+            let payload = crate::stats::render_stats(&snapshot(stats, cache));
+            write_frame(&mut stream, STATS, &payload)?;
+            return stream.shutdown(Shutdown::Both);
+        }
         Ok(Some((kind, _))) => {
             let err =
                 AdmissionError::Protocol(format!("expected a SUBMIT frame, got kind {kind:#04x}"));
-            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            count_rejected(stats, err.code());
             write_frame(&mut stream, REJECTED, &err.to_string())?;
             return stream.shutdown(Shutdown::Both);
         }
         Ok(None) => return Ok(()),
         Err(e) => {
             let err = AdmissionError::Protocol(e.to_string());
-            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            count_rejected(stats, err.code());
             let _ = write_frame(&mut stream, REJECTED, &err.to_string());
             return stream.shutdown(Shutdown::Both);
         }
@@ -293,7 +351,7 @@ fn handle_connection(
     let job = match JobSpec::parse(&submit).and_then(|spec| prepare(spec, cache)) {
         Ok(job) => job,
         Err(e) => {
-            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            count_rejected(stats, e.code());
             write_frame(&mut stream, REJECTED, &e.to_string())?;
             return stream.shutdown(Shutdown::Both);
         }
@@ -320,9 +378,9 @@ fn handle_connection(
     };
     // Reserve the queue slot *before* ACCEPTED goes out.
     match queue_tx.try_send(request) {
-        Ok(()) => {}
+        Ok(()) => telemetry().queue_depth.add(1.0),
         Err(TrySendError::Full(req)) => {
-            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            count_rejected(stats, AdmissionError::QueueFull.code());
             write_frame(
                 &mut stream,
                 REJECTED,
@@ -333,17 +391,17 @@ fn handle_connection(
             return stream.shutdown(Shutdown::Both);
         }
         Err(TrySendError::Disconnected(_)) => {
-            stats.rejected.fetch_add(1, Ordering::Relaxed);
-            write_frame(
-                &mut stream,
-                REJECTED,
-                &AdmissionError::Protocol("the server is shutting down".into()).to_string(),
-            )?;
+            let err = AdmissionError::Protocol("the server is shutting down".into());
+            count_rejected(stats, err.code());
+            write_frame(&mut stream, REJECTED, &err.to_string())?;
             return stream.shutdown(Shutdown::Both);
         }
     }
 
     stats.accepted.fetch_add(1, Ordering::Relaxed);
+    // Wall clock as the client experiences it: from the moment the job is
+    // accepted to its terminal frame (queue wait + execution + stream).
+    let wall_span = telemetry().job_wall_ns.span();
     write_frame(&mut stream, ACCEPTED, &accepted_meta)?;
 
     // Watcher: turns a CANCEL frame — or the client vanishing — into a
@@ -380,6 +438,7 @@ fn handle_connection(
         ExecOutcome::Cancelled => write_frame(&mut stream, CANCELLED, ""),
         ExecOutcome::Panicked(msg) => write_frame(&mut stream, ERROR, &format!("internal: {msg}")),
     };
+    drop(wall_span);
     // Closing both halves unblocks the watcher's read.
     let _ = stream.shutdown(Shutdown::Both);
     let _ = watcher.join();
@@ -395,6 +454,7 @@ fn stream_result(
     cancel: &CancelToken,
     stats: &ServerStats,
 ) -> io::Result<()> {
+    let _stream_span = telemetry().job_stream_ns.span();
     for point in &result.points {
         if cancel.is_cancelled() {
             stats.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -519,6 +579,21 @@ pub fn submit_job(
                 ))
             }
         }
+    }
+}
+
+/// Requests a live metrics snapshot: sends one STATS frame and returns
+/// the server's Prometheus-text payload. Works mid-chaos — probes bypass
+/// the job queue entirely.
+pub fn request_stats(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, STATS, "")?;
+    match read_frame(&mut stream)? {
+        Some((STATS, payload)) => Ok(payload),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected a STATS frame, got {other:?}"),
+        )),
     }
 }
 

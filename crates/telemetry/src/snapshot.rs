@@ -1,0 +1,162 @@
+//! Point-in-time histogram state and its quantile arithmetic.
+//!
+//! The snapshot type is compiled in both modes (a no-op
+//! [`Histogram`](crate::Histogram) returns an empty one), so the bucket
+//! arithmetic has exactly one implementation and the quantile edge cases
+//! are testable without the feature.
+
+/// Total bucket cells per histogram: indices `0..=38` hold the finite
+/// log-scale upper bounds `2^0, 2^1, …, 2^38` (bucket `i` counts values
+/// in `(2^(i-1), 2^i]`; everything `≤ 1` lands in bucket 0), and index
+/// 39 is the saturating overflow bucket (`+Inf`). In nanoseconds the
+/// finite range spans 1 ns to ≈ 275 s — wider than any latency the
+/// instruments measure.
+pub const BUCKET_CELLS: usize = 40;
+
+/// The upper bound of bucket `index`: `2^index` for the finite buckets,
+/// `+Inf` for the overflow cell (and any out-of-range index).
+pub fn bucket_bound(index: usize) -> f64 {
+    if index + 1 >= BUCKET_CELLS {
+        f64::INFINITY
+    } else {
+        (1u64 << index) as f64
+    }
+}
+
+/// The bucket a recorded value falls into. Values `≤ 1` (and NaN and
+/// negatives — nothing the span timers produce) land in bucket 0;
+/// values above the last finite bound saturate into the overflow cell.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= 1.0 {
+        return 0;
+    }
+    // Exact at the edges: powers of two have exact f64 log2, so a value
+    // *at* a bound stays in that bound's bucket and the first value
+    // above it moves to the next. Float→int casts saturate, so +Inf
+    // clamps into the overflow cell.
+    let index = value.log2().ceil() as usize;
+    index.min(BUCKET_CELLS - 1)
+}
+
+/// A point-in-time copy of one histogram: per-bucket counts (not
+/// cumulative), the total count and the running sum. Concurrent
+/// recording during the copy can skew cells by in-flight updates; each
+/// cell is individually exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Per-bucket counts, `buckets[i]` covering `(2^(i-1), 2^i]` (see
+    /// [`BUCKET_CELLS`]).
+    pub buckets: [u64; BUCKET_CELLS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            buckets: [0; BUCKET_CELLS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile estimate (upper bound of the bucket holding the
+    /// rank-`⌈q·count⌉` value), or `None` for an empty histogram —
+    /// there is no honest number to report before the first record.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &cell) in self.buckets.iter().enumerate() {
+            seen += cell;
+            if seen >= rank {
+                return Some(bucket_bound(index));
+            }
+        }
+        // Cells summed short of `count`: a torn concurrent snapshot;
+        // the overflow bound is the only safe answer.
+        Some(f64::INFINITY)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        // Below, at and above the smallest bound.
+        assert_eq!(bucket_index(0.5), 0);
+        assert_eq!(bucket_index(1.0), 0);
+        assert_eq!(bucket_index(1.0000001), 1);
+        // At and around an interior power-of-two bound.
+        assert_eq!(bucket_index(1024.0), 10);
+        assert_eq!(bucket_index(1023.0), 10);
+        assert_eq!(bucket_index(1025.0), 11);
+        assert_eq!(bucket_index(513.0), 10, "(512, 1024] is bucket 10");
+        assert_eq!(bucket_index(512.0), 9);
+        // Degenerate values all land in the first bucket.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-7.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn values_above_the_last_finite_bound_saturate() {
+        let last = BUCKET_CELLS - 1;
+        assert_eq!(bucket_index((1u64 << 38) as f64), 38, "at the last bound");
+        assert_eq!(bucket_index((1u64 << 38) as f64 * 2.0), last);
+        assert_eq!(bucket_index(1e30), last);
+        assert_eq!(bucket_index(f64::INFINITY), last);
+        assert_eq!(bucket_bound(last), f64::INFINITY);
+        assert_eq!(bucket_bound(last + 10), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_none() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.0), None);
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.p95(), None);
+        assert_eq!(empty.p99(), None);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let mut snapshot = HistogramSnapshot::default();
+        // 90 values in (1, 2], 9 in (2, 4], 1 in the overflow cell.
+        snapshot.buckets[1] = 90;
+        snapshot.buckets[2] = 9;
+        snapshot.buckets[BUCKET_CELLS - 1] = 1;
+        snapshot.count = 100;
+        assert_eq!(snapshot.p50(), Some(2.0));
+        assert_eq!(snapshot.quantile(0.90), Some(2.0));
+        assert_eq!(snapshot.p95(), Some(4.0));
+        assert_eq!(snapshot.p99(), Some(4.0));
+        assert_eq!(snapshot.quantile(1.0), Some(f64::INFINITY));
+        assert_eq!(snapshot.quantile(0.0), Some(2.0), "rank clamps to 1");
+    }
+}

@@ -1,0 +1,64 @@
+//! Prometheus-text-format parsing: the read half of the round-trip that
+//! [`MetricsRegistry::render`](crate::MetricsRegistry::render) writes.
+//!
+//! The grammar accepted is exactly what `render` emits (and what any
+//! Prometheus scraper produces): `# ...` comment lines, blank lines, and
+//! `name[{labels}] value` sample lines. The `logit-serve` self-test and
+//! the STATS-frame assertions parse snapshots through this, so a render
+//! change that breaks scrapeability fails loudly in CI.
+
+use std::collections::BTreeMap;
+
+/// Parses Prometheus text exposition into `full-sample-name → value`
+/// (label sets are part of the key, verbatim: `x_bucket{le="1"}`).
+/// Comment (`#`) and blank lines are skipped; a malformed sample line or
+/// a duplicate sample name is an error naming the line.
+pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples = BTreeMap::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in `{line}`", index + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: unparseable value `{value}`", index + 1))?;
+        if samples.insert(name.trim().to_string(), value).is_some() {
+            return Err(format!("line {}: duplicate sample `{name}`", index + 1));
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_samples_and_skips_comments() {
+        let text = "# logit-telemetry snapshot\n\
+                    # TYPE server_jobs_accepted counter\n\
+                    server_jobs_accepted 5\n\
+                    \n\
+                    server_job_exec_ns_bucket{le=\"1024\"} 3\n\
+                    server_job_exec_ns_bucket{le=\"+Inf\"} 5\n\
+                    pipeline_chunk_ticks 12.5\n";
+        let samples = parse_prometheus(text).expect("well-formed text");
+        assert_eq!(samples["server_jobs_accepted"], 5.0);
+        assert_eq!(samples["server_job_exec_ns_bucket{le=\"1024\"}"], 3.0);
+        assert_eq!(samples["server_job_exec_ns_bucket{le=\"+Inf\"}"], 5.0);
+        assert_eq!(samples["pipeline_chunk_ticks"], 12.5);
+        assert_eq!(samples.len(), 4);
+    }
+
+    #[test]
+    fn malformed_lines_and_duplicates_are_named_errors() {
+        assert!(parse_prometheus("just_a_name\n").is_err());
+        assert!(parse_prometheus("a_metric one\n").is_err());
+        let duplicate = parse_prometheus("a_metric 1\na_metric 2\n");
+        assert!(duplicate.unwrap_err().contains("duplicate"));
+    }
+}
